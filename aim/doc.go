@@ -1,0 +1,33 @@
+// Package aim is the public API of the AIM reproduction: a distributed
+// main-memory store that sustains a high-volume event stream (ESP) and
+// ad-hoc real-time analytical queries (RTA) on the same data, as described
+// in "Analytics in Motion" (SIGMOD 2015).
+//
+// The three moving parts mirror the paper's architecture (Figure 1):
+//
+//   - An Analytics Matrix: a huge materialized view with one Entity Record
+//     per subscriber, holding hundreds of pre-computed indicators. Declare
+//     it with NewSchema (attribute groups = metric × filter × aggregate ×
+//     window).
+//   - The ESP subsystem: System.Ingest applies each event to the owning
+//     Entity Record (single-row transaction) and evaluates the Business
+//     Rules against it.
+//   - The RTA subsystem: System.Execute scatters an ad-hoc query to every
+//     storage server, where batched shared scans over the PAX-layout
+//     ColumnMap answer it from a consistent, fresh snapshot.
+//
+// Minimal usage:
+//
+//	sch, _ := aim.NewSchema().
+//		Group(aim.GroupSpec{Name: "calls_today", Metric: aim.MetricCount,
+//			Window: aim.Day(), Aggs: []aim.AggKind{aim.AggCount}}).
+//		Build()
+//	sys, _ := aim.Start(aim.Options{Schema: sch})
+//	defer sys.Close()
+//	sys.Ingest(aim.Event{Caller: 42, Timestamp: ts, Duration: 60, Cost: 0.5})
+//	q, _ := aim.NewQuery(sch).Count().Build()
+//	res, _ := sys.Execute(q)
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the system inventory.
+package aim

@@ -1,0 +1,191 @@
+package aim
+
+import (
+	"fmt"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/vec"
+)
+
+// Cond is one comparison usable in Where clauses, built with Gt/Lt/Eq/etc.
+type Cond struct {
+	attr string
+	op   vec.CmpOp
+	val  float64
+	str  *string // set for string-attribute conditions
+}
+
+// Gt builds attribute > v.
+func Gt(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Gt, val: v} }
+
+// Ge builds attribute >= v.
+func Ge(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Ge, val: v} }
+
+// Lt builds attribute < v.
+func Lt(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Lt, val: v} }
+
+// Le builds attribute <= v.
+func Le(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Le, val: v} }
+
+// Eq builds attribute == v.
+func Eq(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Eq, val: v} }
+
+// Ne builds attribute != v.
+func Ne(attr string, v float64) Cond { return Cond{attr: attr, op: vec.Ne, val: v} }
+
+// EqStr builds string-attribute == v (dictionary-encoded attributes only).
+func EqStr(attr, v string) Cond { return Cond{attr: attr, op: vec.Eq, str: &v} }
+
+// NeStr builds string-attribute != v.
+func NeStr(attr, v string) Cond { return Cond{attr: attr, op: vec.Ne, str: &v} }
+
+// QueryBuilder assembles a Query against a schema, resolving attribute
+// names and value types.
+type QueryBuilder struct {
+	sch   *Schema
+	q     *Query
+	err   error
+	nextQ uint64
+}
+
+// NewQuery starts a query against the schema.
+func NewQuery(sch *Schema) *QueryBuilder {
+	return &QueryBuilder{sch: sch, q: &Query{GroupBy: -1}}
+}
+
+func (qb *QueryBuilder) attr(name string) int {
+	if qb.err != nil {
+		return 0
+	}
+	i, err := qb.sch.AttrIndex(name)
+	if err != nil {
+		qb.err = err
+	}
+	return i
+}
+
+func (qb *QueryBuilder) pred(c Cond) query.Predicate {
+	a := qb.attr(c.attr)
+	if qb.err != nil {
+		return query.Predicate{}
+	}
+	if c.str != nil {
+		return query.PredString(qb.sch, a, c.op, *c.str)
+	}
+	if qb.sch.Attrs[a].Type == schema.TypeFloat64 {
+		return query.PredFloat(a, c.op, c.val)
+	}
+	return query.PredInt(a, c.op, int64(c.val))
+}
+
+// Where adds one conjunct (AND of the given conditions). Multiple Where
+// calls are OR-ed together (DNF).
+func (qb *QueryBuilder) Where(conds ...Cond) *QueryBuilder {
+	if len(conds) == 0 {
+		qb.err = fmt.Errorf("aim: Where needs at least one condition")
+		return qb
+	}
+	conj := make(query.Conjunct, 0, len(conds))
+	for _, c := range conds {
+		conj = append(conj, qb.pred(c))
+	}
+	qb.q.Where = append(qb.q.Where, conj)
+	return qb
+}
+
+// Count projects COUNT(*).
+func (qb *QueryBuilder) Count() *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpCount})
+	return qb
+}
+
+// Sum projects SUM(attr).
+func (qb *QueryBuilder) Sum(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpSum, Attr: qb.attr(attr)})
+	return qb
+}
+
+// Avg projects AVG(attr).
+func (qb *QueryBuilder) Avg(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpAvg, Attr: qb.attr(attr)})
+	return qb
+}
+
+// Min projects MIN(attr).
+func (qb *QueryBuilder) Min(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpMin, Attr: qb.attr(attr)})
+	return qb
+}
+
+// Max projects MAX(attr).
+func (qb *QueryBuilder) Max(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpMax, Attr: qb.attr(attr)})
+	return qb
+}
+
+// ArgMax projects the entity id with the maximum attr value.
+func (qb *QueryBuilder) ArgMax(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpArgMax, Attr: qb.attr(attr)})
+	return qb
+}
+
+// ArgMin projects the entity id with the minimum attr value.
+func (qb *QueryBuilder) ArgMin(attr string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{Op: query.OpArgMin, Attr: qb.attr(attr)})
+	return qb
+}
+
+// ArgMinRatio projects the entity id minimizing num/den.
+func (qb *QueryBuilder) ArgMinRatio(num, den string) *QueryBuilder {
+	qb.q.Aggs = append(qb.q.Aggs, query.AggExpr{
+		Op: query.OpArgMinRatio, Attr: qb.attr(num), Attr2: qb.attr(den),
+	})
+	return qb
+}
+
+// GroupBy groups results by an attribute.
+func (qb *QueryBuilder) GroupBy(attr string) *QueryBuilder {
+	qb.q.GroupBy = qb.attr(attr)
+	return qb
+}
+
+// GroupByString groups by a dictionary-encoded string attribute, resolving
+// group keys back to strings.
+func (qb *QueryBuilder) GroupByString(attr string) *QueryBuilder {
+	qb.q.GroupBy = qb.attr(attr)
+	qb.q.GroupDictNames = true
+	return qb
+}
+
+// JoinGroup groups by an attribute mapped through a dimension table column
+// (e.g. JoinGroup("zip", "RegionInfo", "city") groups by city).
+func (qb *QueryBuilder) JoinGroup(attr, table, column string) *QueryBuilder {
+	qb.q.GroupBy = qb.attr(attr)
+	qb.q.GroupDim = &query.DimJoin{Table: table, Column: column}
+	return qb
+}
+
+// Ratio appends a derived column dividing projection num by projection den
+// (0-based projection indices, in declaration order).
+func (qb *QueryBuilder) Ratio(num, den int) *QueryBuilder {
+	qb.q.Derived = append(qb.q.Derived, query.Ratio{Num: num, Den: den})
+	return qb
+}
+
+// Limit caps the number of result rows.
+func (qb *QueryBuilder) Limit(n int) *QueryBuilder {
+	qb.q.Limit = n
+	return qb
+}
+
+// Build validates and returns the query.
+func (qb *QueryBuilder) Build() (*Query, error) {
+	if qb.err != nil {
+		return nil, qb.err
+	}
+	if err := qb.q.Validate(qb.sch); err != nil {
+		return nil, err
+	}
+	return qb.q, nil
+}

@@ -1,0 +1,179 @@
+package aim
+
+import (
+	"repro/internal/core"
+	"repro/internal/dimension"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+// Re-exported building blocks. The implementation lives in internal
+// packages; these aliases are the supported public names.
+
+// Event is one Call Detail Record.
+type Event = event.Event
+
+// EventGenerator produces deterministic synthetic CDR streams.
+type EventGenerator = event.Generator
+
+// NewEventGenerator returns a generator over the entity population.
+func NewEventGenerator(entities uint64, seed int64) *EventGenerator {
+	return event.NewGenerator(entities, seed)
+}
+
+// Schema is a compiled Analytics-Matrix schema.
+type Schema = schema.Schema
+
+// Record is one Entity Record.
+type Record = schema.Record
+
+// SchemaBuilder assembles a Schema from attribute-group specs.
+type SchemaBuilder struct{ b *schema.Builder }
+
+// GroupSpec declares one attribute group (metric × filter × window ×
+// aggregates).
+type GroupSpec = schema.GroupSpec
+
+// StaticSpec declares a segmentation attribute.
+type StaticSpec = schema.StaticSpec
+
+// Window describes an aggregation window.
+type Window = schema.Window
+
+// Metric, filter, aggregate and type enumerations.
+type (
+	Metric  = schema.Metric
+	Filter  = schema.Filter
+	AggKind = schema.AggKind
+	Type    = schema.Type
+)
+
+// Metric constants.
+const (
+	MetricCount    = schema.MetricCount
+	MetricDuration = schema.MetricDuration
+	MetricCost     = schema.MetricCost
+)
+
+// Filter constants.
+const (
+	CallAny          = schema.CallAny
+	CallLocal        = schema.CallLocal
+	CallLongDistance = schema.CallLongDistance
+)
+
+// Aggregate constants.
+const (
+	AggCount = schema.AggCount
+	AggSum   = schema.AggSum
+	AggAvg   = schema.AggAvg
+	AggMin   = schema.AggMin
+	AggMax   = schema.AggMax
+)
+
+// Attribute type constants.
+const (
+	TypeInt64   = schema.TypeInt64
+	TypeFloat64 = schema.TypeFloat64
+	TypeUint64  = schema.TypeUint64
+	// TypeDictString is a dictionary-encoded variable-length string
+	// attribute (set with Schema.SetString, filter with EqStr/NeStr,
+	// group with GroupByString).
+	TypeDictString = schema.TypeDictString
+)
+
+// Window constructors.
+var (
+	Day          = schema.Day
+	Week         = schema.Week
+	Month        = schema.Month
+	LastEvents   = schema.LastEvents
+	SlidingHours = schema.SlidingHours
+)
+
+// NewSchema starts a schema definition.
+func NewSchema() *SchemaBuilder { return &SchemaBuilder{b: schema.NewBuilder()} }
+
+// Group adds an attribute group.
+func (sb *SchemaBuilder) Group(spec GroupSpec) *SchemaBuilder {
+	sb.b.AddGroup(spec)
+	return sb
+}
+
+// Static adds a segmentation attribute.
+func (sb *SchemaBuilder) Static(spec StaticSpec) *SchemaBuilder {
+	sb.b.AddStatic(spec)
+	return sb
+}
+
+// Build compiles the schema.
+func (sb *SchemaBuilder) Build() (*Schema, error) { return sb.b.Build() }
+
+// Dimension tables.
+type (
+	// DimensionTable is one replicated lookup table.
+	DimensionTable = dimension.Table
+	// DimensionStore is the set of tables replicated at each server.
+	DimensionStore = dimension.Store
+)
+
+// NewDimensionTable creates an empty dimension table.
+func NewDimensionTable(name string, columns ...string) *DimensionTable {
+	return dimension.NewTable(name, columns...)
+}
+
+// NewDimensionStore creates an empty dimension store.
+func NewDimensionStore() *DimensionStore { return dimension.NewStore() }
+
+// Business rules.
+type (
+	// Rule is one Business Rule in DNF.
+	Rule = rules.Rule
+	// RuleConjunct is an AND of rule predicates.
+	RuleConjunct = rules.Conjunct
+	// RulePredicate compares a record/event reading to a constant.
+	RulePredicate = rules.Predicate
+	// FiringPolicy bounds rule firings per entity per window.
+	FiringPolicy = rules.FiringPolicy
+	// Firing reports one rule firing.
+	Firing = rules.Firing
+)
+
+// Rule predicate LHS kinds.
+const (
+	RuleAttr              = rules.LHSAttr
+	RuleAttrRatio         = rules.LHSAttrRatio
+	RuleEventDuration     = rules.LHSEventDuration
+	RuleEventCost         = rules.LHSEventCost
+	RuleEventLongDistance = rules.LHSEventLongDistance
+)
+
+// Rule comparison operators.
+const (
+	RuleLt = rules.Lt
+	RuleLe = rules.Le
+	RuleGt = rules.Gt
+	RuleGe = rules.Ge
+	RuleEq = rules.Eq
+	RuleNe = rules.Ne
+)
+
+// Query execution.
+type (
+	// Query is a compiled RTA query.
+	Query = query.Query
+	// Result is a finalized query result.
+	Result = query.Result
+	// ResultRow is one result group.
+	ResultRow = query.ResultRow
+	// GroupKey identifies a result group.
+	GroupKey = query.GroupKey
+)
+
+// NodeStats snapshots one storage server's counters.
+type NodeStats = core.NodeStats
+
+// ErrVersionConflict reports a failed conditional write.
+var ErrVersionConflict = core.ErrVersionConflict

@@ -1,0 +1,140 @@
+// aimload drives the Huawei benchmark against one or more aimserver
+// instances: a fixed-rate CDR stream through the ESP router and/or
+// closed-loop RTA clients issuing the Q1–Q7 mix, reporting end-to-end
+// throughput and latency like the paper's dedicated driver machines (§5.1).
+//
+// Usage:
+//
+//	aimload -servers 127.0.0.1:7070,127.0.0.1:7071 -rate 10000 -clients 8 -duration 30s
+//	aimload -servers 127.0.0.1:7070 -clients 0 -rate 100000   # ESP only
+//	aimload -servers 127.0.0.1:7070 -rate 0 -clients 16       # RTA only
+//
+// Schema flags must match the servers'.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/esp"
+	"repro/internal/event"
+	"repro/internal/netproto"
+	"repro/internal/rta"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		servers  = flag.String("servers", "127.0.0.1:7070", "comma-separated aimserver addresses")
+		entities = flag.Uint64("entities", 20_000, "subscriber population")
+		rate     = flag.Float64("rate", 10_000, "event rate (events/second, 0 = no events)")
+		clients  = flag.Int("clients", 8, "closed-loop RTA clients (0 = no queries)")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		preload  = flag.Bool("preload", true, "materialize every entity with one event first")
+		full     = flag.Bool("full", false, "full 546-indicator schema (must match servers)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	var sch *schema.Schema
+	var err error
+	if *full {
+		sch, err = workload.BuildSchema()
+	} else {
+		sch, err = workload.BuildSmallSchema()
+	}
+	if err != nil {
+		log.Fatalf("aimload: schema: %v", err)
+	}
+
+	var handles []core.Storage
+	for _, addr := range strings.Split(*servers, ",") {
+		cli, err := netproto.Dial(strings.TrimSpace(addr), sch)
+		if err != nil {
+			log.Fatalf("aimload: dial %s: %v", addr, err)
+		}
+		defer cli.Close()
+		handles = append(handles, cli)
+	}
+	cl, err := cluster.New(handles)
+	if err != nil {
+		log.Fatal(err)
+	}
+	router := esp.NewRouter(cl)
+
+	if *preload {
+		fmt.Printf("aimload: preloading %d entities ...\n", *entities)
+		gen := event.NewGenerator(*entities, *seed)
+		var ev event.Event
+		for e := uint64(1); e <= *entities; e++ {
+			gen.NextFor(&ev, e)
+			if err := router.Ingest(ev); err != nil {
+				log.Fatalf("aimload: preload: %v", err)
+			}
+		}
+		if err := router.Flush(); err != nil {
+			log.Fatalf("aimload: preload flush: %v", err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var espStats esp.DriverStats
+	if *rate > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := &esp.Driver{
+				Gen:  event.NewGenerator(*entities, *seed+1),
+				Rate: *rate,
+				Sink: router.Ingest,
+			}
+			var err error
+			espStats, err = d.Run(*duration, 0)
+			if err != nil {
+				log.Printf("aimload: driver: %v", err)
+			}
+			if err := router.Flush(); err != nil {
+				log.Printf("aimload: flush: %v", err)
+			}
+		}()
+	}
+
+	var rtaStats rta.ClientStats
+	if *clients > 0 {
+		coord, err := rta.NewCoordinator(cl.Nodes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources := make([]rta.QuerySource, *clients)
+		for i := range sources {
+			g, err := workload.NewQueryGen(sch, *seed+int64(i)+100)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sources[i] = g
+		}
+		rtaStats = rta.RunClosedLoop(coord, sources, *duration)
+	}
+	wg.Wait()
+
+	fmt.Printf("\naimload results (%v window, %d servers):\n", *duration, len(handles))
+	if *rate > 0 {
+		fmt.Printf("  ESP: %d events, %.0f ev/s achieved (target %.0f)\n",
+			espStats.Sent, espStats.AchievedRate, *rate)
+	}
+	if *clients > 0 {
+		fmt.Printf("  RTA: %d queries, %.0f q/s, mean %.2fms, p95 %.2fms, max %.2fms, %d errors\n",
+			rtaStats.Queries, rtaStats.Throughput,
+			float64(rtaStats.MeanLatency.Microseconds())/1000,
+			float64(rtaStats.P95Latency.Microseconds())/1000,
+			float64(rtaStats.MaxLatency.Microseconds())/1000,
+			rtaStats.Errors)
+	}
+}

@@ -1,0 +1,110 @@
+// aimserver runs one AIM storage server over TCP, hosting a partition of
+// the Analytics Matrix with colocated ESP threads (the paper's preferred
+// architecture (b)). Point aimload at one or more aimservers to drive the
+// benchmark across processes or machines.
+//
+// Usage:
+//
+//	aimserver -addr :7070
+//	aimserver -addr :7070 -partitions 5 -esp 1 -bucket 3072 -full -rules 300
+//
+// All aimservers in a cluster must use identical schema flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netproto"
+	"repro/internal/rules"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		partitions = flag.Int("partitions", 0, "data partitions / RTA threads (0 = cores - esp - 2)")
+		espThreads = flag.Int("esp", 1, "ESP service threads")
+		bucket     = flag.Int("bucket", 3072, "ColumnMap bucket size (1 = row store)")
+		maxBatch   = flag.Int("batch", 8, "shared-scan query batch cap")
+		full       = flag.Bool("full", false, "full 546-indicator schema (default: compact)")
+		ruleCount  = flag.Int("rules", workload.DefaultRuleCount, "business rule count (0 = none)")
+		ruleIndex  = flag.Bool("ruleindex", false, "use the Fabret-style rule index")
+		seed       = flag.Int64("seed", 42, "workload generation seed")
+		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
+	)
+	flag.Parse()
+
+	var sch *schema.Schema
+	var err error
+	if *full {
+		sch, err = workload.BuildSchema()
+	} else {
+		sch, err = workload.BuildSmallSchema()
+	}
+	if err != nil {
+		log.Fatalf("aimserver: schema: %v", err)
+	}
+	dims, err := workload.BuildDimensions(*seed)
+	if err != nil {
+		log.Fatalf("aimserver: dimensions: %v", err)
+	}
+	var ruleSet []rules.Rule
+	if *ruleCount > 0 {
+		ruleSet, err = workload.BuildRules(sch, *ruleCount, *seed)
+		if err != nil {
+			log.Fatalf("aimserver: rules: %v", err)
+		}
+	}
+
+	node, err := core.NewNode(core.Config{
+		Schema:       sch,
+		Dims:         dims.Store,
+		Partitions:   *partitions,
+		ESPThreads:   *espThreads,
+		BucketSize:   *bucket,
+		Factory:      dims.Factory(sch),
+		MaxBatch:     *maxBatch,
+		Rules:        ruleSet,
+		UseRuleIndex: *ruleIndex,
+	})
+	if err != nil {
+		log.Fatalf("aimserver: %v", err)
+	}
+	srv, err := netproto.Serve(*addr, node, sch)
+	if err != nil {
+		log.Fatalf("aimserver: listen: %v", err)
+	}
+	fmt.Printf("aimserver: listening on %s (%d indicators, %d B records, n=%d partitions, s=%d ESP threads, %d rules)\n",
+		srv.Addr(), workload.NumIndicators(sch), sch.RecordBytes(),
+		node.NumPartitions(), *espThreads, len(ruleSet))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			var last core.NodeStats
+			for range tick.C {
+				st := node.Stats()
+				fmt.Printf("aimserver: records=%d events=%d (+%d) queries=%d (+%d) firings=%d merges=%d\n",
+					st.Records, st.EventsProcessed, st.EventsProcessed-last.EventsProcessed,
+					st.QueriesServed, st.QueriesServed-last.QueriesServed,
+					st.RuleFirings, st.MergedRecords)
+				last = st
+			}
+		}()
+	}
+	<-stop
+	fmt.Println("aimserver: shutting down")
+	srv.Close()
+	node.Stop()
+}

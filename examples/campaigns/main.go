@@ -1,0 +1,98 @@
+// Campaigns: Business Rule evaluation in the ESP path (§2.2) — the two
+// example rules of Table 2 plus a firing policy, driven by a skewed event
+// stream. Demonstrates real-time actions triggered per event against the
+// freshly updated Entity Record.
+//
+// Run with: go run ./examples/campaigns
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/aim"
+)
+
+func main() {
+	sch, err := aim.NewSchema().
+		Group(aim.GroupSpec{Name: "calls_today", Metric: aim.MetricCount,
+			Window: aim.Day(), Aggs: []aim.AggKind{aim.AggCount}}).
+		Group(aim.GroupSpec{Name: "cost_today", Metric: aim.MetricCost,
+			Window: aim.Day(), Aggs: []aim.AggKind{aim.AggSum}}).
+		Group(aim.GroupSpec{Name: "dur_today", Metric: aim.MetricDuration,
+			Window: aim.Day(), Aggs: []aim.AggKind{aim.AggSum}}).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	calls, _ := sch.AttrIndex("calls_today_count")
+	cost, _ := sch.AttrIndex("cost_today_sum")
+	dur, _ := sch.AttrIndex("dur_today_sum")
+
+	// Table 2, rule 1: heavy callers get free minutes — at most once per day.
+	freeMinutes := aim.Rule{
+		ID: 1, Name: "free-minutes", Action: "inform subscriber: next 10 minutes free",
+		Conjuncts: []aim.RuleConjunct{{
+			{Kind: aim.RuleAttr, Attr: calls, Op: aim.RuleGt, Value: 20},
+			{Kind: aim.RuleAttr, Attr: cost, Op: aim.RuleGt, Value: 100},
+			{Kind: aim.RuleEventDuration, Op: aim.RuleGt, Value: 300},
+		}},
+		Policy: aim.FiringPolicy{Limit: 1, WindowMillis: 24 * 3600 * 1000},
+	}
+	// Table 2, rule 2: many ultra-short calls look like a pocket-dialing
+	// phone — advise enabling the screen lock.
+	misuse := aim.Rule{
+		ID: 2, Name: "phone-misuse", Action: "advise subscriber: activate screen lock",
+		Conjuncts: []aim.RuleConjunct{{
+			{Kind: aim.RuleAttr, Attr: calls, Op: aim.RuleGt, Value: 30},
+			{Kind: aim.RuleAttrRatio, Attr: dur, Attr2: calls, Op: aim.RuleLt, Value: 10},
+		}},
+	}
+
+	var mu sync.Mutex
+	actions := map[string]int{}
+	sys, err := aim.Start(aim.Options{
+		Schema: sch,
+		Rules:  []aim.Rule{freeMinutes, misuse},
+		OnFiring: func(f aim.Firing) {
+			mu.Lock()
+			actions[f.Action]++
+			if actions[f.Action] <= 3 {
+				fmt.Printf("  [rule %d fired] entity %d: %s\n", f.RuleID, f.EntityID, f.Action)
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	base := int64(1_420_070_400_000)
+	// Subscriber 1: an expensive conference-call day — triggers rule 1 once
+	// (the firing policy suppresses repeats).
+	for i := 0; i < 30; i++ {
+		if _, err := sys.IngestSync(aim.Event{
+			Caller: 1, Timestamp: base + int64(i)*60_000, Duration: 900, Cost: 6,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Subscriber 2: forty 3-second calls — triggers rule 2 repeatedly
+	// (no policy attached).
+	for i := 0; i < 40; i++ {
+		if _, err := sys.IngestSync(aim.Event{
+			Caller: 2, Timestamp: base + int64(i)*1000, Duration: 3, Cost: 0.01,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Println("\naction summary:")
+	for action, n := range actions {
+		fmt.Printf("  %dx %s\n", n, action)
+	}
+}

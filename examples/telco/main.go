@@ -1,0 +1,128 @@
+// Telco: the Huawei use case end to end — the benchmark's Analytics Matrix
+// (segmentation attributes + the metric × filter × window × aggregate
+// Cartesian product), replicated dimension tables, a 300-rule campaign set,
+// and the paper's seven RTA query templates (Table 5) answered on live data.
+//
+// Run with: go run ./examples/telco
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rta"
+	"repro/internal/rules"
+	"repro/internal/workload"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	// The compact variant of the benchmark schema keeps this example
+	// snappy; swap in workload.BuildSchema() for the full 546 indicators.
+	sch, err := workload.BuildSmallSchema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dims, err := workload.BuildDimensions(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ruleSet, err := workload.BuildRules(sch, workload.DefaultRuleCount, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schema: %d indicators, %d B records; rules: %d\n",
+		workload.NumIndicators(sch), sch.RecordBytes(), len(ruleSet))
+
+	var firings atomic.Uint64
+	c, nodes, err := cluster.NewLocal(1, core.Config{
+		Schema:   sch,
+		Dims:     dims.Store,
+		Factory:  dims.Factory(sch),
+		Rules:    ruleSet,
+		OnFiring: func(rules.Firing) { firings.Add(1) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	// Feed one hour's worth of calls for 10k subscribers.
+	const entities, events = 10_000, 100_000
+	gen := event.NewGenerator(entities, 7)
+	var ev event.Event
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		gen.Next(&ev)
+		if err := c.ProcessEventAsync(ev); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ESP: %d events in %v (%.0f ev/s), %d rule firings\n",
+		events, time.Since(start).Round(time.Millisecond),
+		float64(events)/time.Since(start).Seconds(), firings.Load())
+
+	coord, err := rta.NewCoordinator(c.Nodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := workload.NewQueryGen(sch, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // let a merge round publish everything
+
+	run := func(name string, q *query.Query) {
+		t0 := time.Now()
+		res, err := coord.Execute(q)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-3s %6.2fms  %d row(s)", name, float64(time.Since(t0).Microseconds())/1000, len(res.Rows))
+		if len(res.Rows) > 0 {
+			r := res.Rows[0]
+			key := ""
+			if r.Key.S != "" {
+				key = r.Key.S + ": "
+			}
+			fmt.Printf("   first: %s%v", key, r.Values)
+		}
+		fmt.Println()
+	}
+	run("Q1", g.Q1(1))
+	run("Q2", g.Q2(3))
+	run("Q3", g.Q3())
+	run("Q4", g.Q4(2, 20))
+	run("Q5", g.Q5(1, 2))
+	run("Q6", g.Q6(0))
+	run("Q7", g.Q7(1))
+
+	// Ad-hoc mixed-template load, closed loop with 8 clients for 2 seconds.
+	sources := make([]rta.QuerySource, 8)
+	for i := range sources {
+		src, err := workload.NewQueryGen(sch, int64(100+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources[i] = src
+	}
+	st := rta.RunClosedLoop(coord, sources, 2*time.Second)
+	fmt.Printf("RTA closed loop: %.0f q/s, mean %.1fms, p95 %.1fms (%d queries, %d errors)\n",
+		st.Throughput,
+		float64(st.MeanLatency.Microseconds())/1000,
+		float64(st.P95Latency.Microseconds())/1000,
+		st.Queries, st.Errors)
+}

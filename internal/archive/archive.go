@@ -1,0 +1,290 @@
+// Package archive implements AIM's persistent event archive — a production
+// feature the paper describes (§7, and footnote 1: the archive of recent
+// events is consulted when all top-N values of a sliding window expire, and
+// it backs durability together with incremental checkpointing).
+//
+// The archive is an append-only log of fixed-size CDR frames, segmented
+// into files of a configurable event capacity. Every appended event gets a
+// monotonically increasing log sequence number (LSN = its position in the
+// log), which the checkpoint/recovery machinery uses as the replay
+// watermark. Each segment carries an in-memory per-entity index (rebuilt on
+// open) so per-entity history scans — the exact-sliding-window path — do
+// not read unrelated events.
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/event"
+)
+
+// frameSize is the on-disk record: the 64 B event frame plus its LSN.
+const frameSize = event.WireSize + 8
+
+// DefaultSegmentEvents is the default segment capacity.
+const DefaultSegmentEvents = 1 << 16
+
+// Archive is an append-only, segmented event log.
+type Archive struct {
+	dir         string
+	segmentCap  int
+	mu          sync.Mutex
+	segments    []*segment
+	active      *segment
+	nextLSN     uint64
+	syncOnWrite bool
+}
+
+type segment struct {
+	path     string
+	firstLSN uint64
+	n        int
+	file     *os.File // nil when sealed
+	// byEntity maps caller entity -> frame ordinals within the segment.
+	byEntity map[uint64][]int32
+}
+
+// Options configures an Archive.
+type Options struct {
+	// SegmentEvents caps events per segment file (default 65536).
+	SegmentEvents int
+	// SyncOnWrite fsyncs after every append (durable but slow); when
+	// false, durability is bounded by Sync/rotation (the paper's
+	// "zero-copy logging" trades the same bound).
+	SyncOnWrite bool
+}
+
+// Open creates or recovers an archive in dir.
+func Open(dir string, opts Options) (*Archive, error) {
+	if opts.SegmentEvents <= 0 {
+		opts.SegmentEvents = DefaultSegmentEvents
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	a := &Archive{dir: dir, segmentCap: opts.SegmentEvents, syncOnWrite: opts.SyncOnWrite}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		seg, err := openSegment(name)
+		if err != nil {
+			return nil, err
+		}
+		a.segments = append(a.segments, seg)
+		a.nextLSN = seg.firstLSN + uint64(seg.n)
+	}
+	// Reopen the last segment for appends if it has room.
+	if n := len(a.segments); n > 0 && a.segments[n-1].n < a.segmentCap {
+		last := a.segments[n-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("archive: reopen %s: %w", last.path, err)
+		}
+		last.file = f
+		a.active = last
+	}
+	return a, nil
+}
+
+// openSegment reads a sealed segment and rebuilds its entity index.
+func openSegment(path string) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if len(data)%frameSize != 0 {
+		// A torn tail write: keep the complete prefix (crash recovery).
+		data = data[:len(data)/frameSize*frameSize]
+	}
+	seg := &segment{path: path, byEntity: make(map[uint64][]int32)}
+	for i := 0; i*frameSize < len(data); i++ {
+		off := i * frameSize
+		lsn := binary.LittleEndian.Uint64(data[off:])
+		if i == 0 {
+			seg.firstLSN = lsn
+		}
+		caller := binary.LittleEndian.Uint64(data[off+8:]) // Event.Caller is frame word 0
+		seg.byEntity[caller] = append(seg.byEntity[caller], int32(i))
+		seg.n++
+	}
+	return seg, nil
+}
+
+// Append logs one event and returns its LSN.
+func (a *Archive) Append(ev *event.Event) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active == nil || a.active.n >= a.segmentCap {
+		if err := a.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := a.nextLSN
+	var buf [frameSize]byte
+	binary.LittleEndian.PutUint64(buf[:], lsn)
+	ev.Encode(buf[8:])
+	if _, err := a.active.file.Write(buf[:]); err != nil {
+		return 0, fmt.Errorf("archive: append: %w", err)
+	}
+	if a.syncOnWrite {
+		if err := a.active.file.Sync(); err != nil {
+			return 0, fmt.Errorf("archive: sync: %w", err)
+		}
+	}
+	a.active.byEntity[ev.Caller] = append(a.active.byEntity[ev.Caller], int32(a.active.n))
+	a.active.n++
+	a.nextLSN++
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and starts a new one.
+func (a *Archive) rotateLocked() error {
+	if a.active != nil {
+		if err := a.active.file.Sync(); err != nil {
+			return fmt.Errorf("archive: seal sync: %w", err)
+		}
+		if err := a.active.file.Close(); err != nil {
+			return fmt.Errorf("archive: seal close: %w", err)
+		}
+		a.active.file = nil
+	}
+	path := filepath.Join(a.dir, fmt.Sprintf("seg-%016d.log", a.nextLSN))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: rotate: %w", err)
+	}
+	seg := &segment{path: path, firstLSN: a.nextLSN, file: f, byEntity: make(map[uint64][]int32)}
+	a.segments = append(a.segments, seg)
+	a.active = seg
+	return nil
+}
+
+// Sync flushes the active segment to disk.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active != nil && a.active.file != nil {
+		return a.active.file.Sync()
+	}
+	return nil
+}
+
+// Close syncs and closes the archive.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.active != nil && a.active.file != nil {
+		if err := a.active.file.Sync(); err != nil {
+			return err
+		}
+		if err := a.active.file.Close(); err != nil {
+			return err
+		}
+		a.active.file = nil
+		a.active = nil
+	}
+	return nil
+}
+
+// NextLSN returns the LSN the next Append will get.
+func (a *Archive) NextLSN() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.nextLSN
+}
+
+// Len returns the number of archived events.
+func (a *Archive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, s := range a.segments {
+		n += s.n
+	}
+	return n
+}
+
+// readFrame reads one frame of a segment (from disk; segments are the
+// durable copy, no payload cache is kept).
+func (s *segment) readFrame(ordinal int) (uint64, event.Event, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return 0, event.Event{}, err
+	}
+	defer f.Close()
+	var buf [frameSize]byte
+	if _, err := f.ReadAt(buf[:], int64(ordinal)*frameSize); err != nil {
+		return 0, event.Event{}, err
+	}
+	lsn := binary.LittleEndian.Uint64(buf[:])
+	var ev event.Event
+	if err := ev.Decode(buf[8:]); err != nil {
+		return 0, ev, err
+	}
+	return lsn, ev, nil
+}
+
+// Replay invokes fn for every archived event with LSN >= fromLSN, in LSN
+// order. This is the recovery tail-replay path.
+func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) error) error {
+	a.mu.Lock()
+	segs := append([]*segment(nil), a.segments...)
+	a.mu.Unlock()
+	for _, s := range segs {
+		if s.firstLSN+uint64(s.n) <= fromLSN {
+			continue
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return fmt.Errorf("archive: replay %s: %w", s.path, err)
+		}
+		if len(data) > s.n*frameSize {
+			data = data[:s.n*frameSize]
+		}
+		for i := 0; i*frameSize < len(data); i++ {
+			off := i * frameSize
+			lsn := binary.LittleEndian.Uint64(data[off:])
+			if lsn < fromLSN {
+				continue
+			}
+			var ev event.Event
+			if err := ev.Decode(data[off+8:]); err != nil {
+				return err
+			}
+			if err := fn(lsn, ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EntityHistory returns the archived events of one entity with timestamps
+// in [fromTs, toTs], in log order — the exact-sliding-window lookup path.
+func (a *Archive) EntityHistory(entityID uint64, fromTs, toTs int64) ([]event.Event, error) {
+	a.mu.Lock()
+	segs := append([]*segment(nil), a.segments...)
+	a.mu.Unlock()
+	var out []event.Event
+	for _, s := range segs {
+		ordinals := s.byEntity[entityID]
+		for _, ord := range ordinals {
+			_, ev, err := s.readFrame(int(ord))
+			if err != nil {
+				return nil, fmt.Errorf("archive: history: %w", err)
+			}
+			if ev.Timestamp >= fromTs && ev.Timestamp <= toTs {
+				out = append(out, ev)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+func mkEvent(caller uint64, ts, dur int64, cost float64, ld bool) event.Event {
+	return event.Event{Caller: caller, Callee: 1, Timestamp: ts, Duration: dur, Cost: cost, LongDistance: ld}
+}
+
+func TestAppendAssignsSequentialLSNs(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 100; i++ {
+		ev := mkEvent(uint64(i%7)+1, int64(i), 10, 1, false)
+		lsn, err := a.Append(&ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if a.Len() != 100 || a.NextLSN() != 100 {
+		t.Fatalf("Len=%d NextLSN=%d", a.Len(), a.NextLSN())
+	}
+}
+
+func TestReplayFromWatermark(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{SegmentEvents: 16}) // force rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 50; i++ {
+		ev := mkEvent(1, int64(i), int64(i), 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	err = a.Replay(37, func(lsn uint64, ev event.Event) error {
+		got = append(got, lsn)
+		if ev.Duration != int64(lsn) {
+			t.Fatalf("lsn %d carries duration %d", lsn, ev.Duration)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 13 || got[0] != 37 || got[12] != 49 {
+		t.Fatalf("replayed %v", got)
+	}
+}
+
+func TestReopenRecoversStateAndKeepsAppending(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{SegmentEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ev := mkEvent(uint64(i%3)+1, int64(i), 10, 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := Open(dir, Options{SegmentEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 20 || b.NextLSN() != 20 {
+		t.Fatalf("after reopen Len=%d NextLSN=%d", b.Len(), b.NextLSN())
+	}
+	ev := mkEvent(9, 100, 10, 1, false)
+	lsn, err := b.Append(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 20 {
+		t.Fatalf("append after reopen lsn = %d", lsn)
+	}
+	count := 0
+	if err := b.Replay(0, func(uint64, event.Event) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 21 {
+		t.Fatalf("replayed %d events", count)
+	}
+}
+
+func TestTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ev := mkEvent(1, int64(i), 10, 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	// Simulate a crash mid-write: truncate to a non-frame boundary.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	fi, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], fi.Size()-10); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 4 {
+		t.Fatalf("after torn tail Len = %d, want 4", b.Len())
+	}
+	// The archive accepts new appends and LSNs stay dense.
+	ev := mkEvent(2, 9, 10, 1, false)
+	lsn, err := b.Append(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 4 {
+		t.Fatalf("post-recovery lsn = %d", lsn)
+	}
+}
+
+func TestEntityHistory(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{SegmentEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 20; i++ {
+		ev := mkEvent(uint64(i%2)+1, int64(i*100), int64(i), 1, i%4 == 0)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entity 1 owns even i; history over ts in [400, 1200].
+	evs, err := a.EntityHistory(1, 400, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{4, 6, 8, 10, 12}
+	if len(evs) != len(want) {
+		t.Fatalf("history %d events, want %d", len(evs), len(want))
+	}
+	for i, ev := range evs {
+		if ev.Duration != want[i] {
+			t.Fatalf("event %d duration %d, want %d", i, ev.Duration, want[i])
+		}
+	}
+	if evs, _ := a.EntityHistory(999, 0, 1<<40); len(evs) != 0 {
+		t.Fatal("unknown entity has history")
+	}
+}
+
+// TestExactWindowVsApproximateSliding verifies the paper's footnote-1 flow:
+// the materialized sliding window is an approximation; the archive
+// recomputes exact aggregates, and the two agree when sub-window boundaries
+// align with the query time.
+func TestExactWindowVsApproximateSliding(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	sch, err := schema.NewBuilder().AddGroup(schema.GroupSpec{
+		Name: "dur24h", Metric: schema.MetricDuration, Filter: schema.CallAny,
+		Window: schema.SlidingHours(24, 4),
+		Aggs:   []schema.AggKind{schema.AggSum, schema.AggCount, schema.AggMin, schema.AggMax},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sch.NewRecord(1)
+	sub := int64(6 * 3600 * 1000)
+	base := int64(100*24*3600*1000) + 1 // just after a sub-window boundary
+	durs := []int64{100, 50, 300, 200, 75}
+	var last int64
+	for i, d := range durs {
+		ts := base + int64(i)*sub // one event per sub-window: first falls out
+		ev := mkEvent(1, ts, d, 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+		sch.Apply(rec, &ev)
+		last = ts
+	}
+	exact := ExactWindow{Metric: schema.MetricDuration, Filter: schema.CallAny, WindowMillis: 24 * 3600 * 1000}
+	res, err := exact.Compute(a, 1, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window covers the last 4 events: 50+300+200+75.
+	if res.Count != 4 || res.Sum != 625 || res.Min != 50 || res.Max != 300 {
+		t.Fatalf("exact = %+v", res)
+	}
+	// The materialized approximation agrees here (aligned boundaries).
+	if got := rec.Int(sch.MustAttrIndex("dur24h_sum")); got != 625 {
+		t.Fatalf("approximate sliding sum = %d, want 625", got)
+	}
+	if got := rec.Int(sch.MustAttrIndex("dur24h_min")); got != 50 {
+		t.Fatalf("approximate sliding min = %d", got)
+	}
+	// Empty window reads zeros.
+	empty, err := exact.Compute(a, 1, last+48*3600*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Count != 0 || empty.Min != 0 || empty.Max != 0 {
+		t.Fatalf("empty window = %+v", empty)
+	}
+	// Filters restrict the history.
+	ld := ExactWindow{Metric: schema.MetricCost, Filter: schema.CallLongDistance, WindowMillis: 1 << 50}
+	res2, err := ld.Compute(a, 1, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != 0 {
+		t.Fatalf("long-distance count = %d, want 0 (all events local)", res2.Count)
+	}
+}

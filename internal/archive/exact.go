@@ -1,0 +1,79 @@
+package archive
+
+import (
+	"math"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// ExactWindow is the archive-backed exact sliding-window aggregation the
+// paper's footnote 1 describes: when the materialized sliding-window
+// approximation is not enough (e.g. all top-N values fell off the window),
+// the archive of recent events recomputes the true aggregate.
+type ExactWindow struct {
+	// Metric and Filter select the aggregated event property, with the
+	// same semantics as schema attribute groups.
+	Metric schema.Metric
+	Filter schema.Filter
+	// WindowMillis is the exact sliding-window width.
+	WindowMillis int64
+}
+
+// Result holds the exact aggregates over the window.
+type Result struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Compute reads the entity's history from the archive and aggregates the
+// events inside (now-WindowMillis, now].
+func (w ExactWindow) Compute(a *Archive, entityID uint64, now int64) (Result, error) {
+	evs, err := a.EntityHistory(entityID, now-w.WindowMillis+1, now)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Min: math.Inf(1), Max: math.Inf(-1)}
+	for i := range evs {
+		if !w.match(&evs[i]) {
+			continue
+		}
+		v := w.value(&evs[i])
+		res.Count++
+		res.Sum += v
+		if v < res.Min {
+			res.Min = v
+		}
+		if v > res.Max {
+			res.Max = v
+		}
+	}
+	if res.Count == 0 {
+		res.Min, res.Max = 0, 0
+	}
+	return res, nil
+}
+
+func (w ExactWindow) match(ev *event.Event) bool {
+	switch w.Filter {
+	case schema.CallLocal:
+		return !ev.LongDistance
+	case schema.CallLongDistance:
+		return ev.LongDistance
+	default:
+		return true
+	}
+}
+
+func (w ExactWindow) value(ev *event.Event) float64 {
+	switch w.Metric {
+	case schema.MetricDuration:
+		return float64(ev.Duration)
+	case schema.MetricCost:
+		return ev.Cost
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,81 @@
+// Package baseline implements the comparison systems of the paper's
+// evaluation (§5.1, §5.3): System M (a main-memory column store optimized
+// for real-time analytics), System D (a disk-based row store with support
+// for fast updates and an index advisor), and a HyPer-style copy-on-write
+// snapshot engine. All three serve the same Analytics-Matrix workload as
+// AIM — UPDATE_MATRIX per event, the seven RTA query templates — so the
+// benchmark harness can reproduce the paper's relative comparisons.
+//
+// The commercial systems are modelled structurally (locking discipline,
+// storage layout, scan granularity) with configurable per-transaction
+// overheads calibrated to the event rates the paper reports (System M
+// ≈100 ev/s, System D ≈200 ev/s); see DESIGN.md §3 for the substitution
+// rationale. Query execution is real work over real data — no modelled
+// latencies on the read side.
+package baseline
+
+import (
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/query"
+)
+
+// Engine is the minimal surface the comparison harness drives.
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// ApplyEvent runs the full UPDATE_MATRIX path for one event.
+	ApplyEvent(ev event.Event) error
+	// RunQuery executes one ad-hoc query and returns the finalized result.
+	RunQuery(q *query.Query) (*query.Result, error)
+	// Len returns the number of Entity Records stored.
+	Len() int
+}
+
+// Overheads models the per-transaction costs of the commercial systems that
+// our structural reproduction cannot incur natively (SQL parsing, MVCC
+// bookkeeping, buffer-manager latching, log flushes to disk). Zero values
+// disable the model, leaving only real structural costs.
+type Overheads struct {
+	// PerUpdate is charged on every ApplyEvent.
+	PerUpdate time.Duration
+	// PerQuery is charged on every RunQuery.
+	PerQuery time.Duration
+}
+
+func (o Overheads) chargeUpdate() {
+	if o.PerUpdate > 0 {
+		busyWait(o.PerUpdate)
+	}
+}
+
+func (o Overheads) chargeQuery() {
+	if o.PerQuery > 0 {
+		busyWait(o.PerQuery)
+	}
+}
+
+// busyWait spends d of CPU time. A sleeping wait would let the Go scheduler
+// overlap thousands of "transactions", which a single-writer commercial
+// engine cannot do; burning the time models an occupied worker.
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// CalibratedSystemM returns the overheads that reproduce the paper's
+// reported System M event rate (~100 events/second).
+func CalibratedSystemM() Overheads { return Overheads{PerUpdate: 10 * time.Millisecond} }
+
+// CalibratedSystemD returns the overheads that reproduce the paper's
+// reported System D event rate (~200 events/second, dominated by the
+// commit-to-disk latency).
+func CalibratedSystemD() Overheads { return Overheads{PerUpdate: 5 * time.Millisecond} }
+
+// CalibratedHyPer returns the overheads that reproduce the paper's reported
+// HyPer event rate (~5,500 events/second in isolation): the per-transaction
+// invocation cost of a 2015-era fork-snapshot OLTP engine, which our
+// software copy-on-write substrate does not pay natively.
+func CalibratedHyPer() Overheads { return Overheads{PerUpdate: 180 * time.Microsecond} }

@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// harness builds the small benchmark schema, dimensions and all engines.
+type harness struct {
+	sch     *schema.Schema
+	dims    *workload.Dimensions
+	engines []Engine
+}
+
+func newHarness(t testing.TB) *harness {
+	t.Helper()
+	sch, err := workload.BuildSmallSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := workload.BuildDimensions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := dims.Factory(sch)
+	indexed := []int{
+		sch.MustAttrIndex("subscription_type"),
+		sch.MustAttrIndex("category"),
+		sch.MustAttrIndex("country_id"),
+		sch.MustAttrIndex("value_type"),
+	}
+	return &harness{
+		sch:  sch,
+		dims: dims,
+		engines: []Engine{
+			NewSystemM(sch, dims.Store, factory, Overheads{}),
+			NewSystemD(sch, dims.Store, factory, indexed, Overheads{}),
+			NewCOWEngine(sch, dims.Store, factory, 8, 64),
+		},
+	}
+}
+
+func (h *harness) feed(t testing.TB, events int) {
+	t.Helper()
+	for _, e := range h.engines {
+		gen := event.NewGenerator(50, 77) // same stream per engine
+		var ev event.Event
+		for i := 0; i < events; i++ {
+			gen.Next(&ev)
+			if err := e.ApplyEvent(ev); err != nil {
+				t.Fatalf("%s: ApplyEvent: %v", e.Name(), err)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeWithEachOther(t *testing.T) {
+	h := newHarness(t)
+	h.feed(t, 1000)
+	// COW: publish the latest state so everyone sees all 1000 events.
+	h.engines[2].(*COWEngine).RefreshSnapshot()
+
+	g, err := workload.NewQueryGen(h.sch, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*query.Query{g.Q1(1), g.Q2(3), g.Q3(), g.Q4(2, 20), g.Q5(1, 2), g.Q6(0), g.Q7(1)}
+	for qi, q := range queries {
+		var results []*query.Result
+		for _, e := range h.engines {
+			res, err := e.RunQuery(q)
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", e.Name(), qi+1, err)
+			}
+			// Normalize QueryID for comparison (same q anyway).
+			results = append(results, res)
+		}
+		for i := 1; i < len(results); i++ {
+			if !reflect.DeepEqual(results[0].Rows, results[i].Rows) {
+				t.Fatalf("Q%d: %s and %s disagree:\n%+v\n%+v",
+					qi+1, h.engines[0].Name(), h.engines[i].Name(),
+					results[0].Rows, results[i].Rows)
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeWithAIM feeds the same stream to AIM and every baseline
+// and checks they converge to identical query answers — the correctness
+// anchor for the comparison benches.
+func TestEnginesAgreeWithAIM(t *testing.T) {
+	h := newHarness(t)
+	h.feed(t, 500)
+	h.engines[2].(*COWEngine).RefreshSnapshot()
+
+	node, err := core.NewNode(core.Config{
+		Schema: h.sch, Dims: h.dims.Store, Partitions: 2, BucketSize: 32,
+		Factory: h.dims.Factory(h.sch), IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	gen := event.NewGenerator(50, 77)
+	var ev event.Event
+	for i := 0; i < 500; i++ {
+		gen.Next(&ev)
+		if err := node.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := node.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+
+	calls := h.sch.MustAttrIndex("calls_any_week_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	// Wait for AIM's merge rounds to publish everything.
+	deadline := time.Now().Add(5 * time.Second)
+	var aimSum float64
+	for time.Now().Before(deadline) {
+		p, err := node.SubmitQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := p.Finalize(q).Rows; len(rows) > 0 {
+			aimSum = rows[0].Values[0]
+			if aimSum == 500 {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, e := range h.engines {
+		res, err := e.RunQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0].Values[0]; got != aimSum {
+			t.Fatalf("%s sum %v != AIM %v", e.Name(), got, aimSum)
+		}
+	}
+}
+
+func TestSystemDIndexAdvisor(t *testing.T) {
+	h := newHarness(t)
+	h.feed(t, 400)
+	d := h.engines[1].(*SystemD)
+	sub := h.sch.MustAttrIndex("subscription_type")
+	calls := h.sch.MustAttrIndex("calls_any_week_count")
+
+	// Indexed path: single conjunct with Eq on an indexed attr.
+	qIdx := &query.Query{
+		ID:      1,
+		Where:   []query.Conjunct{{query.PredInt(sub, vec.Eq, 2)}},
+		Aggs:    []query.AggExpr{{Op: query.OpCount}},
+		GroupBy: -1,
+	}
+	if rows, ok := d.indexLookup(qIdx); !ok {
+		t.Fatal("advisor did not engage on Eq predicate")
+	} else if len(rows) == 0 {
+		t.Log("no entities with subscription_type=2 in this seed (acceptable)")
+	}
+	// Non-indexed path: range predicate.
+	qRange := &query.Query{
+		ID:      2,
+		Where:   []query.Conjunct{{query.PredInt(calls, vec.Gt, 1)}},
+		Aggs:    []query.AggExpr{{Op: query.OpCount}},
+		GroupBy: -1,
+	}
+	if _, ok := d.indexLookup(qRange); ok {
+		t.Fatal("advisor engaged on range predicate")
+	}
+	// Both paths agree with System M.
+	for _, q := range []*query.Query{qIdx, qRange} {
+		a, err := d.RunQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := h.engines[0].RunQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Fatalf("index path diverges: %+v vs %+v", a.Rows, b.Rows)
+		}
+	}
+}
+
+func TestCOWSnapshotStaleness(t *testing.T) {
+	sch, _ := workload.BuildSmallSchema()
+	dims, _ := workload.BuildDimensions(3)
+	c := NewCOWEngine(sch, dims.Store, dims.Factory(sch), 8, 1<<30) // never auto-refresh
+	calls := sch.MustAttrIndex("calls_any_week_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+
+	gen := event.NewGenerator(20, 1)
+	var ev event.Event
+	for i := 0; i < 100; i++ {
+		gen.Next(&ev)
+		if err := c.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No snapshot yet: queries see nothing.
+	res, err := c.RunQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("pre-snapshot query saw %+v", res.Rows)
+	}
+	c.RefreshSnapshot()
+	res, _ = c.RunQuery(q)
+	if res.Rows[0].Values[0] != 100 {
+		t.Fatalf("post-snapshot sum = %v", res.Rows[0].Values[0])
+	}
+	// More events don't change the snapshot until refresh, and writing
+	// shared pages forces copies.
+	before := c.PagesCopied()
+	for i := 0; i < 100; i++ {
+		gen.Next(&ev)
+		if err := c.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _ = c.RunQuery(q)
+	if res.Rows[0].Values[0] != 100 {
+		t.Fatalf("snapshot drifted: %v", res.Rows[0].Values[0])
+	}
+	if c.PagesCopied() == before {
+		t.Fatal("no copy-on-write happened on shared pages")
+	}
+	c.RefreshSnapshot()
+	res, _ = c.RunQuery(q)
+	if res.Rows[0].Values[0] != 200 {
+		t.Fatalf("after refresh sum = %v", res.Rows[0].Values[0])
+	}
+}
+
+func TestOverheadsThrottleUpdates(t *testing.T) {
+	sch, _ := workload.BuildSmallSchema()
+	dims, _ := workload.BuildDimensions(3)
+	m := NewSystemM(sch, dims.Store, dims.Factory(sch), Overheads{PerUpdate: 2 * time.Millisecond})
+	gen := event.NewGenerator(10, 1)
+	var ev event.Event
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		gen.Next(&ev)
+		if err := m.ApplyEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("10 updates with 2ms overhead took %v", el)
+	}
+	// Calibrated presets carry the paper's rates.
+	if CalibratedSystemM().PerUpdate != 10*time.Millisecond || CalibratedSystemD().PerUpdate != 5*time.Millisecond {
+		t.Fatal("calibrated overheads drifted")
+	}
+}

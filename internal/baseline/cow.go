@@ -1,0 +1,180 @@
+package baseline
+
+import (
+	"sync"
+
+	"repro/internal/dimension"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+// COWEngine is the HyPer-style copy-on-write snapshot engine (§3.1, §6):
+// analytical queries run on a snapshot while the update path works on the
+// live store; a write to a page still shared with the snapshot first copies
+// the page — the software analogue of the fork/page-fault mechanism HyPer
+// gets from the OS (Go cannot fork-share page tables; see DESIGN.md §3).
+//
+// Snapshots are refreshed every SnapshotEvery events, trading data
+// freshness against page-copy churn — exactly the knob the paper's future
+// work discusses ("controlling the frequency of the fork allows trading
+// freshness ... for better event processing rate").
+type COWEngine struct {
+	sch  *schema.Schema
+	dims *dimension.Store
+
+	mu      sync.Mutex
+	pages   []*cowPage     // live page directory
+	shared  []bool         // page shared with the snapshot?
+	index   map[uint64]int // entity id -> record ordinal
+	n       int            // number of records
+	factory func(uint64) schema.Record
+
+	snapMu sync.RWMutex
+	snap   []*cowPage // immutable snapshot page directory
+	snapN  int
+
+	// SnapshotEvery refreshes the snapshot after this many events.
+	SnapshotEvery int
+	// Ov optionally models per-transaction engine overheads (see
+	// Overheads); zero disables the model.
+	Ov Overheads
+	// Rules, when set, is evaluated against every event and its updated
+	// record, matching AIM's ESP work.
+	Rules         *rules.Engine
+	sinceSnapshot int
+	pageRecords   int
+
+	pagesCopied int64
+}
+
+type cowPage struct {
+	data []uint64 // pageRecords × slots, row-major
+}
+
+// NewCOWEngine builds the engine. pageRecords <= 0 selects 16 records per
+// page; snapshotEvery <= 0 selects 2048 events.
+func NewCOWEngine(sch *schema.Schema, dims *dimension.Store, factory func(uint64) schema.Record, pageRecords, snapshotEvery int) *COWEngine {
+	if factory == nil {
+		factory = sch.NewRecord
+	}
+	if pageRecords <= 0 {
+		pageRecords = 16
+	}
+	if snapshotEvery <= 0 {
+		snapshotEvery = 2048
+	}
+	return &COWEngine{
+		sch:           sch,
+		dims:          dims,
+		index:         make(map[uint64]int),
+		factory:       factory,
+		SnapshotEvery: snapshotEvery,
+		pageRecords:   pageRecords,
+	}
+}
+
+// Name implements Engine.
+func (c *COWEngine) Name() string { return "HyPer-style COW snapshots" }
+
+// Len implements Engine.
+func (c *COWEngine) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// PagesCopied reports how many page copies copy-on-write forced; the
+// ablation bench uses it to show the churn/freshness trade-off.
+func (c *COWEngine) PagesCopied() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pagesCopied
+}
+
+// record returns the live record slice for ordinal ri, copying its page
+// first if the snapshot still shares it.
+func (c *COWEngine) record(ri int) schema.Record {
+	pi, off := ri/c.pageRecords, ri%c.pageRecords
+	if c.shared[pi] {
+		fresh := &cowPage{data: make([]uint64, len(c.pages[pi].data))}
+		copy(fresh.data, c.pages[pi].data)
+		c.pages[pi] = fresh
+		c.shared[pi] = false
+		c.pagesCopied++
+	}
+	s := off * c.sch.Slots
+	return c.pages[pi].data[s : s+c.sch.Slots]
+}
+
+// ApplyEvent implements Engine.
+func (c *COWEngine) ApplyEvent(ev event.Event) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Ov.chargeUpdate()
+	ri, ok := c.index[ev.Caller]
+	if !ok {
+		ri = c.n
+		if ri/c.pageRecords == len(c.pages) {
+			c.pages = append(c.pages, &cowPage{data: make([]uint64, c.pageRecords*c.sch.Slots)})
+			c.shared = append(c.shared, false)
+		}
+		c.n++
+		c.index[ev.Caller] = ri
+		copy(c.record(ri), c.factory(ev.Caller))
+	}
+	rec := c.record(ri)
+	c.sch.Apply(rec, &ev)
+	if c.Rules != nil {
+		c.Rules.Evaluate(&ev, rec)
+	}
+	c.sinceSnapshot++
+	if c.sinceSnapshot >= c.SnapshotEvery {
+		c.refreshSnapshotLocked()
+	}
+	return nil
+}
+
+// RefreshSnapshot publishes the current live state as the query snapshot.
+func (c *COWEngine) RefreshSnapshot() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refreshSnapshotLocked()
+}
+
+func (c *COWEngine) refreshSnapshotLocked() {
+	snap := make([]*cowPage, len(c.pages))
+	copy(snap, c.pages)
+	for i := range c.shared {
+		c.shared[i] = true
+	}
+	c.snapMu.Lock()
+	c.snap = snap
+	c.snapN = c.n
+	c.snapMu.Unlock()
+	c.sinceSnapshot = 0
+}
+
+// RunQuery implements Engine: a row scan over the immutable snapshot, never
+// blocking the update path.
+func (c *COWEngine) RunQuery(q *query.Query) (*query.Result, error) {
+	if err := q.Validate(c.sch); err != nil {
+		return nil, err
+	}
+	c.snapMu.RLock()
+	snap, n := c.snap, c.snapN
+	c.snapMu.RUnlock()
+	re := query.NewRowEvaluator(c.sch, c.dims)
+	p := query.NewPartial(q)
+	for ri := 0; ri < n; ri++ {
+		page := snap[ri/c.pageRecords]
+		s := (ri % c.pageRecords) * c.sch.Slots
+		if err := re.AddRecord(q, page.data[s:s+c.sch.Slots], p); err != nil {
+			return nil, err
+		}
+	}
+	return p.Finalize(q), nil
+}
+
+var _ Engine = (*COWEngine)(nil)

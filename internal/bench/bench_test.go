@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyParams keeps harness smoke tests fast.
+func tinyParams() Params {
+	p := Defaults()
+	p.Entities = 500
+	p.EventRate = 2000
+	p.Duration = 60 * time.Millisecond
+	p.MaxServers = 2
+	p.Clients = 2
+	p.Rules = 20
+	return p
+}
+
+func TestDefaultsEnvOverrides(t *testing.T) {
+	t.Setenv("AIM_ENTITIES", "123")
+	t.Setenv("AIM_RATE", "456")
+	t.Setenv("AIM_SERVERS", "2")
+	t.Setenv("AIM_DURATION", "250ms")
+	t.Setenv("AIM_FULL", "1")
+	p := Defaults()
+	if p.Entities != 123 || p.EventRate != 456 || p.MaxServers != 2 ||
+		p.Duration != 250*time.Millisecond || !p.FullSchema {
+		t.Fatalf("env overrides not applied: %+v", p)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	p := tinyParams()
+	w, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Rules) != 20 {
+		t.Fatalf("rules = %d", len(w.Rules))
+	}
+	if w.Schema.NumAttrs() < 100 {
+		t.Fatalf("schema too small: %d attrs", w.Schema.NumAttrs())
+	}
+	p.FullSchema = true
+	w2, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Schema.NumAttrs() <= w.Schema.NumAttrs() {
+		t.Fatal("full schema not larger than compact")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("xyz", "w")
+	tbl.Note("hello %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"== T ==", "a    bb", "1    2.50", "xyz  w", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStartSystemAndRunMixed(t *testing.T) {
+	p := tinyParams()
+	w, err := BuildWorkload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := StartSystem(p, w, 2, p.Entities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Stop()
+	if got := sys.Stats().Records; got != int(p.Entities) {
+		t.Fatalf("preloaded %d records, want %d", got, p.Entities)
+	}
+	res, err := RunMixed(sys, p, p.Entities, p.EventRate, p.Clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTA.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	if res.ESP.Sent == 0 {
+		t.Fatal("no events driven")
+	}
+	if res.RTA.Errors != 0 {
+		t.Fatalf("%d query errors", res.RTA.Errors)
+	}
+}
+
+// TestExperimentsSmoke runs every experiment once at tiny scale and checks
+// the tables are well-formed.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	p := tinyParams()
+	exps := []struct {
+		name string
+		run  func(Params) (*Table, error)
+		rows int // minimum expected rows
+	}{
+		{"kpi", KPICompliance, 6},
+		{"fig9c", Fig9c10c, 2},
+		{"esprate", EventRateComparison, 6},
+		{"bucket", BucketSizeSweep, 5},
+		{"cow", COWvsDelta, 2},
+	}
+	for _, e := range exps {
+		tbl, err := e.run(p)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if len(tbl.Rows) < e.rows {
+			t.Fatalf("%s: %d rows, want >= %d\n%s", e.name, len(tbl.Rows), e.rows, tbl.String())
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Fatalf("%s: ragged row %v", e.name, row)
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/vec"
+	"repro/internal/workload"
+)
+
+// Fig9a10a reproduces Figures 9a and 10a: RTA response time and throughput
+// for different partition counts (n = RTA server threads) and ColumnMap
+// bucket sizes, on a single storage server under full mixed load.
+func Fig9a10a(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 9a/10a: RTA performance vs partitions (n) and Bucket Size",
+		Header: []string{"partitions", "bucket", "resp_ms", "p95_ms", "rta_qps", "esp_ev/s"},
+	}
+	buckets := []struct {
+		label string
+		size  int
+	}{
+		{"1024", 1024},
+		{"3072", 3072},
+		{"all", int(p.Entities)}, // pure column store
+	}
+	for _, n := range []int{1, 2, 4, 5, 6} {
+		for _, b := range buckets {
+			pp := p
+			pp.Partitions = n
+			pp.BucketSize = b.size
+			sys, err := StartSystem(pp, w, 1, p.Entities)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMixed(sys, pp, p.Entities, p.EventRate, p.Clients)
+			sys.Stop()
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(n, b.label, ms(res.RTA.MeanLatency), ms(res.RTA.P95Latency),
+				res.RTA.Throughput, res.ESP.AchievedRate)
+		}
+	}
+	t.Note("paper: best at n = cores - s - 2; bucket size minor once >= 32; 'all' = pure column store")
+	return t, nil
+}
+
+// Fig9b10b reproduces Figures 9b and 10b: RTA response time and throughput
+// as the closed-loop client count c grows, for AIM under mixed load and for
+// the baseline systems (whose RTA performance the paper measured without
+// concurrent event processing).
+func Fig9b10b(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 9b/10b: RTA performance vs closed-loop clients (c), AIM vs baselines",
+		Header: []string{"system", "clients", "resp_ms", "rta_qps"},
+	}
+	clientSteps := []int{1, 2, 4, 8, 12, 16}
+
+	for _, c := range clientSteps {
+		sys, err := StartSystem(p, w, 1, p.Entities)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunMixed(sys, p, p.Entities, p.EventRate, c)
+		sys.Stop()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("AIM", c, ms(res.RTA.MeanLatency), res.RTA.Throughput)
+	}
+
+	engines, err := buildBaselines(p, w)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range engines {
+		for _, c := range clientSteps {
+			st := runBaselineClosedLoop(e.engine, w, c, p)
+			t.AddRow(e.label+" (read-only)", c, ms(st.MeanLatency), st.Throughput)
+		}
+	}
+	// The structural point of the paper: the baselines cannot carry the
+	// event stream and the query load together. Re-measure at c=8 with a
+	// concurrent update thread (calibrated overheads for M/D).
+	mixed, err := buildMixedBaselines(p, w)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range mixed {
+		st, evRate := runBaselineMixed(e.engine, w, 8, p)
+		t.AddRow(e.label+" (mixed)", 8, ms(st.MeanLatency), st.Throughput)
+		t.Note("%s sustained %.0f ev/s while serving queries", e.label, evRate)
+	}
+	t.Note("AIM measured under concurrent %v ev/s; baseline read-only rows match the paper's isolated measurement", p.EventRate)
+	t.Note("paper: AIM beats all baselines by >= 2.5x in RTA response time and throughput")
+	return t, nil
+}
+
+// Fig9c10c reproduces Figures 9c and 10c: scale-out — a fixed total load
+// spread over a growing number of storage servers.
+func Fig9c10c(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 9c/10c: scale-out, fixed load over 1..N storage servers",
+		Header: []string{"servers", "resp_ms", "rta_qps", "esp_ev/s"},
+	}
+	for s := 1; s <= p.MaxServers; s++ {
+		sys, err := StartSystem(p, w, s, p.Entities)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunMixed(sys, p, p.Entities, p.EventRate, p.Clients)
+		sys.Stop()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(s, ms(res.RTA.MeanLatency), res.RTA.Throughput, res.ESP.AchievedRate)
+	}
+	t.Note("paper: near-linear throughput increase and response-time decrease")
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: scalability — servers and load grow together
+// (per added server: +Entities subscribers, +EventRate events/s), with the
+// paper's c=8 and c=12 client settings.
+func Fig11(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fig 11: scalability, load grows with servers",
+		Header: []string{"servers", "entities", "ev/s", "clients", "resp_ms", "rta_qps"},
+	}
+	for s := 1; s <= p.MaxServers; s++ {
+		entities := p.Entities * uint64(s)
+		rate := p.EventRate * float64(s)
+		for _, c := range []int{8, 12} {
+			sys, err := StartSystem(p, w, s, entities)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunMixed(sys, p, entities, rate, c)
+			sys.Stop()
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(s, entities, rate, c, ms(res.RTA.MeanLatency), res.RTA.Throughput)
+		}
+	}
+	t.Note("paper: roughly flat lines; more clients trade response time for throughput")
+	return t, nil
+}
+
+// SharedScanBatch is the §3.2 ablation: query throughput as the shared-scan
+// batch cap grows, under a heavy closed-loop client load. MaxBatch = 1 is
+// the thread-per-query-like regime.
+func SharedScanBatch(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablation: shared-scan batch size (c = 32 clients)",
+		Header: []string{"max_batch", "resp_ms", "rta_qps"},
+	}
+	for _, mb := range []int{1, 2, 4, 8, 16, 32} {
+		pp := p
+		pp.MaxBatch = mb
+		sys, err := StartSystem(pp, w, 1, p.Entities)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunMixed(sys, pp, p.Entities, p.EventRate, 32)
+		sys.Stop()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(mb, ms(res.RTA.MeanLatency), res.RTA.Throughput)
+	}
+	t.Note("shared scans amortize one pass over many queries (SharedDB-style)")
+	return t, nil
+}
+
+// KPICompliance reproduces the Table 4 check: under the default deployment
+// and load, measure every KPI the SLA defines.
+func KPICompliance(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := StartSystem(p, w, 1, p.Entities)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Stop()
+
+	// t_ESP: synchronous per-event processing latency.
+	gen := event.NewGenerator(p.Entities, p.Seed+1000)
+	var worstESP, sumESP time.Duration
+	const espProbes = 200
+	for i := 0; i < espProbes; i++ {
+		var ev event.Event
+		gen.Next(&ev)
+		t0 := time.Now()
+		if _, err := sys.Cluster.ProcessEvent(ev); err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		sumESP += d
+		if d > worstESP {
+			worstESP = d
+		}
+	}
+
+	// t_fresh: time until an ingested event becomes visible to queries.
+	fresh, err := measureFreshness(sys, w, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mixed load for f_ESP / t_RTA / f_RTA.
+	res, err := RunMixed(sys, p, p.Entities, p.EventRate, p.Clients)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Table 4: KPI compliance (scaled load)",
+		Header: []string{"kpi", "target", "measured", "met"},
+	}
+	t.AddRow("t_ESP (max, ms)", "10", ms(worstESP), pass(ms(worstESP) <= 10))
+	t.AddRow("t_ESP (mean, ms)", "-", ms(sumESP/espProbes), "-")
+	t.AddRow("f_ESP (ev/s)", fmt.Sprintf("%.0f", p.EventRate),
+		fmt.Sprintf("%.0f", res.ESP.AchievedRate), pass(res.ESP.AchievedRate >= 0.95*p.EventRate))
+	t.AddRow("t_RTA (mean, ms)", "100", ms(res.RTA.MeanLatency), pass(ms(res.RTA.MeanLatency) <= 100))
+	t.AddRow("f_RTA (q/s)", "100", fmt.Sprintf("%.0f", res.RTA.Throughput), pass(res.RTA.Throughput >= 100))
+	t.AddRow("t_fresh (ms)", "1000", ms(fresh), pass(fresh <= time.Second))
+	return t, nil
+}
+
+func pass(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+// measureFreshness ingests a marker event for a fresh entity and polls a
+// count query until the entity becomes visible.
+func measureFreshness(sys *System, w *Workload, p Params) (time.Duration, error) {
+	marker := p.Entities + 777_000_001
+	calls := w.Schema.MustAttrIndex("calls_any_week_count")
+	id := w.Schema.MustAttrIndex("entity_id")
+	q := &query.Query{
+		ID:      1,
+		Where:   []query.Conjunct{{query.PredInt(id, vec.Eq, int64(marker))}},
+		Aggs:    []query.AggExpr{{Op: query.OpSum, Attr: calls}},
+		GroupBy: -1,
+	}
+	start := time.Now()
+	gen := event.NewGenerator(p.Entities, p.Seed+31)
+	var ev event.Event
+	gen.NextFor(&ev, marker)
+	if err := sys.Router.Ingest(ev); err != nil {
+		return 0, err
+	}
+	deadline := start.Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := sys.Coord.Execute(q)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Rows) > 0 && res.Rows[0].Values[0] >= 1 {
+			return time.Since(start), nil
+		}
+	}
+	return 0, fmt.Errorf("bench: marker event never became visible")
+}
+
+// Ensure the workload query generator satisfies the RTA client interface.
+var _ interface{ Next() *query.Query } = (*workload.QueryGen)(nil)

@@ -1,0 +1,186 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mkRec(entity uint64, v uint64) []uint64 { return []uint64{entity, v, v * 2} }
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "one.ckpt")
+	w, err := NewWriter(path, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 5; e++ {
+		if err := w.Add(mkRec(e, e*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]uint64
+	wm, err := ReadFile(path, func(rec []uint64) error {
+		cp := append([]uint64(nil), rec...)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 42 || len(got) != 5 {
+		t.Fatalf("wm=%d records=%d", wm, len(got))
+	}
+	if got[2][0] != 3 || got[2][1] != 30 || got[2][2] != 60 {
+		t.Fatalf("record 2 = %v", got[2])
+	}
+}
+
+func TestWriterValidatesArity(t *testing.T) {
+	w, err := NewWriter(filepath.Join(t.TempDir(), "x.ckpt"), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]uint64{1}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.ckpt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, func([]uint64) error { return nil }); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	// Truncated payload.
+	w, _ := NewWriter(path, 2, 1)
+	w.Add([]uint64{1, 2})
+	w.Add([]uint64{2, 3})
+	w.Close()
+	fi, _ := os.Stat(path)
+	os.Truncate(path, fi.Size()-8)
+	if _, err := ReadFile(path, func([]uint64) error { return nil }); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestCrashedCheckpointInvisible(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Create(2, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add([]uint64{1, 2})
+	// No Close: simulates a crash mid-checkpoint.
+	recs, wm, err := m.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || wm != 0 {
+		t.Fatalf("unpublished checkpoint visible: %d recs", len(recs))
+	}
+	w.abort()
+}
+
+func TestManagerIncrementalLoadLatestWins(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := m.HasBase(); has {
+		t.Fatal("empty dir has base")
+	}
+	// Base: entities 1..4 at version 1.
+	w, err := m.Create(3, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 4; e++ {
+		w.Add(mkRec(e, 1))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if has, _ := m.HasBase(); !has {
+		t.Fatal("base not detected")
+	}
+	// Increment: entity 2 updated, entity 9 new.
+	w2, err := m.Create(3, 200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Add(mkRec(2, 5))
+	w2.Add(mkRec(9, 1))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, wm, err := m.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 200 {
+		t.Fatalf("watermark = %d", wm)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[2][1] != 5 {
+		t.Fatalf("entity 2 version = %d, want increment's 5", recs[2][1])
+	}
+	if recs[1][1] != 1 || recs[9][1] != 1 {
+		t.Fatal("base/new entities wrong")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w, err := m.Create(3, uint64(100+i), i == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(mkRec(uint64(i+1), uint64(i)))
+		w.Add(mkRec(42, uint64(i))) // rewritten every time
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Compact(3); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := m.files()
+	if len(files) != 1 {
+		t.Fatalf("after compact: %v", files)
+	}
+	recs, wm, err := m.Load(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 102 || len(recs) != 4 {
+		t.Fatalf("wm=%d recs=%d", wm, len(recs))
+	}
+	if recs[42][1] != 2 {
+		t.Fatalf("entity 42 version = %d", recs[42][1])
+	}
+}

@@ -1,0 +1,107 @@
+// Package cluster implements AIM's distributed execution layer (§4.8): the
+// Analytics Matrix is horizontally partitioned by entity-id across storage
+// servers via a global hash, each server further partitions it across its
+// RTA threads, and dimension tables plus rule sets are replicated at every
+// server.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// Cluster routes Get/Put/event traffic to the storage server owning each
+// entity. Query scatter/gather lives in the RTA coordinator (internal/rta),
+// which talks to the same Storage handles.
+type Cluster struct {
+	nodes []core.Storage
+}
+
+// New builds a cluster over the given storage handles (in-process nodes,
+// TCP clients, or a mix).
+func New(nodes []core.Storage) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("cluster: need at least one storage node")
+	}
+	return &Cluster{nodes: nodes}, nil
+}
+
+// NewLocal starts n in-process storage nodes with the same configuration
+// and returns the cluster plus the nodes (for Stats/Stop).
+func NewLocal(n int, cfg core.Config) (*Cluster, []*core.StorageNode, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("cluster: invalid node count %d", n)
+	}
+	nodes := make([]*core.StorageNode, 0, n)
+	handles := make([]core.Storage, 0, n)
+	for i := 0; i < n; i++ {
+		node, err := core.NewNode(cfg)
+		if err != nil {
+			for _, prev := range nodes {
+				prev.Stop()
+			}
+			return nil, nil, err
+		}
+		nodes = append(nodes, node)
+		handles = append(handles, node)
+	}
+	c, err := New(handles)
+	if err != nil {
+		return nil, nil, err
+	}
+	return c, nodes, nil
+}
+
+// NumNodes returns the number of storage servers.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Nodes returns the storage handles (for the RTA coordinator).
+func (c *Cluster) Nodes() []core.Storage { return c.nodes }
+
+// NodeFor returns the storage server owning the entity — the paper's global
+// hash function h. It deliberately uses a different mixer than the node's
+// internal partition hash h_i so the two levels decorrelate.
+func (c *Cluster) NodeFor(entityID uint64) core.Storage {
+	h := entityID * 0xD6E8FEB86659FD93
+	h ^= h >> 32
+	return c.nodes[h%uint64(len(c.nodes))]
+}
+
+// ProcessEventAsync routes an event to its owning server.
+func (c *Cluster) ProcessEventAsync(ev event.Event) error {
+	return c.NodeFor(ev.Caller).ProcessEventAsync(ev)
+}
+
+// ProcessEvent routes an event synchronously and returns its firing count.
+func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
+	return c.NodeFor(ev.Caller).ProcessEvent(ev)
+}
+
+// FlushEvents flushes every server's ESP queues.
+func (c *Cluster) FlushEvents() error {
+	for _, n := range c.nodes {
+		if err := n.FlushEvents(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get fetches the entity's record from its owning server.
+func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
+	return c.NodeFor(entityID).Get(entityID)
+}
+
+// Put stores a record on its owning server.
+func (c *Cluster) Put(rec schema.Record) error {
+	return c.NodeFor(rec.EntityID()).Put(rec)
+}
+
+// ConditionalPut conditionally stores a record on its owning server.
+func (c *Cluster) ConditionalPut(rec schema.Record, expected uint64) error {
+	return c.NodeFor(rec.EntityID()).ConditionalPut(rec, expected)
+}

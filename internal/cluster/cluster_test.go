@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+func clusterSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func newLocal(t *testing.T, n int) (*Cluster, []*core.StorageNode) {
+	t.Helper()
+	sch := clusterSchema(t)
+	c, nodes, err := NewLocal(n, core.Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+	return c, nodes
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, _, err := NewLocal(0, core.Config{}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, _, err := NewLocal(2, core.Config{}); err == nil {
+		t.Fatal("config without schema accepted")
+	}
+}
+
+func TestRoutingIsStableAndSpread(t *testing.T) {
+	c, _ := newLocal(t, 4)
+	counts := map[core.Storage]int{}
+	for e := uint64(1); e <= 4000; e++ {
+		n := c.NodeFor(e)
+		if n != c.NodeFor(e) {
+			t.Fatal("routing not deterministic")
+		}
+		counts[n]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d nodes used", len(counts))
+	}
+	for n, cnt := range counts {
+		if cnt < 500 || cnt > 1500 {
+			t.Fatalf("node %p skewed: %d/4000", n, cnt)
+		}
+	}
+}
+
+func TestEventsLandOnOwningNode(t *testing.T) {
+	c, nodes := newLocal(t, 3)
+	const events = 300
+	for i := 0; i < events; i++ {
+		ev := event.Event{Caller: uint64(i%50) + 1, Timestamp: int64(i + 1), Duration: 10, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range nodes {
+		total += n.Stats().EventsProcessed
+	}
+	if total != events {
+		t.Fatalf("processed %d, want %d", total, events)
+	}
+	// Every entity is retrievable through the cluster Get.
+	for e := uint64(1); e <= 50; e++ {
+		rec, _, ok, err := c.Get(e)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", e, ok, err)
+		}
+		if rec.EntityID() != e {
+			t.Fatalf("Get(%d) returned entity %d", e, rec.EntityID())
+		}
+	}
+}
+
+func TestPutAndConditionalPutRouting(t *testing.T) {
+	c, _ := newLocal(t, 3)
+	sch := clusterSchema(t)
+	for e := uint64(1); e <= 20; e++ {
+		if err := c.Put(sch.NewRecord(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, v, ok, err := c.Get(7)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if err := c.ConditionalPut(rec, v); err != nil {
+		t.Fatalf("ConditionalPut: %v", err)
+	}
+	if err := c.ConditionalPut(rec, v); err == nil {
+		t.Fatal("stale ConditionalPut succeeded across cluster routing")
+	}
+}
+
+func TestClusterQueriesSeeAllNodes(t *testing.T) {
+	c, _ := newLocal(t, 3)
+	sch := clusterSchema(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	const events = 200
+	for i := 0; i < events; i++ {
+		ev := event.Event{Caller: uint64(i%40) + 1, Timestamp: 100*24*3600*1000 + int64(i), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		merged := query.NewPartial(q)
+		for _, n := range c.Nodes() {
+			p, err := n.SubmitQuery(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged.Merge(p, q)
+		}
+		res := merged.Finalize(q)
+		if len(res.Rows) > 0 && res.Rows[0].Values[0] == events {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged to %d calls", events)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,83 @@
+package columnmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks contrasting the two access patterns ColumnMap must serve
+// (§4.5): single-record Get/Put (the ESP path) and column scans (the RTA
+// path), across bucket sizes.
+
+const benchSlots = 64 // a compact record; the full schema uses ~1900 slots
+
+func buildStore(b *testing.B, bucketSize, records int) *ColumnMap {
+	b.Helper()
+	cm := New(benchSlots, bucketSize)
+	rec := make([]uint64, benchSlots)
+	for e := 1; e <= records; e++ {
+		rec[0] = uint64(e)
+		for i := 1; i < benchSlots; i++ {
+			rec[i] = uint64(e * i)
+		}
+		if _, err := cm.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cm
+}
+
+func benchGather(b *testing.B, bucketSize int) {
+	const records = 10_000
+	cm := buildStore(b, bucketSize, records)
+	dst := make([]uint64, benchSlots)
+	rng := rand.New(rand.NewSource(3))
+	b.SetBytes(benchSlots * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cm.Gather(uint32(rng.Intn(records)), dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatherRowStore(b *testing.B)    { benchGather(b, 1) }
+func BenchmarkGatherPAX(b *testing.B)         { benchGather(b, 3072) }
+func BenchmarkGatherColumnStore(b *testing.B) { benchGather(b, 10_000) }
+
+func benchColumnScan(b *testing.B, bucketSize int) {
+	const records = 10_000
+	cm := buildStore(b, bucketSize, records)
+	b.SetBytes(records * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum uint64
+		for _, bucket := range cm.Snapshot() {
+			for _, v := range bucket.Col(7) {
+				sum += v
+			}
+		}
+		_ = sum
+	}
+}
+
+func BenchmarkColumnScanRowStore(b *testing.B)    { benchColumnScan(b, 1) }
+func BenchmarkColumnScanPAX(b *testing.B)         { benchColumnScan(b, 3072) }
+func BenchmarkColumnScanColumnStore(b *testing.B) { benchColumnScan(b, 10_000) }
+
+func BenchmarkUpsertExisting(b *testing.B) {
+	const records = 10_000
+	cm := buildStore(b, 3072, records)
+	rec := make([]uint64, benchSlots)
+	rng := rand.New(rand.NewSource(5))
+	b.SetBytes(benchSlots * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec[0] = uint64(rng.Intn(records) + 1)
+		if err := cm.Upsert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

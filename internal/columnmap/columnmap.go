@@ -1,0 +1,217 @@
+// Package columnmap implements ColumnMap, the PAX-style storage layout of
+// the AIM Analytics Matrix (§4.5 of the paper).
+//
+// Records are fixed-size slot arrays ([]uint64, see internal/schema). A
+// ColumnMap groups a fixed number of records (the bucket size) into Buckets;
+// within a bucket, data is organized column-major: all values of column c
+// are contiguous. Analytical scans therefore enjoy columnar locality while
+// single-record lookups remain O(#columns) with computable addresses. A hash
+// index maps application entity-ids to dense record-ids.
+//
+// Setting the bucket size to 1 degrades ColumnMap to a row store; setting it
+// to the expected table size makes it a pure column store — the tunability
+// the paper highlights.
+//
+// Concurrency: one writer (the partition's RTA thread during merge steps)
+// and any number of readers are supported. The entity index and the bucket
+// directory are guarded by an RWMutex; bucket payload slots are written only
+// for records that concurrently reading ESP threads are guaranteed to find
+// in the delta instead (the paper's Algorithm 3 invariant), so payload
+// access is lock-free.
+package columnmap
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultBucketSize is the paper's default: the largest power of two such
+// that a bucket of ~3 KB records fits in a 10 MB L3 cache.
+const DefaultBucketSize = 3072
+
+// ColumnMap is a PAX-layout table of fixed-size records.
+type ColumnMap struct {
+	slots      int // columns per record
+	bucketSize int // records per bucket
+
+	mu      sync.RWMutex
+	buckets [][]uint64        // each bucket: slots*bucketSize words, column-major
+	index   map[uint64]uint32 // entity id -> record id
+	n       int               // number of records
+}
+
+// New returns an empty ColumnMap for records of the given slot count.
+// bucketSize <= 0 selects DefaultBucketSize.
+func New(slots, bucketSize int) *ColumnMap {
+	if slots <= 0 {
+		panic(fmt.Sprintf("columnmap: invalid slots %d", slots))
+	}
+	if bucketSize <= 0 {
+		bucketSize = DefaultBucketSize
+	}
+	return &ColumnMap{
+		slots:      slots,
+		bucketSize: bucketSize,
+		index:      make(map[uint64]uint32),
+	}
+}
+
+// Slots returns the number of columns per record.
+func (cm *ColumnMap) Slots() int { return cm.slots }
+
+// BucketSize returns the number of records per bucket.
+func (cm *ColumnMap) BucketSize() int { return cm.bucketSize }
+
+// Len returns the number of records.
+func (cm *ColumnMap) Len() int {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	return cm.n
+}
+
+// Lookup returns the record id for an entity id.
+func (cm *ColumnMap) Lookup(entityID uint64) (uint32, bool) {
+	cm.mu.RLock()
+	rid, ok := cm.index[entityID]
+	cm.mu.RUnlock()
+	return rid, ok
+}
+
+// Insert appends rec as a new record and returns its record id. The entity
+// id is taken from slot 0. It fails if the entity already exists or the
+// record has the wrong width.
+func (cm *ColumnMap) Insert(rec []uint64) (uint32, error) {
+	if len(rec) != cm.slots {
+		return 0, fmt.Errorf("columnmap: record has %d slots, want %d", len(rec), cm.slots)
+	}
+	entityID := rec[0]
+	cm.mu.Lock()
+	defer cm.mu.Unlock()
+	if _, dup := cm.index[entityID]; dup {
+		return 0, fmt.Errorf("columnmap: entity %d already exists", entityID)
+	}
+	rid := uint32(cm.n)
+	b, off := cm.n/cm.bucketSize, cm.n%cm.bucketSize
+	if b == len(cm.buckets) {
+		cm.buckets = append(cm.buckets, make([]uint64, cm.slots*cm.bucketSize))
+	}
+	bucket := cm.buckets[b]
+	for c := 0; c < cm.slots; c++ {
+		bucket[c*cm.bucketSize+off] = rec[c]
+	}
+	cm.index[entityID] = rid
+	cm.n++
+	return rid, nil
+}
+
+// Upsert inserts rec if its entity is new, otherwise overwrites the existing
+// record in place. This is the merge-step write path.
+func (cm *ColumnMap) Upsert(rec []uint64) error {
+	if len(rec) != cm.slots {
+		return fmt.Errorf("columnmap: record has %d slots, want %d", len(rec), cm.slots)
+	}
+	if rid, ok := cm.Lookup(rec[0]); ok {
+		cm.scatter(rid, rec)
+		return nil
+	}
+	_, err := cm.Insert(rec)
+	return err
+}
+
+// scatter writes rec into the slots of an existing record id.
+func (cm *ColumnMap) scatter(rid uint32, rec []uint64) {
+	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
+	cm.mu.RLock()
+	bucket := cm.buckets[b]
+	cm.mu.RUnlock()
+	for c := 0; c < cm.slots; c++ {
+		bucket[c*cm.bucketSize+off] = rec[c]
+	}
+}
+
+// Gather copies the record with the given record id into dst, which must
+// have exactly Slots() elements.
+func (cm *ColumnMap) Gather(rid uint32, dst []uint64) error {
+	if len(dst) != cm.slots {
+		return fmt.Errorf("columnmap: dst has %d slots, want %d", len(dst), cm.slots)
+	}
+	cm.mu.RLock()
+	if int(rid) >= cm.n {
+		cm.mu.RUnlock()
+		return fmt.Errorf("columnmap: record id %d out of range (%d records)", rid, cm.n)
+	}
+	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
+	bucket := cm.buckets[b]
+	cm.mu.RUnlock()
+	for c := 0; c < cm.slots; c++ {
+		dst[c] = bucket[c*cm.bucketSize+off]
+	}
+	return nil
+}
+
+// GatherEntity is Lookup followed by Gather.
+func (cm *ColumnMap) GatherEntity(entityID uint64, dst []uint64) (bool, error) {
+	rid, ok := cm.Lookup(entityID)
+	if !ok {
+		return false, nil
+	}
+	return true, cm.Gather(rid, dst)
+}
+
+// Value returns a single slot of a record without materializing the rest —
+// the computable-address point lookup the paper describes.
+func (cm *ColumnMap) Value(rid uint32, col int) uint64 {
+	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
+	cm.mu.RLock()
+	bucket := cm.buckets[b]
+	cm.mu.RUnlock()
+	return bucket[col*cm.bucketSize+off]
+}
+
+// Bucket is a read-only view of one bucket used by scans.
+type Bucket struct {
+	data       []uint64
+	bucketSize int
+	// N is the number of valid records in the bucket.
+	N int
+	// Base is the record id of the bucket's first record.
+	Base uint32
+}
+
+// Col returns the column-c value slice of the bucket (N valid entries).
+func (b Bucket) Col(c int) []uint64 {
+	off := c * b.bucketSize
+	return b.data[off : off+b.N]
+}
+
+// Snapshot returns views of all buckets as of the call. The scan step
+// iterates the snapshot; records inserted afterwards are not visible, which
+// is exactly the consistency the delta/main design requires (inserts only
+// happen during merge steps, which never overlap scan steps on a partition).
+func (cm *ColumnMap) Snapshot() []Bucket {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	out := make([]Bucket, 0, len(cm.buckets))
+	remaining := cm.n
+	for i, data := range cm.buckets {
+		n := cm.bucketSize
+		if remaining < n {
+			n = remaining
+		}
+		out = append(out, Bucket{
+			data:       data,
+			bucketSize: cm.bucketSize,
+			N:          n,
+			Base:       uint32(i * cm.bucketSize),
+		})
+		remaining -= n
+	}
+	return out
+}
+
+// MemoryBytes reports the approximate payload memory in use.
+func (cm *ColumnMap) MemoryBytes() int64 {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	return int64(len(cm.buckets)) * int64(cm.slots*cm.bucketSize) * 8
+}

@@ -1,0 +1,196 @@
+package columnmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mkRec(entity uint64, slots int) []uint64 {
+	rec := make([]uint64, slots)
+	rec[0] = entity
+	for i := 1; i < slots; i++ {
+		rec[i] = entity*1000 + uint64(i)
+	}
+	return rec
+}
+
+func TestInsertGatherRoundTrip(t *testing.T) {
+	cm := New(5, 4)
+	for e := uint64(1); e <= 10; e++ {
+		rid, err := cm.Insert(mkRec(e, 5))
+		if err != nil {
+			t.Fatalf("Insert(%d): %v", e, err)
+		}
+		if rid != uint32(e-1) {
+			t.Fatalf("Insert(%d) rid = %d, want %d", e, rid, e-1)
+		}
+	}
+	if cm.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", cm.Len())
+	}
+	dst := make([]uint64, 5)
+	for e := uint64(1); e <= 10; e++ {
+		ok, err := cm.GatherEntity(e, dst)
+		if err != nil || !ok {
+			t.Fatalf("GatherEntity(%d): ok=%v err=%v", e, ok, err)
+		}
+		want := mkRec(e, 5)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("entity %d slot %d = %d, want %d", e, i, dst[i], want[i])
+			}
+		}
+	}
+	if ok, _ := cm.GatherEntity(999, dst); ok {
+		t.Fatal("GatherEntity on missing entity reported ok")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	cm := New(3, 2)
+	if _, err := cm.Insert([]uint64{1}); err == nil {
+		t.Fatal("short record accepted")
+	}
+	if _, err := cm.Insert(mkRec(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Insert(mkRec(1, 3)); err == nil {
+		t.Fatal("duplicate entity accepted")
+	}
+	if err := cm.Gather(5, make([]uint64, 3)); err == nil {
+		t.Fatal("out-of-range rid accepted")
+	}
+	if err := cm.Gather(0, make([]uint64, 1)); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := cm.Upsert([]uint64{1}); err == nil {
+		t.Fatal("short upsert accepted")
+	}
+}
+
+func TestUpsertOverwritesInPlace(t *testing.T) {
+	cm := New(3, 2)
+	if err := cm.Upsert(mkRec(7, 3)); err != nil {
+		t.Fatal(err)
+	}
+	rec := mkRec(7, 3)
+	rec[2] = 42
+	if err := cm.Upsert(rec); err != nil {
+		t.Fatal(err)
+	}
+	if cm.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", cm.Len())
+	}
+	if v := cm.Value(0, 2); v != 42 {
+		t.Fatalf("Value(0,2) = %d, want 42", v)
+	}
+}
+
+func TestSnapshotColumnLayout(t *testing.T) {
+	cm := New(4, 3)
+	for e := uint64(1); e <= 7; e++ {
+		if _, err := cm.Insert(mkRec(e, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bks := cm.Snapshot()
+	if len(bks) != 3 {
+		t.Fatalf("Snapshot returned %d buckets, want 3", len(bks))
+	}
+	if bks[0].N != 3 || bks[1].N != 3 || bks[2].N != 1 {
+		t.Fatalf("bucket sizes %d %d %d", bks[0].N, bks[1].N, bks[2].N)
+	}
+	if bks[1].Base != 3 || bks[2].Base != 6 {
+		t.Fatalf("bucket bases %d %d", bks[1].Base, bks[2].Base)
+	}
+	// Column 0 of bucket 1 should be the entity ids 4,5,6 contiguously.
+	c0 := bks[1].Col(0)
+	if len(c0) != 3 || c0[0] != 4 || c0[1] != 5 || c0[2] != 6 {
+		t.Fatalf("bucket 1 col 0 = %v", c0)
+	}
+	c2 := bks[2].Col(2)
+	if len(c2) != 1 || c2[0] != 7*1000+2 {
+		t.Fatalf("bucket 2 col 2 = %v", c2)
+	}
+}
+
+func TestBucketSizeOneIsRowStore(t *testing.T) {
+	cm := New(3, 1)
+	for e := uint64(1); e <= 5; e++ {
+		if _, err := cm.Insert(mkRec(e, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(cm.Snapshot()); got != 5 {
+		t.Fatalf("bucket count = %d, want 5 (one record per bucket)", got)
+	}
+	dst := make([]uint64, 3)
+	if ok, err := cm.GatherEntity(3, dst); !ok || err != nil {
+		t.Fatalf("GatherEntity: %v %v", ok, err)
+	}
+	if dst[1] != 3001 {
+		t.Fatalf("slot 1 = %d", dst[1])
+	}
+}
+
+func TestDefaultBucketSize(t *testing.T) {
+	cm := New(2, 0)
+	if cm.BucketSize() != DefaultBucketSize {
+		t.Fatalf("BucketSize = %d, want %d", cm.BucketSize(), DefaultBucketSize)
+	}
+	if cm.Slots() != 2 {
+		t.Fatalf("Slots = %d", cm.Slots())
+	}
+	if cm.MemoryBytes() != 0 {
+		t.Fatalf("empty MemoryBytes = %d", cm.MemoryBytes())
+	}
+	if _, err := cm.Insert(mkRec(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if cm.MemoryBytes() != int64(2*DefaultBucketSize*8) {
+		t.Fatalf("MemoryBytes = %d", cm.MemoryBytes())
+	}
+}
+
+// TestQuickGatherInverseOfInsert property-tests that Gather is the inverse
+// of Insert for arbitrary records and bucket sizes.
+func TestQuickGatherInverseOfInsert(t *testing.T) {
+	f := func(recs [][4]uint64, bucketSizeSeed uint8) bool {
+		bucketSize := int(bucketSizeSeed%7) + 1
+		cm := New(4, bucketSize)
+		seen := map[uint64]bool{}
+		var kept [][4]uint64
+		for i, r := range recs {
+			r[0] = uint64(i + 1) // unique entity ids
+			if seen[r[0]] {
+				continue
+			}
+			seen[r[0]] = true
+			if _, err := cm.Insert(r[:]); err != nil {
+				return false
+			}
+			kept = append(kept, r)
+		}
+		dst := make([]uint64, 4)
+		for _, r := range kept {
+			ok, err := cm.GatherEntity(r[0], dst)
+			if !ok || err != nil {
+				return false
+			}
+			for i := range dst {
+				if dst[i] != r[i] {
+					return false
+				}
+			}
+		}
+		// Snapshot covers exactly all records.
+		total := 0
+		for _, b := range cm.Snapshot() {
+			total += b.N
+		}
+		return total == len(kept)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

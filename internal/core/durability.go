@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/archive"
+	"repro/internal/checkpoint"
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// Durability glue: the event archive acts as the write-ahead log of the
+// Analytics Matrix, incremental checkpoints bound its replay tail, and
+// Restore rebuilds a node from checkpoint + tail (§7: "a persistent event
+// archive ... incremental checkpointing and zero-copy logging").
+
+// archiveEvent logs ev before it enters the ESP pipeline (when the node is
+// configured with an archive).
+func (n *StorageNode) archiveEvent(ev *event.Event) error {
+	if n.cfg.Archive == nil {
+		return nil
+	}
+	_, err := n.cfg.Archive.Append(ev)
+	return err
+}
+
+// enqueueEvent hands an event to its ESP worker without archiving (the
+// recovery replay path).
+func (n *StorageNode) enqueueEvent(ev event.Event, resp chan espResponse) {
+	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
+}
+
+// Checkpoint snapshots the node's Entity Records into a new checkpoint
+// file. full=true writes every record; full=false writes only records
+// dirtied since the last checkpoint (requires the archive, which recovery
+// needs for the replay tail anyway). The caller must not ingest events
+// concurrently: the flush that precedes the snapshot is the quiesce point
+// that makes the watermark exact.
+func (n *StorageNode) Checkpoint(mgr *checkpoint.Manager, full bool) error {
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	if !full && n.cfg.Archive == nil {
+		return errors.New("core: incremental checkpoints require Config.Archive")
+	}
+	if err := n.FlushEvents(); err != nil {
+		return err
+	}
+	var watermark uint64
+	if n.cfg.Archive != nil {
+		if err := n.cfg.Archive.Sync(); err != nil {
+			return err
+		}
+		watermark = n.cfg.Archive.NextLSN()
+	}
+	w, err := mgr.Create(n.cfg.Schema.Slots, watermark, full)
+	if err != nil {
+		return err
+	}
+	for i, p := range n.parts {
+		part := p
+		resp := make(chan espResponse, 1)
+		n.workers[i%len(n.workers)].ch <- espRequest{
+			kind: kindExec,
+			fn: func() error {
+				return part.SnapshotRecords(!full, func(rec schema.Record) error {
+					return w.Add(rec)
+				})
+			},
+			resp: resp,
+		}
+		if r := <-resp; r.err != nil {
+			return fmt.Errorf("core: checkpoint partition %d: %w", i, r.err)
+		}
+	}
+	return w.Close()
+}
+
+// Restore builds a storage node from the newest checkpoint chain in mgr and
+// replays the archive tail beyond the checkpoint watermark through the
+// normal ESP path. cfg.Archive must be the same archive the original node
+// logged to (or nil to skip the tail replay).
+func Restore(cfg Config, mgr *checkpoint.Manager) (*StorageNode, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("core: Restore needs Config.Schema")
+	}
+	recs, watermark, err := mgr.Load(cfg.Schema.Slots)
+	if err != nil {
+		return nil, err
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if err := n.Put(rec); err != nil {
+			n.Stop()
+			return nil, err
+		}
+	}
+	if cfg.Archive != nil {
+		err := cfg.Archive.Replay(watermark, func(_ uint64, ev event.Event) error {
+			n.enqueueEvent(ev, nil)
+			return nil
+		})
+		if err != nil {
+			n.Stop()
+			return nil, err
+		}
+	}
+	if err := n.FlushEvents(); err != nil {
+		n.Stop()
+		return nil, err
+	}
+	return n, nil
+}
+
+// ensure the archive import is used even if Config.Archive is the only
+// reference site in this file.
+var _ = (*archive.Archive)(nil)

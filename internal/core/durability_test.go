@@ -1,0 +1,214 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/checkpoint"
+	"repro/internal/schema"
+)
+
+// durableNode starts a node with an archive in dir.
+func durableNode(t *testing.T, dir string) (*StorageNode, *archive.Archive, *schema.Schema) {
+	t.Helper()
+	sch := testSchema(t)
+	arch, err := archive.Open(filepath.Join(dir, "wal"), archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { arch.Close() })
+	n, err := NewNode(Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, arch, sch
+}
+
+func totalCalls(t *testing.T, n *StorageNode, sch *schema.Schema, entities int) int64 {
+	t.Helper()
+	calls := sch.MustAttrIndex("calls_today_count")
+	buf := int64(0)
+	for e := 1; e <= entities; e++ {
+		rec, _, ok, err := n.Get(uint64(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			buf += rec.Int(calls)
+		}
+	}
+	return buf
+}
+
+func TestCheckpointAndRestoreFull(t *testing.T) {
+	dir := t.TempDir()
+	n, arch, sch := durableNode(t, dir)
+	for i := 0; i < 200; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%20)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+	// Events after the checkpoint live only in the archive.
+	for i := 200; i < 300; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%20)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	want := totalCalls(t, n, sch, 20)
+	if want != 300 {
+		t.Fatalf("pre-crash total = %d", want)
+	}
+	n.Stop() // "crash"
+
+	restored, err := Restore(Config{
+		Schema: sch, Partitions: 3, BucketSize: 16, // different layout on purpose
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	}, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if got := totalCalls(t, restored, sch, 20); got != want {
+		t.Fatalf("restored total = %d, want %d", got, want)
+	}
+	// The restored node keeps working.
+	if _, err := restored.ProcessEvent(mkEvent(3, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if got := totalCalls(t, restored, sch, 20); got != want+1 {
+		t.Fatalf("post-restore event lost: %d", got)
+	}
+}
+
+func TestIncrementalCheckpointOnlyDirty(t *testing.T) {
+	dir := t.TempDir()
+	n, _, _ := durableNode(t, dir)
+	defer n.Stop()
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+	// Touch only entities 1 and 2; the increment must contain exactly 2.
+	if err := n.ProcessEventAsync(mkEvent(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ProcessEventAsync(mkEvent(2, 1001)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Checkpoint(mgr, false); err != nil {
+		t.Fatal(err)
+	}
+	// An immediate second increment is empty (dirty set cleared).
+	if err := n.Checkpoint(mgr, false); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := mgr.Load(n.Schema().Slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("loaded %d records", len(recs))
+	}
+	calls := n.Schema().MustAttrIndex("calls_today_count")
+	if got := int64(recs[1][calls]); got != 11 {
+		t.Fatalf("entity 1 calls in checkpoint = %d, want 11 (increment won)", got)
+	}
+	if got := int64(recs[3][calls]); got != 10 {
+		t.Fatalf("entity 3 calls = %d, want 10 (from base)", got)
+	}
+}
+
+func TestIncrementalRequiresArchive(t *testing.T) {
+	n := newTestNode(t, Config{Partitions: 1})
+	mgr, err := checkpoint.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Checkpoint(mgr, false); err == nil {
+		t.Fatal("incremental checkpoint without archive accepted")
+	}
+	// Full checkpoints work without an archive (watermark 0, no replay).
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreEmptyDirIsEmptyNode(t *testing.T) {
+	sch := testSchema(t)
+	mgr, err := checkpoint.NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Restore(Config{Schema: sch, Partitions: 1, BucketSize: 16}, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	if n.Stats().Records != 0 {
+		t.Fatalf("records = %d", n.Stats().Records)
+	}
+	if _, err := Restore(Config{}, mgr); err == nil {
+		t.Fatal("Restore without schema accepted")
+	}
+}
+
+// TestSnapshotDuringLoad runs checkpoints concurrently with event traffic
+// on other entities plus continuous merge activity; with -race this guards
+// the ESP-thread snapshot against the RTA merge path.
+func TestSnapshotDuringLoad(t *testing.T) {
+	dir := t.TempDir()
+	n, _, sch := durableNode(t, dir)
+	defer n.Stop()
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 200; i++ {
+			if err := n.ProcessEventAsync(mkEvent(uint64(i%50)+1, int64(round*1000+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := n.Checkpoint(mgr, round == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, _, err := mgr.Load(sch.Slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 50 {
+		t.Fatalf("checkpoint covers %d entities, want 50", len(recs))
+	}
+	calls := sch.MustAttrIndex("calls_today_count")
+	var total int64
+	for _, rec := range recs {
+		total += int64(rec[calls])
+	}
+	if total != 1000 {
+		t.Fatalf("checkpointed calls = %d, want 1000", total)
+	}
+}

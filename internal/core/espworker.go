@@ -1,0 +1,153 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+// Request kinds handled by the ESP service loop.
+const (
+	kindKick uint8 = iota // wake-up for a flag check, no work
+	kindEvent
+	kindGet
+	kindPut
+	kindCondPut
+	kindSync
+	kindExec // run fn on the ESP thread (checkpointing)
+)
+
+type espRequest struct {
+	kind    uint8
+	ev      event.Event
+	entity  uint64
+	rec     schema.Record
+	version uint64
+	fn      func() error
+	resp    chan espResponse // nil for fire-and-forget
+}
+
+type espResponse struct {
+	rec     schema.Record
+	version uint64
+	found   bool
+	err     error
+	firings int
+}
+
+// espWorker is one ESP thread of a storage node (§4.8): the single writer
+// for its assigned partitions. It processes events (UPDATE_MATRIX + rule
+// evaluation), Get/Put requests, and acknowledges delta switches between
+// requests via Partition.CheckSwitch.
+type espWorker struct {
+	node   *StorageNode
+	ch     chan espRequest
+	parts  []*Partition
+	engine *rules.Engine // per-worker replica of the rule set; may be nil
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func newESPWorker(node *StorageNode, queue int) *espWorker {
+	return &espWorker{
+		node: node,
+		ch:   make(chan espRequest, queue),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// attach assigns a partition to this worker and wires the wake-up kick.
+func (w *espWorker) attach(p *Partition) {
+	w.parts = append(w.parts, p)
+	p.AttachESP(func() {
+		// Best-effort wake-up: if the queue is full the loop is busy and
+		// checks flags between requests anyway.
+		select {
+		case w.ch <- espRequest{kind: kindKick}:
+		default:
+		}
+	})
+}
+
+// run is the ESP service loop (the paper's Algorithm 7 generalized to k
+// partitions per thread).
+func (w *espWorker) run() {
+	defer close(w.done)
+	for {
+		select {
+		case req := <-w.ch:
+			w.checkSwitches()
+			w.handle(req)
+		case <-w.stop:
+			// Drain outstanding requests, then detach so pending delta
+			// switches don't wait for a dead thread.
+			for {
+				select {
+				case req := <-w.ch:
+					w.checkSwitches()
+					w.handle(req)
+				default:
+					for _, p := range w.parts {
+						p.DetachESP()
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+func (w *espWorker) checkSwitches() {
+	for _, p := range w.parts {
+		p.CheckSwitch()
+	}
+}
+
+func (w *espWorker) handle(req espRequest) {
+	switch req.kind {
+	case kindKick:
+		// flag check already happened
+	case kindEvent:
+		p := w.node.partitionFor(req.ev.Caller)
+		rec := p.ApplyEvent(&req.ev)
+		nf := 0
+		if w.engine != nil {
+			firings := w.engine.Evaluate(&req.ev, rec)
+			nf = len(firings)
+			if w.node.cfg.OnFiring != nil {
+				for _, f := range firings {
+					w.node.cfg.OnFiring(f)
+				}
+			}
+			w.node.firings.Add(uint64(nf))
+		}
+		w.node.eventsProcessed.Add(1)
+		if req.resp != nil {
+			req.resp <- espResponse{firings: nf, found: true}
+		}
+	case kindGet:
+		p := w.node.partitionFor(req.entity)
+		rec := make(schema.Record, w.node.cfg.Schema.Slots)
+		v, ok := p.Get(req.entity, rec)
+		if !ok {
+			rec = nil
+		}
+		req.resp <- espResponse{rec: rec, version: v, found: ok}
+	case kindPut:
+		p := w.node.partitionFor(req.rec.EntityID())
+		p.Put(req.rec)
+		if req.resp != nil {
+			req.resp <- espResponse{found: true}
+		}
+	case kindCondPut:
+		p := w.node.partitionFor(req.rec.EntityID())
+		err := p.ConditionalPut(req.rec, req.version)
+		req.resp <- espResponse{err: err, found: err == nil}
+	case kindSync:
+		req.resp <- espResponse{found: true}
+	case kindExec:
+		err := req.fn()
+		req.resp <- espResponse{err: err, found: err == nil}
+	}
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/dimension"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+// ErrStopped is returned for operations against a stopped node.
+var ErrStopped = errors.New("core: storage node stopped")
+
+// Config configures a StorageNode. The defaults reproduce the paper's
+// single-server setup: n = 5 RTA threads/partitions, s = 1 ESP thread,
+// query batches capped at 8 (§5.2, §5.3).
+type Config struct {
+	// Schema is the Analytics Matrix schema (required).
+	Schema *schema.Schema
+	// Dims holds the node's replicated dimension tables (may be nil).
+	Dims *dimension.Store
+	// Partitions is n: the number of data partitions == RTA scan threads.
+	Partitions int
+	// ESPThreads is s: the number of ESP service loops.
+	ESPThreads int
+	// BucketSize is the ColumnMap bucket size (records per bucket).
+	BucketSize int
+	// Factory creates records for unseen entities (may be nil).
+	Factory RecordFactory
+	// MaxBatch caps the shared-scan query batch size.
+	MaxBatch int
+	// Rules is the replicated Business Rule set evaluated per event.
+	Rules []rules.Rule
+	// UseRuleIndex selects the Fabret-style rule index over Algorithm 2.
+	UseRuleIndex bool
+	// OnFiring receives rule firings (the action sink); may be nil. It is
+	// called from ESP goroutines and must be cheap and thread-safe.
+	OnFiring func(rules.Firing)
+	// IdleMergePause is how long the scan coordinator waits for queries
+	// before running a merge-only round, bounding data freshness.
+	IdleMergePause time.Duration
+	// ESPQueueLen is the per-worker event queue capacity.
+	ESPQueueLen int
+	// Archive, when set, write-ahead-logs every ingested event and enables
+	// incremental checkpoints and crash recovery (see durability.go).
+	Archive *archive.Archive
+}
+
+func (c *Config) setDefaults() error {
+	if c.Schema == nil {
+		return errors.New("core: Config.Schema is required")
+	}
+	if c.ESPThreads <= 0 {
+		c.ESPThreads = 1
+	}
+	if c.Partitions <= 0 {
+		// The paper's allocation rule (§4.8): n = cores - s - 2 (two cores
+		// for communication), but at least one partition.
+		c.Partitions = runtime.NumCPU() - c.ESPThreads - 2
+		if c.Partitions < 1 {
+			c.Partitions = 1
+		}
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.IdleMergePause <= 0 {
+		c.IdleMergePause = 500 * time.Microsecond
+	}
+	if c.ESPQueueLen <= 0 {
+		c.ESPQueueLen = 4096
+	}
+	return nil
+}
+
+// QueryResponse delivers a node-level merged partial (or an error) for one
+// submitted query.
+type QueryResponse struct {
+	Partial *query.Partial
+	Err     error
+}
+
+type submission struct {
+	q    *query.Query
+	resp chan QueryResponse
+}
+
+type scanBatch struct {
+	queries []*submission
+	done    chan []*query.Partial // one slice per scan thread, parallel to queries
+	errCh   chan error
+}
+
+// NodeStats is a snapshot of a node's counters.
+type NodeStats struct {
+	EventsProcessed uint64
+	RuleFirings     uint64
+	ScanRounds      uint64
+	MergedRecords   uint64
+	QueriesServed   uint64
+	Records         int
+}
+
+// StorageNode is one AIM storage server: it hosts Partitions data
+// partitions, ESPThreads ESP service loops, one RTA scan thread per
+// partition, and a coordinator that batches incoming queries and starts all
+// scan threads simultaneously (intra-node consistency, §4.8).
+type StorageNode struct {
+	cfg     Config
+	parts   []*Partition
+	workers []*espWorker
+
+	submitCh chan *submission
+	scanChs  []chan *scanBatch
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	stopped  atomic.Bool
+
+	eventsProcessed atomic.Uint64
+	firings         atomic.Uint64
+	scanRounds      atomic.Uint64
+	mergedRecords   atomic.Uint64
+	queriesServed   atomic.Uint64
+}
+
+// NewNode builds and starts a storage node.
+func NewNode(cfg Config) (*StorageNode, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	n := &StorageNode{
+		cfg:      cfg,
+		submitCh: make(chan *submission, 4*cfg.MaxBatch),
+		stopCh:   make(chan struct{}),
+	}
+	for i := 0; i < cfg.Partitions; i++ {
+		p := NewPartition(cfg.Schema, cfg.BucketSize, cfg.Factory)
+		if cfg.Archive != nil {
+			p.EnableDirtyTracking()
+		}
+		n.parts = append(n.parts, p)
+	}
+	for i := 0; i < cfg.ESPThreads; i++ {
+		w := newESPWorker(n, cfg.ESPQueueLen)
+		if len(cfg.Rules) > 0 {
+			eng, err := rules.NewEngine(cfg.Schema, cfg.Rules, cfg.UseRuleIndex)
+			if err != nil {
+				return nil, err
+			}
+			w.engine = eng
+		}
+		n.workers = append(n.workers, w)
+	}
+	// Partition i is served by ESP worker i mod s (§4.8, Figure 8).
+	for i, p := range n.parts {
+		n.workers[i%len(n.workers)].attach(p)
+	}
+	for _, w := range n.workers {
+		n.wg.Add(1)
+		go func(w *espWorker) {
+			defer n.wg.Done()
+			w.run()
+		}(w)
+	}
+	// One RTA scan thread per partition.
+	n.scanChs = make([]chan *scanBatch, cfg.Partitions)
+	for i := range n.scanChs {
+		n.scanChs[i] = make(chan *scanBatch)
+		n.wg.Add(1)
+		go func(idx int) {
+			defer n.wg.Done()
+			n.scanLoop(idx)
+		}(i)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.coordinatorLoop()
+	}()
+	return n, nil
+}
+
+// partitionFor maps an entity id to its partition (the node-local hash h_i
+// of §4.8).
+func (n *StorageNode) partitionFor(entityID uint64) *Partition {
+	h := entityID * 0x9E3779B97F4A7C15
+	return n.parts[(h>>32)%uint64(len(n.parts))]
+}
+
+// workerForEntity returns the ESP worker serving the entity's partition.
+func (n *StorageNode) workerForEntity(entityID uint64) *espWorker {
+	h := entityID * 0x9E3779B97F4A7C15
+	pi := int((h >> 32) % uint64(len(n.parts)))
+	return n.workers[pi%len(n.workers)]
+}
+
+// --- ESP-facing API ---------------------------------------------------------
+
+// ProcessEventAsync enqueues an event for processing; it blocks only when
+// the responsible ESP queue is full (backpressure).
+func (n *StorageNode) ProcessEventAsync(ev event.Event) error {
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	if err := n.archiveEvent(&ev); err != nil {
+		return err
+	}
+	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev}
+	return nil
+}
+
+// ProcessEvent processes an event synchronously and returns the number of
+// rule firings it caused.
+func (n *StorageNode) ProcessEvent(ev event.Event) (int, error) {
+	if n.stopped.Load() {
+		return 0, ErrStopped
+	}
+	if err := n.archiveEvent(&ev); err != nil {
+		return 0, err
+	}
+	resp := make(chan espResponse, 1)
+	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
+	r := <-resp
+	return r.firings, r.err
+}
+
+// FlushEvents blocks until every event enqueued before the call has been
+// processed.
+func (n *StorageNode) FlushEvents() error {
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	resps := make([]chan espResponse, len(n.workers))
+	for i, w := range n.workers {
+		resps[i] = make(chan espResponse, 1)
+		w.ch <- espRequest{kind: kindSync, resp: resps[i]}
+	}
+	for _, c := range resps {
+		<-c
+	}
+	return nil
+}
+
+// Get returns a copy of the entity's freshest record and its version.
+func (n *StorageNode) Get(entityID uint64) (schema.Record, uint64, bool, error) {
+	if n.stopped.Load() {
+		return nil, 0, false, ErrStopped
+	}
+	resp := make(chan espResponse, 1)
+	n.workerForEntity(entityID).ch <- espRequest{kind: kindGet, entity: entityID, resp: resp}
+	r := <-resp
+	return r.rec, r.version, r.found, nil
+}
+
+// Put stores rec unconditionally.
+func (n *StorageNode) Put(rec schema.Record) error {
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	resp := make(chan espResponse, 1)
+	n.workerForEntity(rec.EntityID()).ch <- espRequest{kind: kindPut, rec: rec.Clone(), resp: resp}
+	<-resp
+	return nil
+}
+
+// ConditionalPut stores rec if the entity is still at the expected version.
+func (n *StorageNode) ConditionalPut(rec schema.Record, expected uint64) error {
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	resp := make(chan espResponse, 1)
+	n.workerForEntity(rec.EntityID()).ch <- espRequest{kind: kindCondPut, rec: rec.Clone(), version: expected, resp: resp}
+	r := <-resp
+	return r.err
+}
+
+// --- RTA-facing API ---------------------------------------------------------
+
+// SubmitQueryAsync queues q for the next shared-scan batch and returns a
+// channel that will deliver the node-level merged partial (§4.2's
+// asynchronous RTA protocol).
+func (n *StorageNode) SubmitQueryAsync(q *query.Query) (<-chan QueryResponse, error) {
+	if n.stopped.Load() {
+		return nil, ErrStopped
+	}
+	if err := q.Validate(n.cfg.Schema); err != nil {
+		return nil, err
+	}
+	s := &submission{q: q, resp: make(chan QueryResponse, 1)}
+	select {
+	case n.submitCh <- s:
+		return s.resp, nil
+	case <-n.stopCh:
+		return nil, ErrStopped
+	}
+}
+
+// SubmitQuery runs q and waits for the node-level partial.
+func (n *StorageNode) SubmitQuery(q *query.Query) (*query.Partial, error) {
+	ch, err := n.SubmitQueryAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.Partial, r.Err
+}
+
+// coordinatorLoop batches submissions and drives scan rounds. Every round
+// starts all scan threads on the same batch simultaneously and ends with
+// each partition's merge step, so RTA queries always see a consistent
+// snapshot and data freshness is bounded by the round duration plus
+// IdleMergePause.
+func (n *StorageNode) coordinatorLoop() {
+	timer := time.NewTimer(n.cfg.IdleMergePause)
+	defer timer.Stop()
+	for {
+		batch, ok := n.collectBatch(timer)
+		if !ok {
+			return // stopping
+		}
+		n.runRound(batch)
+	}
+}
+
+// collectBatch waits for at least one query or the idle pause, then drains
+// up to MaxBatch-1 more without blocking. ok=false means shutdown; an empty
+// batch with ok=true is a merge-only round.
+func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(n.cfg.IdleMergePause)
+	var batch []*submission
+	select {
+	case s := <-n.submitCh:
+		batch = append(batch, s)
+	case <-timer.C:
+		return batch, true // empty merge-only round
+	case <-n.stopCh:
+		return nil, false
+	}
+	for len(batch) < n.cfg.MaxBatch {
+		select {
+		case s := <-n.submitCh:
+			batch = append(batch, s)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
+// runRound distributes the batch to every scan thread, gathers their
+// per-partition partials, merges them and answers the submitters.
+func (n *StorageNode) runRound(batch []*submission) {
+	sb := &scanBatch{
+		queries: batch,
+		done:    make(chan []*query.Partial, len(n.scanChs)),
+		errCh:   make(chan error, len(n.scanChs)),
+	}
+	for _, ch := range n.scanChs {
+		select {
+		case ch <- sb:
+		case <-n.stopCh:
+			n.failBatch(batch, ErrStopped)
+			return
+		}
+	}
+	merged := make([]*query.Partial, len(batch))
+	for i, s := range batch {
+		merged[i] = query.NewPartial(s.q)
+	}
+	var firstErr error
+	for range n.scanChs {
+		select {
+		case partials := <-sb.done:
+			for i, p := range partials {
+				merged[i].Merge(p, batch[i].q)
+			}
+		case err := <-sb.errCh:
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	n.scanRounds.Add(1)
+	for i, s := range batch {
+		if firstErr != nil {
+			s.resp <- QueryResponse{Err: firstErr}
+		} else {
+			s.resp <- QueryResponse{Partial: merged[i]}
+			n.queriesServed.Add(1)
+		}
+	}
+}
+
+func (n *StorageNode) failBatch(batch []*submission, err error) {
+	for _, s := range batch {
+		s.resp <- QueryResponse{Err: err}
+	}
+}
+
+// scanLoop is one RTA thread (Figure 6): scan step over the partition's
+// main for the whole batch, then merge step.
+func (n *StorageNode) scanLoop(idx int) {
+	p := n.parts[idx]
+	ex := query.NewExecutor(n.cfg.Schema, n.cfg.Dims)
+	for {
+		var sb *scanBatch
+		select {
+		case sb = <-n.scanChs[idx]:
+		case <-n.stopCh:
+			return
+		}
+		partials := make([]*query.Partial, len(sb.queries))
+		for i, s := range sb.queries {
+			partials[i] = query.NewPartial(s.q)
+		}
+		var scanErr error
+		if len(sb.queries) > 0 {
+			// Shared scan (Algorithm 5): buckets outer, queries inner.
+			for _, bucket := range p.ScanSnapshot() {
+				for i, s := range sb.queries {
+					if err := ex.ProcessBucket(bucket, s.q, partials[i]); err != nil {
+						scanErr = fmt.Errorf("core: partition %d: %w", idx, err)
+						break
+					}
+				}
+				if scanErr != nil {
+					break
+				}
+			}
+		}
+		merged := p.MergeStep()
+		n.mergedRecords.Add(uint64(merged))
+		if scanErr != nil {
+			sb.errCh <- scanErr
+			continue
+		}
+		sb.done <- partials
+	}
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *StorageNode) Stats() NodeStats {
+	records := 0
+	for _, p := range n.parts {
+		records += p.Main().Len()
+	}
+	return NodeStats{
+		EventsProcessed: n.eventsProcessed.Load(),
+		RuleFirings:     n.firings.Load(),
+		ScanRounds:      n.scanRounds.Load(),
+		MergedRecords:   n.mergedRecords.Load(),
+		QueriesServed:   n.queriesServed.Load(),
+		Records:         records,
+	}
+}
+
+// NumPartitions returns n (the partition / RTA thread count).
+func (n *StorageNode) NumPartitions() int { return len(n.parts) }
+
+// Schema returns the node's schema.
+func (n *StorageNode) Schema() *schema.Schema { return n.cfg.Schema }
+
+// Stop shuts the node down: ESP workers drain their queues, in-flight scan
+// rounds finish, and subsequent API calls fail with ErrStopped.
+func (n *StorageNode) Stop() {
+	if n.stopped.Swap(true) {
+		return
+	}
+	for _, w := range n.workers {
+		close(w.stop)
+	}
+	for _, w := range n.workers {
+		<-w.done
+	}
+	close(n.stopCh)
+	n.wg.Wait()
+	// Fail any submissions that raced with shutdown.
+	for {
+		select {
+		case s := <-n.submitCh:
+			s.resp <- QueryResponse{Err: ErrStopped}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+	"repro/internal/vec"
+
+	"repro/internal/query"
+)
+
+const dayMs = 24 * 3600 * 1000
+
+func testSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddStatic(schema.StaticSpec{Name: "zip", Type: schema.TypeInt64}).
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		AddGroup(schema.GroupSpec{Name: "dur_today", Metric: schema.MetricDuration,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggSum}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func mkEvent(caller uint64, i int64) event.Event {
+	return event.Event{
+		Caller:    caller,
+		Callee:    caller + 1,
+		Timestamp: 100*dayMs + i,
+		Duration:  10,
+		Cost:      0.5,
+	}
+}
+
+func TestPartitionGetPutMerge(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 4, nil)
+
+	// Unknown entity: miss.
+	buf := make(schema.Record, sch.Slots)
+	if _, ok := p.Get(7, buf); ok {
+		t.Fatal("Get on empty partition hit")
+	}
+
+	// Put goes to the delta; Get sees it before any merge.
+	rec := sch.NewRecord(7)
+	rec.SetInt(sch.MustAttrIndex("zip"), 8001)
+	p.Put(rec)
+	v, ok := p.Get(7, buf)
+	if !ok || v == 0 {
+		t.Fatalf("Get after Put: ok=%v version=%d", ok, v)
+	}
+	if buf.Int(sch.MustAttrIndex("zip")) != 8001 {
+		t.Fatal("delta Get returned wrong record")
+	}
+	if p.Main().Len() != 0 {
+		t.Fatal("Put leaked into main before merge")
+	}
+
+	// Merge moves it to main.
+	if n := p.MergeStep(); n != 1 {
+		t.Fatalf("MergeStep merged %d, want 1", n)
+	}
+	if p.Main().Len() != 1 {
+		t.Fatalf("main has %d records", p.Main().Len())
+	}
+	v2, ok := p.Get(7, buf)
+	if !ok || v2 != v {
+		t.Fatalf("Get after merge: ok=%v version=%d want %d", ok, v2, v)
+	}
+
+	// A second merge with no new puts is a no-op.
+	if n := p.MergeStep(); n != 0 {
+		t.Fatalf("empty MergeStep merged %d", n)
+	}
+}
+
+func TestPartitionGetPrefersNewerDelta(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 4, nil)
+	zip := sch.MustAttrIndex("zip")
+
+	rec := sch.NewRecord(1)
+	rec.SetInt(zip, 100)
+	p.Put(rec)
+	p.MergeStep() // now in main (and stale copy in old delta)
+
+	rec.SetInt(zip, 200)
+	p.Put(rec) // newest version in current delta
+
+	buf := make(schema.Record, sch.Slots)
+	if _, ok := p.Get(1, buf); !ok || buf.Int(zip) != 200 {
+		t.Fatalf("Get = %d, want 200 (current delta wins)", buf.Int(zip))
+	}
+
+	// After switching (without the merge finishing), the sealed old delta
+	// must still win over main.
+	sealed := p.SwitchDeltas()
+	if sealed.Len() != 1 {
+		t.Fatalf("sealed delta has %d entries", sealed.Len())
+	}
+	if _, ok := p.Get(1, buf); !ok || buf.Int(zip) != 200 {
+		t.Fatalf("Get during merge = %d, want 200 (old delta wins over main)", buf.Int(zip))
+	}
+}
+
+func TestConditionalPut(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 4, nil)
+	rec := sch.NewRecord(5)
+	p.Put(rec)
+	buf := make(schema.Record, sch.Slots)
+	v, _ := p.Get(5, buf)
+
+	// Write with the right version succeeds and bumps the version.
+	if err := p.ConditionalPut(buf.Clone(), v); err != nil {
+		t.Fatalf("ConditionalPut: %v", err)
+	}
+	// Re-using the stale version now conflicts.
+	err := p.ConditionalPut(buf.Clone(), v)
+	if !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("stale ConditionalPut err = %v, want ErrVersionConflict", err)
+	}
+	// The version check also works after a merge.
+	v2, _ := p.Get(5, buf)
+	p.MergeStep()
+	if err := p.ConditionalPut(buf.Clone(), v2); err != nil {
+		t.Fatalf("ConditionalPut after merge: %v", err)
+	}
+	// Unknown entities accept any expected version (first write).
+	fresh := sch.NewRecord(99)
+	if err := p.ConditionalPut(fresh, 12345); err != nil {
+		t.Fatalf("ConditionalPut on fresh entity: %v", err)
+	}
+}
+
+func TestApplyEventCreatesAndUpdates(t *testing.T) {
+	sch := testSchema(t)
+	zip := sch.MustAttrIndex("zip")
+	calls := sch.MustAttrIndex("calls_today_count")
+	factory := func(id uint64) schema.Record {
+		r := sch.NewRecord(id)
+		r.SetInt(zip, int64(1000+id))
+		return r
+	}
+	p := NewPartition(sch, 4, factory)
+
+	ev := mkEvent(3, 0)
+	rec := p.ApplyEvent(&ev)
+	if rec.EntityID() != 3 || rec.Int(zip) != 1003 {
+		t.Fatalf("factory statics not applied: %v %v", rec.EntityID(), rec.Int(zip))
+	}
+	if rec.Int(calls) != 1 {
+		t.Fatalf("calls = %d after first event", rec.Int(calls))
+	}
+	ev2 := mkEvent(3, 1)
+	rec = p.ApplyEvent(&ev2)
+	if rec.Int(calls) != 2 {
+		t.Fatalf("calls = %d after second event", rec.Int(calls))
+	}
+	// Updates survive merge and further events.
+	p.MergeStep()
+	ev3 := mkEvent(3, 2)
+	rec = p.ApplyEvent(&ev3)
+	if rec.Int(calls) != 3 {
+		t.Fatalf("calls = %d after merge + third event", rec.Int(calls))
+	}
+}
+
+// TestFlagProtocolUnderRace hammers the delta-switch protocol with a live
+// ESP goroutine; run with -race to validate the synchronization.
+func TestFlagProtocolUnderRace(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 64, nil)
+	calls := sch.MustAttrIndex("calls_today_count")
+
+	const events = 20000
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// ESP goroutine: apply events to 100 entities, checking flags between
+	// requests like the real service loop.
+	p.AttachESP(nil)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer p.DetachESP()
+		for i := 0; i < events; i++ {
+			p.CheckSwitch()
+			ev := mkEvent(uint64(i%100)+1, int64(i))
+			p.ApplyEvent(&ev)
+		}
+	}()
+
+	// RTA goroutine: merge continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.MergeStep()
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() { // waits for ESP to finish, then stops the merger
+		defer wg.Done()
+		for p.espAttached.Load() {
+			runtime.Gosched()
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	// Final merge publishes everything; totals must be exact.
+	p.MergeStep()
+	p.MergeStep() // second merge flushes the delta sealed by the first
+	var total int64
+	buf := make(schema.Record, sch.Slots)
+	for e := uint64(1); e <= 100; e++ {
+		if _, ok := p.Get(e, buf); ok {
+			total += buf.Int(calls)
+		}
+	}
+	if total != events {
+		t.Fatalf("total calls = %d, want %d", total, events)
+	}
+	if p.Main().Len() != 100 {
+		t.Fatalf("main has %d records, want 100", p.Main().Len())
+	}
+}
+
+// TestScanSeesConsistentSnapshot verifies that a scan between merges
+// reflects exactly the merged prefix of events.
+func TestScanSeesConsistentSnapshot(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 8, nil)
+	calls := sch.MustAttrIndex("calls_today_count")
+
+	for i := 0; i < 50; i++ {
+		ev := mkEvent(uint64(i%10)+1, int64(i))
+		p.ApplyEvent(&ev)
+	}
+	p.MergeStep()
+	for i := 50; i < 80; i++ { // unmerged suffix
+		ev := mkEvent(uint64(i%10)+1, int64(i))
+		p.ApplyEvent(&ev)
+	}
+
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	if err := q.Validate(sch); err != nil {
+		t.Fatal(err)
+	}
+	ex := query.NewExecutor(sch, nil)
+	part := query.NewPartial(q)
+	for _, b := range p.ScanSnapshot() {
+		if err := ex.ProcessBucket(b, q, part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := part.Finalize(q)
+	if got := res.Rows[0].Values[0]; got != 50 {
+		t.Fatalf("scan saw %v calls, want exactly the 50 merged", got)
+	}
+	// Predicate scan over the same snapshot.
+	q2 := &query.Query{
+		ID:      2,
+		Where:   []query.Conjunct{{query.PredInt(calls, vec.Ge, 5)}},
+		Aggs:    []query.AggExpr{{Op: query.OpCount}},
+		GroupBy: -1,
+	}
+	if err := q2.Validate(sch); err != nil {
+		t.Fatal(err)
+	}
+	part2 := query.NewPartial(q2)
+	for _, b := range p.ScanSnapshot() {
+		if err := ex.ProcessBucket(b, q2, part2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := part2.Finalize(q2).Rows[0].Values[0]; got != 10 {
+		t.Fatalf("entities with >=5 calls = %v, want 10", got)
+	}
+}

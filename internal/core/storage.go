@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Storage is the Get/Put/Scan interface of an AIM storage server (§4.2).
+// It is implemented by *StorageNode (in-process) and by netproto.Client
+// (TCP), so the ESP router and the RTA coordinator work identically against
+// colocated and remote storage — the paper's architecture options (a)/(b).
+type Storage interface {
+	// ProcessEventAsync enqueues an event for ESP processing (update matrix
+	// + rule evaluation) with backpressure.
+	ProcessEventAsync(ev event.Event) error
+	// ProcessEvent processes one event synchronously and returns the rule
+	// firing count.
+	ProcessEvent(ev event.Event) (int, error)
+	// FlushEvents blocks until previously enqueued events are processed.
+	FlushEvents() error
+	// Get returns a copy of the entity's freshest record and its version.
+	Get(entityID uint64) (schema.Record, uint64, bool, error)
+	// Put stores a record unconditionally.
+	Put(rec schema.Record) error
+	// ConditionalPut stores a record if the version still matches.
+	ConditionalPut(rec schema.Record, expected uint64) error
+	// SubmitQueryAsync enqueues a query for the next shared-scan batch.
+	SubmitQueryAsync(q *query.Query) (<-chan QueryResponse, error)
+	// SubmitQuery runs a query and waits for the server-level partial.
+	SubmitQuery(q *query.Query) (*query.Partial, error)
+}
+
+var _ Storage = (*StorageNode)(nil)

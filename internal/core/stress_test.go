@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// TestMixedWorkloadStress runs the full mixed workload — concurrent event
+// producers, closed-loop query clients, Get/Put traffic — against one node
+// and verifies exact end-state accounting. Run with -race to exercise every
+// synchronization path at once.
+func TestMixedWorkloadStress(t *testing.T) {
+	n := newTestNode(t, Config{Partitions: 3, ESPThreads: 2, IdleMergePause: 200 * time.Microsecond})
+	sch := n.Schema()
+	calls := sch.MustAttrIndex("calls_today_count")
+
+	const (
+		producers   = 4
+		perProducer = 2500
+		entities    = 64
+		queriers    = 3
+	)
+	var wg sync.WaitGroup
+	stopQueries := make(chan struct{})
+	errCh := make(chan error, producers+queriers+1)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ev := mkEvent(uint64((p*perProducer+i)%entities)+1, int64(p*perProducer+i))
+				if err := n.ProcessEventAsync(ev); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(p)
+	}
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func(qid int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stopQueries:
+					return
+				default:
+				}
+				i++
+				qq := &query.Query{ID: uint64(qid*1_000_000 + i),
+					Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+				if _, err := n.SubmitQuery(qq); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(q)
+	}
+	// A Get/Put client running alongside.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			e := uint64(i%entities) + 1
+			if _, _, _, err := n.Get(e); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	// Wait for producers, then stop queriers.
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	producersDone := make(chan struct{})
+	go func() {
+		// Producers finish when all events are queued; FlushEvents then
+		// drains them.
+		for n.Stats().EventsProcessed < producers*perProducer {
+			select {
+			case <-done:
+				return
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		close(producersDone)
+	}()
+	select {
+	case <-producersDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("producers timed out")
+	}
+	close(stopQueries)
+	<-done
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact accounting: every event counted once.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+		p, err := n.SubmitQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := p.Finalize(q).Rows
+		if len(rows) > 0 && rows[0].Values[0] == producers*perProducer {
+			break
+		}
+		if time.Now().After(deadline) {
+			got := float64(-1)
+			if len(rows) > 0 {
+				got = rows[0].Values[0]
+			}
+			t.Fatalf("final sum = %v, want %d", got, producers*perProducer)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := n.Stats()
+	if st.EventsProcessed != producers*perProducer {
+		t.Fatalf("EventsProcessed = %d", st.EventsProcessed)
+	}
+	if st.Records != entities {
+		t.Fatalf("Records = %d, want %d", st.Records, entities)
+	}
+}
+
+// TestHotEntityCompaction exercises the paper's observation that hot-spot
+// entities are automatically "compacted" in the delta: many updates to one
+// entity between merges must merge as a single record.
+func TestHotEntityCompaction(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPartition(sch, 16, nil)
+	for i := 0; i < 1000; i++ {
+		ev := mkEvent(7, int64(i))
+		p.ApplyEvent(&ev)
+	}
+	if p.DeltaLen() != 1 {
+		t.Fatalf("delta holds %d entries for one hot entity", p.DeltaLen())
+	}
+	if merged := p.MergeStep(); merged != 1 {
+		t.Fatalf("merged %d records, want 1 (compacted)", merged)
+	}
+	buf := make([]uint64, sch.Slots)
+	if _, ok := p.Get(7, buf); !ok {
+		t.Fatal("hot entity lost")
+	}
+	calls := sch.MustAttrIndex("calls_today_count")
+	if int64(buf[calls]) != 1000 {
+		t.Fatalf("calls = %d, want 1000", buf[calls])
+	}
+}

@@ -1,0 +1,82 @@
+// Package delta implements the indexed delta store of AIM's differential
+// update design (§3.1, §4.6).
+//
+// A Delta accumulates whole Entity Records keyed by entity id. Because it is
+// indexed (a hash map rather than an append log), the merge step needs no
+// sorting: a single pass over the delta replaces the corresponding records
+// in the main ColumnMap (the paper's refinement of Krueger et al.'s
+// differential updates).
+//
+// A Delta is written by exactly one ESP thread; the merging RTA thread reads
+// it only after it has been sealed by the partition's delta-switch protocol
+// (see internal/core), so the Delta itself needs no locking. Hot entities
+// overwrite their own entry in place, which is the automatic "compaction"
+// the paper notes favours skewed workloads.
+package delta
+
+// Delta is an in-memory, indexed store of pending record versions.
+type Delta struct {
+	m map[uint64][]uint64
+}
+
+// New returns an empty delta with capacity for sizeHint entries.
+func New(sizeHint int) *Delta {
+	return &Delta{m: make(map[uint64][]uint64, sizeHint)}
+}
+
+// Len returns the number of distinct entities in the delta.
+func (d *Delta) Len() int { return len(d.m) }
+
+// Get copies the pending record for entityID into dst and reports whether
+// one exists. dst must be at least as long as the stored record.
+func (d *Delta) Get(entityID uint64, dst []uint64) bool {
+	rec, ok := d.m[entityID]
+	if !ok {
+		return false
+	}
+	copy(dst, rec)
+	return true
+}
+
+// Slot returns one slot of the pending record for entityID without copying
+// the rest; the storage layer uses it for version checks.
+func (d *Delta) Slot(entityID uint64, slot int) (uint64, bool) {
+	rec, ok := d.m[entityID]
+	if !ok || slot >= len(rec) {
+		return 0, false
+	}
+	return rec[slot], true
+}
+
+// Contains reports whether the delta holds a pending record for entityID.
+func (d *Delta) Contains(entityID uint64) bool {
+	_, ok := d.m[entityID]
+	return ok
+}
+
+// Put stores rec as the pending version for entityID, overwriting any prior
+// version in place (reusing its storage when the widths match).
+func (d *Delta) Put(entityID uint64, rec []uint64) {
+	if old, ok := d.m[entityID]; ok && len(old) == len(rec) {
+		copy(old, rec)
+		return
+	}
+	cp := make([]uint64, len(rec))
+	copy(cp, rec)
+	d.m[entityID] = cp
+}
+
+// Iterate calls fn for every pending record. The record slice is the
+// delta's internal storage; fn must not retain or mutate it. Iteration
+// order is unspecified.
+func (d *Delta) Iterate(fn func(entityID uint64, rec []uint64)) {
+	for id, rec := range d.m {
+		fn(id, rec)
+	}
+}
+
+// Reset discards all pending records but keeps the allocated table so the
+// pre-allocated double-delta scheme stays cheap.
+func (d *Delta) Reset() {
+	clear(d.m)
+}

@@ -1,0 +1,118 @@
+package delta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetOverwrite(t *testing.T) {
+	d := New(4)
+	if d.Len() != 0 {
+		t.Fatalf("fresh delta Len = %d", d.Len())
+	}
+	d.Put(1, []uint64{1, 10, 20})
+	d.Put(2, []uint64{2, 30, 40})
+	d.Put(1, []uint64{1, 11, 21}) // overwrite in place
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	dst := make([]uint64, 3)
+	if !d.Get(1, dst) {
+		t.Fatal("Get(1) missed")
+	}
+	if dst[1] != 11 || dst[2] != 21 {
+		t.Fatalf("Get(1) = %v", dst)
+	}
+	if d.Get(99, dst) {
+		t.Fatal("Get(99) hit")
+	}
+	if !d.Contains(2) || d.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestGetCopiesOut(t *testing.T) {
+	d := New(1)
+	d.Put(1, []uint64{1, 5})
+	dst := make([]uint64, 2)
+	d.Get(1, dst)
+	dst[1] = 99
+	again := make([]uint64, 2)
+	d.Get(1, again)
+	if again[1] != 5 {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func TestPutCopiesIn(t *testing.T) {
+	d := New(1)
+	src := []uint64{1, 5}
+	d.Put(1, src)
+	src[1] = 99
+	dst := make([]uint64, 2)
+	d.Get(1, dst)
+	if dst[1] != 5 {
+		t.Fatal("Put retained caller storage")
+	}
+}
+
+func TestIterateAndReset(t *testing.T) {
+	d := New(4)
+	for e := uint64(1); e <= 5; e++ {
+		d.Put(e, []uint64{e, e * 2})
+	}
+	seen := map[uint64]uint64{}
+	d.Iterate(func(id uint64, rec []uint64) { seen[id] = rec[1] })
+	if len(seen) != 5 {
+		t.Fatalf("Iterate saw %d entries", len(seen))
+	}
+	for e := uint64(1); e <= 5; e++ {
+		if seen[e] != e*2 {
+			t.Fatalf("entity %d value %d", e, seen[e])
+		}
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", d.Len())
+	}
+	count := 0
+	d.Iterate(func(uint64, []uint64) { count++ })
+	if count != 0 {
+		t.Fatal("Iterate after Reset yielded entries")
+	}
+	// Reusable after reset.
+	d.Put(7, []uint64{7, 1})
+	if d.Len() != 1 {
+		t.Fatal("delta unusable after Reset")
+	}
+}
+
+// TestQuickLastWriteWins property-tests that the delta always returns the
+// most recent record for every key.
+func TestQuickLastWriteWins(t *testing.T) {
+	f := func(writes []struct {
+		ID  uint8
+		Val uint64
+	}) bool {
+		d := New(0)
+		want := map[uint64]uint64{}
+		for _, w := range writes {
+			id := uint64(w.ID)
+			d.Put(id, []uint64{id, w.Val})
+			want[id] = w.Val
+		}
+		if d.Len() != len(want) {
+			return false
+		}
+		dst := make([]uint64, 2)
+		for id, v := range want {
+			if !d.Get(id, dst) || dst[1] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

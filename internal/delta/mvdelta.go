@@ -1,0 +1,159 @@
+package delta
+
+import "sort"
+
+// MVDelta is the multi-versioned delta the paper's conclusion proposes as
+// the stepping stone from AIM's storage layer to a general OLTP/OLAP engine
+// (§7: "making the delta multi-versioned seems sufficient. Multi-versioned
+// deltas would, in addition, allow us to maintain multiple Analytics
+// Matrices because ESP could use atomic transactions to update the involved
+// Entity Records all at once").
+//
+// Each entity keeps a small newest-first version chain. Writers assign
+// monotonically increasing versions (one PutBatch = one atomic version for
+// several entities); readers pick a snapshot version and use GetAsOf, which
+// ignores anything newer. Truncate garbage-collects versions that no live
+// reader can need. Like Delta, an MVDelta is single-writer and externally
+// synchronized.
+type MVDelta struct {
+	m       map[uint64][]versioned
+	newest  uint64
+	entries int
+}
+
+type versioned struct {
+	version uint64
+	rec     []uint64
+}
+
+// NewMV returns an empty multi-versioned delta.
+func NewMV(sizeHint int) *MVDelta {
+	return &MVDelta{m: make(map[uint64][]versioned, sizeHint)}
+}
+
+// Len returns the number of distinct entities.
+func (d *MVDelta) Len() int { return len(d.m) }
+
+// Versions returns the total number of stored record versions.
+func (d *MVDelta) Versions() int { return d.entries }
+
+// Newest returns the highest version ever written.
+func (d *MVDelta) Newest() uint64 { return d.newest }
+
+// Put stores rec as the entity's state at the given version. Versions must
+// not decrease per entity; equal versions overwrite in place (a transaction
+// touching the same entity twice).
+func (d *MVDelta) Put(entityID, version uint64, rec []uint64) {
+	if version > d.newest {
+		d.newest = version
+	}
+	chain := d.m[entityID]
+	if len(chain) > 0 {
+		head := &chain[0]
+		if head.version == version {
+			if len(head.rec) == len(rec) {
+				copy(head.rec, rec)
+				return
+			}
+			head.rec = append([]uint64(nil), rec...)
+			return
+		}
+		if head.version > version {
+			// Out-of-order write: keep chains sorted by inserting in place.
+			d.insertSorted(entityID, version, rec)
+			return
+		}
+	}
+	cp := make([]uint64, len(rec))
+	copy(cp, rec)
+	d.m[entityID] = append([]versioned{{version: version, rec: cp}}, chain...)
+	d.entries++
+}
+
+func (d *MVDelta) insertSorted(entityID, version uint64, rec []uint64) {
+	chain := d.m[entityID]
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].version <= version })
+	if i < len(chain) && chain[i].version == version {
+		if len(chain[i].rec) == len(rec) {
+			copy(chain[i].rec, rec)
+		} else {
+			chain[i].rec = append([]uint64(nil), rec...)
+		}
+		return
+	}
+	cp := make([]uint64, len(rec))
+	copy(cp, rec)
+	chain = append(chain, versioned{})
+	copy(chain[i+1:], chain[i:])
+	chain[i] = versioned{version: version, rec: cp}
+	d.m[entityID] = chain
+	d.entries++
+}
+
+// PutBatch atomically stores several records at one version — the
+// multi-record single-row-transaction generalization. It returns the
+// version used (newest+1).
+func (d *MVDelta) PutBatch(recs map[uint64][]uint64) uint64 {
+	v := d.newest + 1
+	for id, rec := range recs {
+		d.Put(id, v, rec)
+	}
+	return v
+}
+
+// Get copies the newest version into dst.
+func (d *MVDelta) Get(entityID uint64, dst []uint64) (uint64, bool) {
+	chain, ok := d.m[entityID]
+	if !ok || len(chain) == 0 {
+		return 0, false
+	}
+	copy(dst, chain[0].rec)
+	return chain[0].version, true
+}
+
+// GetAsOf copies the newest version with version <= maxVersion into dst —
+// the snapshot-read primitive.
+func (d *MVDelta) GetAsOf(entityID, maxVersion uint64, dst []uint64) (uint64, bool) {
+	chain, ok := d.m[entityID]
+	if !ok {
+		return 0, false
+	}
+	// Chains are newest-first; find the first entry <= maxVersion.
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].version <= maxVersion })
+	if i == len(chain) {
+		return 0, false
+	}
+	copy(dst, chain[i].rec)
+	return chain[i].version, true
+}
+
+// Truncate drops versions that no reader at or above minReaderVersion can
+// observe: for each entity, every version older than the newest version
+// <= minReaderVersion.
+func (d *MVDelta) Truncate(minReaderVersion uint64) {
+	for id, chain := range d.m {
+		i := sort.Search(len(chain), func(i int) bool { return chain[i].version <= minReaderVersion })
+		// chain[i] is the version a reader at minReaderVersion sees; all
+		// entries after it are unreachable.
+		if i < len(chain)-1 {
+			d.entries -= len(chain) - (i + 1)
+			d.m[id] = chain[:i+1]
+		}
+	}
+}
+
+// IterateNewest calls fn with every entity's newest record (the merge-step
+// view). fn must not retain the slice.
+func (d *MVDelta) IterateNewest(fn func(entityID uint64, version uint64, rec []uint64)) {
+	for id, chain := range d.m {
+		if len(chain) > 0 {
+			fn(id, chain[0].version, chain[0].rec)
+		}
+	}
+}
+
+// Reset discards everything but keeps the table allocated.
+func (d *MVDelta) Reset() {
+	clear(d.m)
+	d.entries = 0
+}

@@ -1,0 +1,189 @@
+package delta
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMVPutGetNewest(t *testing.T) {
+	d := NewMV(4)
+	d.Put(1, 10, []uint64{1, 100})
+	d.Put(1, 20, []uint64{1, 200})
+	d.Put(2, 15, []uint64{2, 999})
+	dst := make([]uint64, 2)
+	v, ok := d.Get(1, dst)
+	if !ok || v != 20 || dst[1] != 200 {
+		t.Fatalf("Get = v%d %v ok=%v", v, dst, ok)
+	}
+	if d.Len() != 2 || d.Versions() != 3 || d.Newest() != 20 {
+		t.Fatalf("Len=%d Versions=%d Newest=%d", d.Len(), d.Versions(), d.Newest())
+	}
+	if _, ok := d.Get(3, dst); ok {
+		t.Fatal("missing entity hit")
+	}
+}
+
+func TestMVGetAsOfSnapshotRead(t *testing.T) {
+	d := NewMV(4)
+	d.Put(1, 10, []uint64{1, 100})
+	d.Put(1, 20, []uint64{1, 200})
+	d.Put(1, 30, []uint64{1, 300})
+	dst := make([]uint64, 2)
+	cases := []struct {
+		asOf    uint64
+		wantV   uint64
+		wantVal uint64
+		ok      bool
+	}{
+		{5, 0, 0, false},
+		{10, 10, 100, true},
+		{15, 10, 100, true},
+		{20, 20, 200, true},
+		{29, 20, 200, true},
+		{30, 30, 300, true},
+		{99, 30, 300, true},
+	}
+	for _, c := range cases {
+		v, ok := d.GetAsOf(1, c.asOf, dst)
+		if ok != c.ok {
+			t.Fatalf("asOf %d: ok=%v", c.asOf, ok)
+		}
+		if ok && (v != c.wantV || dst[1] != c.wantVal) {
+			t.Fatalf("asOf %d: v=%d val=%d, want v=%d val=%d", c.asOf, v, dst[1], c.wantV, c.wantVal)
+		}
+	}
+}
+
+func TestMVSameVersionOverwrites(t *testing.T) {
+	d := NewMV(1)
+	d.Put(1, 10, []uint64{1, 100})
+	d.Put(1, 10, []uint64{1, 111})
+	if d.Versions() != 1 {
+		t.Fatalf("Versions = %d", d.Versions())
+	}
+	dst := make([]uint64, 2)
+	if _, ok := d.Get(1, dst); !ok || dst[1] != 111 {
+		t.Fatalf("overwrite lost: %v", dst)
+	}
+}
+
+func TestMVOutOfOrderInsert(t *testing.T) {
+	d := NewMV(1)
+	d.Put(1, 30, []uint64{1, 300})
+	d.Put(1, 10, []uint64{1, 100}) // late write of an older version
+	d.Put(1, 20, []uint64{1, 200})
+	dst := make([]uint64, 2)
+	if v, ok := d.GetAsOf(1, 25, dst); !ok || v != 20 || dst[1] != 200 {
+		t.Fatalf("asOf 25 after out-of-order inserts: v=%d val=%d", v, dst[1])
+	}
+	if v, ok := d.Get(1, dst); !ok || v != 30 {
+		t.Fatalf("newest = %d", v)
+	}
+	// Overwrite an interior version.
+	d.Put(1, 20, []uint64{1, 222})
+	if _, ok := d.GetAsOf(1, 20, dst); !ok || dst[1] != 222 {
+		t.Fatalf("interior overwrite lost: %v", dst[1])
+	}
+}
+
+func TestMVPutBatchAtomicVersion(t *testing.T) {
+	d := NewMV(4)
+	d.Put(1, 5, []uint64{1, 50})
+	v := d.PutBatch(map[uint64][]uint64{
+		1: {1, 60},
+		2: {2, 70},
+	})
+	if v != 6 {
+		t.Fatalf("batch version = %d", v)
+	}
+	dst := make([]uint64, 2)
+	// A reader at version 5 sees neither batch write.
+	if _, ok := d.GetAsOf(2, 5, dst); ok {
+		t.Fatal("snapshot 5 sees batch write")
+	}
+	if vv, ok := d.GetAsOf(1, 5, dst); !ok || vv != 5 || dst[1] != 50 {
+		t.Fatalf("snapshot 5 entity 1: v=%d val=%d", vv, dst[1])
+	}
+	// A reader at the batch version sees both atomically.
+	if _, ok := d.GetAsOf(1, 6, dst); !ok || dst[1] != 60 {
+		t.Fatal("batch write invisible at its version")
+	}
+	if _, ok := d.GetAsOf(2, 6, dst); !ok || dst[1] != 70 {
+		t.Fatal("batch write invisible at its version")
+	}
+}
+
+func TestMVTruncate(t *testing.T) {
+	d := NewMV(2)
+	for v := uint64(1); v <= 5; v++ {
+		d.Put(1, v*10, []uint64{1, v})
+	}
+	if d.Versions() != 5 {
+		t.Fatalf("Versions = %d", d.Versions())
+	}
+	// Oldest live reader is at 35: versions 10 and 20 become unreachable
+	// (30 is the newest <= 35 and must survive).
+	d.Truncate(35)
+	if d.Versions() != 3 {
+		t.Fatalf("after Truncate Versions = %d, want 3", d.Versions())
+	}
+	dst := make([]uint64, 2)
+	if v, ok := d.GetAsOf(1, 35, dst); !ok || v != 30 {
+		t.Fatalf("reader at 35 sees v%d", v)
+	}
+	if _, ok := d.GetAsOf(1, 15, dst); ok {
+		t.Fatal("truncated version still visible")
+	}
+	// Reset empties everything.
+	d.Reset()
+	if d.Len() != 0 || d.Versions() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestMVIterateNewest(t *testing.T) {
+	d := NewMV(4)
+	d.Put(1, 1, []uint64{1, 10})
+	d.Put(1, 2, []uint64{1, 20})
+	d.Put(2, 1, []uint64{2, 30})
+	seen := map[uint64]uint64{}
+	d.IterateNewest(func(id, v uint64, rec []uint64) { seen[id] = rec[1] })
+	if len(seen) != 2 || seen[1] != 20 || seen[2] != 30 {
+		t.Fatalf("IterateNewest = %v", seen)
+	}
+}
+
+// TestQuickMVSnapshotMonotone property-tests that for any write sequence,
+// GetAsOf(v) returns the record with the greatest version <= v.
+func TestQuickMVSnapshotMonotone(t *testing.T) {
+	f := func(versions []uint16) bool {
+		d := NewMV(1)
+		applied := map[uint64]uint64{} // version -> value
+		for i, v16 := range versions {
+			v := uint64(v16)%100 + 1
+			d.Put(1, v, []uint64{1, uint64(i + 1000)})
+			applied[v] = uint64(i + 1000)
+		}
+		dst := make([]uint64, 2)
+		for asOf := uint64(0); asOf <= 101; asOf++ {
+			var bestV, bestVal uint64
+			found := false
+			for v, val := range applied {
+				if v <= asOf && (!found || v > bestV) {
+					bestV, bestVal, found = v, val, true
+				}
+			}
+			gotV, ok := d.GetAsOf(1, asOf, dst)
+			if ok != found {
+				return false
+			}
+			if found && (gotV != bestV || dst[1] != bestVal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

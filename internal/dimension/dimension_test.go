@@ -1,0 +1,102 @@
+package dimension
+
+import "testing"
+
+func regionTable(t *testing.T) *Table {
+	t.Helper()
+	rt := NewTable("RegionInfo", "city", "region", "country")
+	rows := [][2]interface{}{}
+	_ = rows
+	data := []struct {
+		zip     uint64
+		city    string
+		region  string
+		country string
+	}{
+		{1000, "Zurich", "ZH", "CH"},
+		{1001, "Winterthur", "ZH", "CH"},
+		{2000, "Geneva", "GE", "CH"},
+		{3000, "Munich", "BY", "DE"},
+	}
+	for _, d := range data {
+		if err := rt.Insert(d.zip, d.city, d.region, d.country); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rt
+}
+
+func TestLookup(t *testing.T) {
+	rt := regionTable(t)
+	if got, ok := rt.Lookup(1000, "city"); !ok || got != "Zurich" {
+		t.Fatalf("Lookup(1000,city) = %q,%v", got, ok)
+	}
+	if got, ok := rt.Lookup(3000, "country"); !ok || got != "DE" {
+		t.Fatalf("Lookup(3000,country) = %q,%v", got, ok)
+	}
+	if _, ok := rt.Lookup(9999, "city"); ok {
+		t.Fatal("Lookup on missing key succeeded")
+	}
+	if _, ok := rt.Lookup(1000, "nope"); ok {
+		t.Fatal("Lookup on missing column succeeded")
+	}
+	if rt.Len() != 4 {
+		t.Fatalf("Len = %d", rt.Len())
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	rt := regionTable(t)
+	if err := rt.Insert(1000, "Dup", "X", "Y"); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	if err := rt.Insert(5000, "short"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	rt.Freeze()
+	if err := rt.Insert(6000, "a", "b", "c"); err == nil {
+		t.Fatal("insert after Freeze accepted")
+	}
+}
+
+func TestKeysAndDistinct(t *testing.T) {
+	rt := regionTable(t)
+	keys := rt.Keys()
+	if len(keys) != 4 || keys[0] != 1000 || keys[3] != 3000 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	ch := rt.KeysWhere("country", "CH")
+	if len(ch) != 3 || ch[0] != 1000 || ch[2] != 2000 {
+		t.Fatalf("KeysWhere(CH) = %v", ch)
+	}
+	if got := rt.KeysWhere("nope", "x"); got != nil {
+		t.Fatalf("KeysWhere on bad column = %v", got)
+	}
+	regions := rt.DistinctValues("region")
+	if len(regions) != 3 || regions[0] != "BY" {
+		t.Fatalf("DistinctValues(region) = %v", regions)
+	}
+	if got := rt.DistinctValues("nope"); got != nil {
+		t.Fatalf("DistinctValues on bad column = %v", got)
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	s.Add(regionTable(t))
+	s.Add(NewTable("Category", "name"))
+	if got := s.Names(); len(got) != 2 || got[0] != "Category" || got[1] != "RegionInfo" {
+		t.Fatalf("Names = %v", got)
+	}
+	tab, err := s.Table("RegionInfo")
+	if err != nil || tab.Name() != "RegionInfo" {
+		t.Fatalf("Table: %v %v", tab, err)
+	}
+	if _, err := s.Table("missing"); err == nil {
+		t.Fatal("Table(missing) succeeded")
+	}
+	// Add froze the table.
+	if err := tab.Insert(7000, "a", "b", "c"); err == nil {
+		t.Fatal("insert into frozen store table accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package esp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+func espSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func localCluster(t *testing.T, sch *schema.Schema, n int) (*cluster.Cluster, []*core.StorageNode) {
+	t.Helper()
+	c, nodes, err := cluster.NewLocal(n, core.Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+	return c, nodes
+}
+
+func TestRouterIngest(t *testing.T) {
+	sch := espSchema(t)
+	c, nodes := localCluster(t, sch, 2)
+	r := NewRouter(c)
+	for i := 0; i < 100; i++ {
+		if err := r.Ingest(event.Event{Caller: uint64(i%10) + 1, Timestamp: int64(i + 1), Duration: 1, Cost: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range nodes {
+		total += n.Stats().EventsProcessed
+	}
+	if total != 100 {
+		t.Fatalf("processed %d", total)
+	}
+	if _, err := r.IngestSync(event.Event{Caller: 3, Timestamp: 1000, Duration: 1, Cost: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverFixedRate(t *testing.T) {
+	sch := espSchema(t)
+	c, _ := localCluster(t, sch, 1)
+	gen := event.NewGenerator(100, 5)
+	d := &Driver{Gen: gen, Rate: 5000, Sink: NewRouter(c).Ingest}
+	st, err := d.Run(200*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent == 0 {
+		t.Fatal("no events sent")
+	}
+	// Achieved rate should be near the 5000/s target (allow wide slack for
+	// CI noise, but it must not be unthrottled).
+	if st.AchievedRate > 12000 || st.AchievedRate < 1000 {
+		t.Fatalf("achieved rate %.0f ev/s, want ~5000", st.AchievedRate)
+	}
+}
+
+func TestDriverExactCount(t *testing.T) {
+	sch := espSchema(t)
+	c, nodes := localCluster(t, sch, 1)
+	gen := event.NewGenerator(100, 5)
+	d := &Driver{Gen: gen, Sink: NewRouter(c).Ingest}
+	st, err := d.Run(0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent != 500 {
+		t.Fatalf("sent %d, want 500", st.Sent)
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[0].Stats().EventsProcessed; got != 500 {
+		t.Fatalf("processed %d", got)
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	d := &Driver{}
+	if _, err := d.Run(time.Millisecond, 0); err == nil {
+		t.Fatal("driver without Gen/Sink ran")
+	}
+}
+
+func TestGetPutProcessor(t *testing.T) {
+	sch := espSchema(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	node, err := core.NewNode(core.Config{Schema: sch, Partitions: 2, BucketSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Stop)
+
+	eng, err := rules.NewEngine(sch, []rules.Rule{{
+		ID: 1, Action: "hit",
+		Conjuncts: []rules.Conjunct{{{Kind: rules.LHSAttr, Attr: calls, Op: rules.Ge, Value: 3}}},
+	}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewGetPutProcessor(sch, node, eng, nil)
+
+	totalFirings := 0
+	for i := 0; i < 5; i++ {
+		nf, err := p.Process(event.Event{Caller: 9, Timestamp: 100*24*3600*1000 + int64(i), Duration: 10, Cost: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalFirings += nf
+	}
+	if totalFirings != 3 {
+		t.Fatalf("firings = %d, want 3", totalFirings)
+	}
+	rec, _, ok, err := node.Get(9)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if rec.Int(calls) != 5 {
+		t.Fatalf("calls = %d, want 5", rec.Int(calls))
+	}
+}

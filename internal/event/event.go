@@ -1,0 +1,84 @@
+// Package event defines the Call Detail Record (CDR) event model used by the
+// AIM system: the in-memory representation, a fixed-size binary wire codec,
+// and a deterministic synthetic event generator.
+//
+// Events are the paper's 64-byte CDRs (§4.2): each one describes a single
+// phone call placed by a subscriber (the Entity) and is the unit of work for
+// the ESP subsystem.
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WireSize is the fixed encoded size of an Event in bytes. The paper quotes
+// 64 B events on the wire; we use the same fixed frame.
+const WireSize = 64
+
+// Event is a single Call Detail Record.
+type Event struct {
+	// Caller is the entity-id of the subscriber that placed the call. All
+	// Analytics-Matrix indicators are maintained per caller.
+	Caller uint64
+	// Callee is the entity-id (or external number hash) of the receiver.
+	Callee uint64
+	// Timestamp is the call start time in milliseconds since the Unix epoch.
+	Timestamp int64
+	// Duration is the call duration in seconds.
+	Duration int64
+	// Cost is the call cost in dollars.
+	Cost float64
+	// LongDistance reports whether the call was long-distance (false = local).
+	LongDistance bool
+}
+
+// flag bits in the encoded flags word.
+const flagLongDistance = 1 << 0
+
+// Encode writes the event into dst, which must be at least WireSize bytes,
+// and returns the number of bytes written.
+func (e *Event) Encode(dst []byte) int {
+	_ = dst[WireSize-1] // bounds check hint
+	binary.LittleEndian.PutUint64(dst[0:], e.Caller)
+	binary.LittleEndian.PutUint64(dst[8:], e.Callee)
+	binary.LittleEndian.PutUint64(dst[16:], uint64(e.Timestamp))
+	binary.LittleEndian.PutUint64(dst[24:], uint64(e.Duration))
+	binary.LittleEndian.PutUint64(dst[32:], floatBits(e.Cost))
+	var flags uint64
+	if e.LongDistance {
+		flags |= flagLongDistance
+	}
+	binary.LittleEndian.PutUint64(dst[40:], flags)
+	// Bytes 48..63 are reserved padding to keep the frame at 64 B like the
+	// paper's CDRs; they are zeroed so frames are deterministic.
+	for i := 48; i < WireSize; i++ {
+		dst[i] = 0
+	}
+	return WireSize
+}
+
+// Decode parses an event from src, which must hold at least WireSize bytes.
+func (e *Event) Decode(src []byte) error {
+	if len(src) < WireSize {
+		return fmt.Errorf("event: short frame: %d < %d bytes", len(src), WireSize)
+	}
+	e.Caller = binary.LittleEndian.Uint64(src[0:])
+	e.Callee = binary.LittleEndian.Uint64(src[8:])
+	e.Timestamp = int64(binary.LittleEndian.Uint64(src[16:]))
+	e.Duration = int64(binary.LittleEndian.Uint64(src[24:]))
+	e.Cost = floatFrom(binary.LittleEndian.Uint64(src[32:]))
+	flags := binary.LittleEndian.Uint64(src[40:])
+	e.LongDistance = flags&flagLongDistance != 0
+	return nil
+}
+
+// String implements fmt.Stringer for debugging output.
+func (e *Event) String() string {
+	kind := "local"
+	if e.LongDistance {
+		kind = "long-distance"
+	}
+	return fmt.Sprintf("CDR{caller=%d callee=%d ts=%d dur=%ds cost=$%.2f %s}",
+		e.Caller, e.Callee, e.Timestamp, e.Duration, e.Cost, kind)
+}

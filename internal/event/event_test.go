@@ -1,0 +1,98 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Event{Caller: 7, Callee: 9, Timestamp: 123456789, Duration: 42, Cost: 1.25, LongDistance: true}
+	var buf [WireSize]byte
+	if n := in.Encode(buf[:]); n != WireSize {
+		t.Fatalf("Encode wrote %d bytes, want %d", n, WireSize)
+	}
+	var out Event
+	if err := out.Decode(buf[:]); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: got %+v want %+v", out, in)
+	}
+}
+
+func TestDecodeShortFrame(t *testing.T) {
+	var e Event
+	if err := e.Decode(make([]byte, WireSize-1)); err == nil {
+		t.Fatal("Decode on short frame should fail")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(caller, callee uint64, ts, dur int64, cost float64, ld bool) bool {
+		in := Event{Caller: caller, Callee: callee, Timestamp: ts, Duration: dur, Cost: cost, LongDistance: ld}
+		var buf [WireSize]byte
+		in.Encode(buf[:])
+		var out Event
+		if err := out.Decode(buf[:]); err != nil {
+			return false
+		}
+		// NaN cost compares unequal to itself; compare bit patterns instead.
+		return out.Caller == in.Caller && out.Callee == in.Callee &&
+			out.Timestamp == in.Timestamp && out.Duration == in.Duration &&
+			floatBits(out.Cost) == floatBits(in.Cost) && out.LongDistance == in.LongDistance
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(1000, 42)
+	g2 := NewGenerator(1000, 42)
+	for i := 0; i < 100; i++ {
+		var a, b Event
+		g1.Next(&a)
+		g2.Next(&b)
+		if a != b {
+			t.Fatalf("event %d differs between same-seed generators: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorBounds(t *testing.T) {
+	g := NewGenerator(50, 7)
+	ld := 0
+	var prevTS int64
+	for i := 0; i < 2000; i++ {
+		var e Event
+		g.Next(&e)
+		if e.Caller < 1 || e.Caller > 50 {
+			t.Fatalf("caller %d out of [1,50]", e.Caller)
+		}
+		if e.Duration < 1 || e.Duration > g.MaxDuration {
+			t.Fatalf("duration %d out of bounds", e.Duration)
+		}
+		if e.Cost < 0 {
+			t.Fatalf("negative cost %v", e.Cost)
+		}
+		if e.Timestamp <= prevTS && i > 0 {
+			t.Fatalf("timestamps not strictly increasing: %d then %d", prevTS, e.Timestamp)
+		}
+		prevTS = e.Timestamp
+		if e.LongDistance {
+			ld++
+		}
+	}
+	if ld == 0 || ld == 2000 {
+		t.Fatalf("long-distance fraction degenerate: %d/2000", ld)
+	}
+}
+
+func TestGeneratorNextFor(t *testing.T) {
+	g := NewGenerator(50, 7)
+	var e Event
+	g.NextFor(&e, 33)
+	if e.Caller != 33 {
+		t.Fatalf("NextFor caller = %d, want 33", e.Caller)
+	}
+}

@@ -1,0 +1,239 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Client is a TCP storage handle implementing core.Storage, so ESP routers
+// and RTA coordinators can drive remote storage servers exactly like
+// in-process ones.
+type Client struct {
+	conn net.Conn
+	sch  *schema.Schema
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan frame
+	nextID  uint64
+	readErr error
+	closed  bool
+}
+
+var _ core.Storage = (*Client)(nil)
+
+// Dial connects to a storage server. The client must use the same schema as
+// the server.
+func Dial(addr string, sch *schema.Schema) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, sch: sch, pending: make(map[uint64]chan frame)}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close shuts the connection down; pending requests fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	for {
+		f, err := readFrame(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if f.typ != msgResp {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[f.reqID]
+		delete(c.pending, f.reqID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// register allocates a request id and its response channel.
+func (c *Client) register() (uint64, chan frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, c.connErr()
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan frame, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+func (c *Client) connErr() error {
+	if c.readErr != nil {
+		return fmt.Errorf("netproto: connection closed: %w", c.readErr)
+	}
+	return errors.New("netproto: connection closed")
+}
+
+func (c *Client) send(f frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, f)
+}
+
+// call sends a request and waits for its response payload.
+func (c *Client) call(typ uint8, body []byte) ([]byte, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(frame{typ: typ, reqID: id, body: body}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	f, ok := <-ch
+	if !ok {
+		return nil, c.connErr()
+	}
+	return splitResp(f.body)
+}
+
+// ProcessEventAsync ships an event fire-and-forget (the 64 B CDR frame).
+func (c *Client) ProcessEventAsync(ev event.Event) error {
+	var buf [event.WireSize]byte
+	ev.Encode(buf[:])
+	return c.send(frame{typ: msgEvent, body: buf[:]})
+}
+
+// ProcessEvent ships an event and waits for its firing count.
+func (c *Client) ProcessEvent(ev event.Event) (int, error) {
+	var buf [event.WireSize]byte
+	ev.Encode(buf[:])
+	payload, err := c.call(msgEventSync, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) < 4 {
+		return 0, errors.New("netproto: short event response")
+	}
+	return int(binary.LittleEndian.Uint32(payload)), nil
+}
+
+// FlushEvents drains the server's ESP queues. Because frames on one
+// connection are processed in order, the flush also covers every event this
+// client sent before it.
+func (c *Client) FlushEvents() error {
+	_, err := c.call(msgFlush, nil)
+	return err
+}
+
+// Get fetches a record.
+func (c *Client) Get(entityID uint64) (schema.Record, uint64, bool, error) {
+	var body [8]byte
+	binary.LittleEndian.PutUint64(body[:], entityID)
+	payload, err := c.call(msgGet, body[:])
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(payload) < 9 {
+		return nil, 0, false, errors.New("netproto: short get response")
+	}
+	found := payload[0] == 1
+	version := binary.LittleEndian.Uint64(payload[1:])
+	if !found {
+		return nil, 0, false, nil
+	}
+	rec, err := schema.DecodeRecord(payload[9:], c.sch.Slots)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return rec, version, true, nil
+}
+
+// Put stores a record unconditionally.
+func (c *Client) Put(rec schema.Record) error {
+	body := make([]byte, schema.EncodedSize(len(rec)))
+	schema.EncodeRecord(rec, body)
+	_, err := c.call(msgPut, body)
+	return err
+}
+
+// ConditionalPut stores a record guarded by its version. Remote version
+// conflicts are surfaced as core.ErrVersionConflict so ESP retry loops work
+// across the wire.
+func (c *Client) ConditionalPut(rec schema.Record, expected uint64) error {
+	body := make([]byte, 8+schema.EncodedSize(len(rec)))
+	binary.LittleEndian.PutUint64(body, expected)
+	schema.EncodeRecord(rec, body[8:])
+	_, err := c.call(msgCondPut, body)
+	if err != nil && strings.Contains(err.Error(), core.ErrVersionConflict.Error()) {
+		return fmt.Errorf("%w: %v", core.ErrVersionConflict, err)
+	}
+	return err
+}
+
+// SubmitQueryAsync ships a query and returns a channel that delivers the
+// server-level partial when the remote shared scan completes.
+func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(frame{typ: msgQuery, reqID: id, body: query.EncodeQuery(q)}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	out := make(chan core.QueryResponse, 1)
+	go func() {
+		f, ok := <-ch
+		if !ok {
+			out <- core.QueryResponse{Err: c.connErr()}
+			return
+		}
+		payload, err := splitResp(f.body)
+		if err != nil {
+			out <- core.QueryResponse{Err: err}
+			return
+		}
+		p, err := query.DecodePartial(payload)
+		if err != nil {
+			out <- core.QueryResponse{Err: err}
+			return
+		}
+		out <- core.QueryResponse{Partial: p}
+	}()
+	return out, nil
+}
+
+// SubmitQuery ships a query and waits for the partial.
+func (c *Client) SubmitQuery(q *query.Query) (*query.Partial, error) {
+	ch, err := c.SubmitQueryAsync(q)
+	if err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.Partial, r.Err
+}

@@ -1,0 +1,254 @@
+package netproto
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rta"
+	"repro/internal/schema"
+)
+
+func netSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+// startPair boots a storage node, serves it over TCP and dials a client.
+func startPair(t *testing.T) (*Client, *core.StorageNode, *schema.Schema) {
+	t.Helper()
+	sch := netSchema(t)
+	node, err := core.NewNode(core.Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", node, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+		node.Stop()
+	})
+	return cli, node, sch
+}
+
+func TestEventsOverTCP(t *testing.T) {
+	cli, node, _ := startPair(t)
+	for i := 0; i < 200; i++ {
+		ev := event.Event{Caller: uint64(i%20) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := cli.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := node.Stats().EventsProcessed; got != 200 {
+		t.Fatalf("server processed %d events, want 200", got)
+	}
+	// Sync path returns firing counts (0 here; no rules installed).
+	if nf, err := cli.ProcessEvent(event.Event{Caller: 1, Timestamp: 1000, Duration: 1, Cost: 1}); err != nil || nf != 0 {
+		t.Fatalf("ProcessEvent: %d %v", nf, err)
+	}
+}
+
+func TestGetPutCondPutOverTCP(t *testing.T) {
+	cli, _, sch := startPair(t)
+	rec := sch.NewRecord(42)
+	if err := cli.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, v, ok, err := cli.Get(42)
+	if err != nil || !ok {
+		t.Fatalf("Get: %v %v", ok, err)
+	}
+	if got.EntityID() != 42 {
+		t.Fatalf("entity = %d", got.EntityID())
+	}
+	if err := cli.ConditionalPut(got, v); err != nil {
+		t.Fatalf("ConditionalPut: %v", err)
+	}
+	err = cli.ConditionalPut(got, v)
+	if !errors.Is(err, core.ErrVersionConflict) {
+		t.Fatalf("stale ConditionalPut err = %v, want ErrVersionConflict across the wire", err)
+	}
+	if _, _, ok, err := cli.Get(4242); err != nil || ok {
+		t.Fatalf("Get(missing): %v %v", ok, err)
+	}
+}
+
+func TestQueryOverTCP(t *testing.T) {
+	cli, _, sch := startPair(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	for i := 0; i < 100; i++ {
+		ev := event.Event{Caller: uint64(i%10) + 1, Timestamp: 100*24*3600*1000 + int64(i), Duration: 5, Cost: 1}
+		if err := cli.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, err := cli.SubmitQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Finalize(q)
+		if len(res.Rows) > 0 && res.Rows[0].Values[0] == 100 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never saw all events over TCP")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Invalid queries error across the wire.
+	if _, err := cli.SubmitQuery(&query.Query{ID: 2, GroupBy: -1}); err == nil {
+		t.Fatal("invalid query accepted over TCP")
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	sch := netSchema(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	var handles []core.Storage
+	for i := 0; i < 3; i++ {
+		node, err := core.NewNode(core.Config{
+			Schema: sch, Partitions: 2, BucketSize: 32,
+			IdleMergePause: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Serve("127.0.0.1:0", node, sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := Dial(srv.Addr(), sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cli.Close()
+			srv.Close()
+			node.Stop()
+		})
+		handles = append(handles, cli)
+	}
+	c, err := cluster.New(handles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		ev := event.Event{Caller: uint64(i%60) + 1, Timestamp: 100*24*3600*1000 + int64(i), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := rta.NewCoordinator(c.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		res, err := coord.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) > 0 && res.Rows[0].Values[0] == 300 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TCP cluster never converged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestClientFailsAfterServerClose(t *testing.T) {
+	sch := netSchema(t)
+	node, err := core.NewNode(core.Config{Schema: sch, Partitions: 1, BucketSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	srv, err := Serve("127.0.0.1:0", node, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := Dial(srv.Addr(), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close()
+	time.Sleep(10 * time.Millisecond)
+	if _, _, _, err := cli.Get(1); err == nil {
+		t.Fatal("Get after server close succeeded")
+	}
+}
+
+func TestFrameValidation(t *testing.T) {
+	f := frame{typ: msgGet, reqID: 7, body: []byte{1, 2, 3}}
+	var buf writerBuf
+	if err := writeFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.typ != f.typ || got.reqID != f.reqID || string(got.body) != string(f.body) {
+		t.Fatalf("round trip %+v != %+v", got, f)
+	}
+	// Oversized frames are rejected before allocation.
+	var hdr writerBuf
+	hdr.b = []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(&hdr); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// writerBuf is a minimal in-memory io.ReadWriter for frame tests.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *writerBuf) Read(p []byte) (int, error) {
+	if len(w.b) == 0 {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, w.b)
+	w.b = w.b[n:]
+	return n, nil
+}

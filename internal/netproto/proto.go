@@ -1,0 +1,116 @@
+// Package netproto implements AIM's network protocol (§4.2): a
+// length-framed binary TCP protocol carrying the storage interface —
+// synchronous Get/Put/event traffic from ESP nodes and asynchronous query
+// submission from RTA nodes. The paper runs the same logical protocol over
+// Infiniband; see DESIGN.md for the substitution note.
+//
+// Frame layout (little endian):
+//
+//	u32 length   // bytes after this field
+//	u8  type     // message type
+//	u64 reqID    // request correlation id (0 for fire-and-forget)
+//	...body      // type-specific payload
+//
+// Responses carry a status byte: 0 = ok (payload follows), 1 = error (UTF-8
+// message follows).
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	msgEvent     uint8 = iota + 1 // body: 64 B event; fire-and-forget
+	msgEventSync                  // body: 64 B event; resp: i32 firings
+	msgFlush                      // resp: empty
+	msgGet                        // body: u64 entity; resp: u8 found, u64 version, record
+	msgPut                        // body: record; resp: empty
+	msgCondPut                    // body: u64 version, record; resp: empty
+	msgQuery                      // body: encoded query; resp: encoded partial
+	msgResp                       // response frame
+)
+
+// maxFrame bounds a frame to keep a malformed peer from allocating
+// unboundedly. Partials over huge group counts dominate; 64 MiB is ample.
+const maxFrame = 64 << 20
+
+// statusOK / statusErr lead every response body.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+type frame struct {
+	typ   uint8
+	reqID uint64
+	body  []byte
+}
+
+// writeFrame sends one frame; the caller must serialize writes.
+func writeFrame(w io.Writer, f frame) error {
+	var hdr [13]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(9+len(f.body)))
+	hdr[4] = f.typ
+	binary.LittleEndian.PutUint64(hdr[5:], f.reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.body) > 0 {
+		if _, err := w.Write(f.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 9 || n > maxFrame {
+		return frame{}, fmt.Errorf("netproto: invalid frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return frame{}, err
+	}
+	return frame{
+		typ:   buf[0],
+		reqID: binary.LittleEndian.Uint64(buf[1:9]),
+		body:  buf[9:],
+	}, nil
+}
+
+// okBody prefixes a payload with the ok status.
+func okBody(payload []byte) []byte {
+	out := make([]byte, 1+len(payload))
+	out[0] = statusOK
+	copy(out[1:], payload)
+	return out
+}
+
+// errBody encodes an error response.
+func errBody(err error) []byte {
+	msg := err.Error()
+	out := make([]byte, 1+len(msg))
+	out[0] = statusErr
+	copy(out[1:], msg)
+	return out
+}
+
+// splitResp separates a response body into payload or error.
+func splitResp(body []byte) ([]byte, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("netproto: empty response body")
+	}
+	if body[0] == statusErr {
+		return nil, fmt.Errorf("netproto: remote: %s", string(body[1:]))
+	}
+	return body[1:], nil
+}

@@ -1,0 +1,187 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// rawDial opens a plain TCP connection to a server for malformed-frame
+// injection.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func startServer(t *testing.T) (*Server, *core.StorageNode, *schema.Schema) {
+	t.Helper()
+	sch := netSchema(t)
+	node, err := core.NewNode(core.Config{
+		Schema: sch, Partitions: 1, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Serve("127.0.0.1:0", node, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		node.Stop()
+	})
+	return srv, node, sch
+}
+
+// TestServerSurvivesMalformedFrames injects garbage and undersized frames;
+// the server must drop the bad connection (or answer with an error) and
+// keep serving well-formed clients.
+func TestServerSurvivesMalformedFrames(t *testing.T) {
+	srv, _, sch := startServer(t)
+
+	payloads := [][]byte{
+		{},                       // nothing (immediate close)
+		{0x01},                   // truncated length prefix
+		{0xff, 0xff, 0xff, 0x7f}, // absurd frame length
+		{0x00, 0x00, 0x00, 0x00}, // zero-length frame (< header)
+		{0x09, 0x00, 0x00, 0x00, 99, 0, 0, 0, 0, 0, 0, 0, 0}, // unknown type
+	}
+	for i, p := range payloads {
+		conn := rawDial(t, srv.Addr())
+		if len(p) > 0 {
+			if _, err := conn.Write(p); err != nil {
+				t.Logf("payload %d: write error %v (fine)", i, err)
+			}
+		}
+		conn.Close()
+	}
+	// Truncated bodies for every message type.
+	for _, typ := range []uint8{msgEvent, msgEventSync, msgGet, msgPut, msgCondPut, msgQuery} {
+		conn := rawDial(t, srv.Addr())
+		var hdr [13]byte
+		binary.LittleEndian.PutUint32(hdr[0:], 9+2) // 2-byte body
+		hdr[4] = typ
+		binary.LittleEndian.PutUint64(hdr[5:], 1)
+		conn.Write(hdr[:])
+		conn.Write([]byte{0xde, 0xad})
+		// Give the server a beat to process, then drop the connection.
+		time.Sleep(2 * time.Millisecond)
+		conn.Close()
+	}
+
+	// A healthy client still works end to end.
+	cli, err := Dial(srv.Addr(), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Put(sch.NewRecord(7)); err != nil {
+		t.Fatalf("healthy client broken after garbage: %v", err)
+	}
+	if _, _, ok, err := cli.Get(7); err != nil || !ok {
+		t.Fatalf("Get after garbage: %v %v", ok, err)
+	}
+}
+
+// TestManyConcurrentClients hammers one server with parallel clients mixing
+// events, gets and queries.
+func TestManyConcurrentClients(t *testing.T) {
+	srv, node, sch := startServer(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+
+	const clients = 8
+	const perClient = 100
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr(), sch)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < perClient; i++ {
+				ev := event.Event{Caller: uint64(c*perClient+i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+				if err := cli.ProcessEventAsync(ev); err != nil {
+					errCh <- err
+					return
+				}
+				if i%10 == 0 {
+					q := &query.Query{ID: uint64(c*1000 + i), Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+					if _, err := cli.SubmitQuery(q); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+			if err := cli.FlushEvents(); err != nil {
+				errCh <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := node.Stats().EventsProcessed; got != clients*perClient {
+		t.Fatalf("server processed %d events, want %d", got, clients*perClient)
+	}
+}
+
+// TestPipelinedQueriesOneConnection verifies the asynchronous protocol:
+// many queries in flight on one connection, answered out of submission
+// lockstep.
+func TestPipelinedQueriesOneConnection(t *testing.T) {
+	srv, _, sch := startServer(t)
+	cli, err := Dial(srv.Addr(), sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	for i := 0; i < 50; i++ {
+		ev := event.Event{Caller: uint64(i + 1), Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := cli.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	calls := sch.MustAttrIndex("calls_today_count")
+	const inflight = 32
+	chans := make([]<-chan core.QueryResponse, inflight)
+	for i := 0; i < inflight; i++ {
+		q := &query.Query{ID: uint64(i + 1), Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+		ch, err := cli.SubmitQueryAsync(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if r.Partial.QueryID != uint64(i+1) {
+			t.Fatalf("query %d got partial for %d", i+1, r.Partial.QueryID)
+		}
+	}
+}

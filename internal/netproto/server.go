@@ -1,0 +1,214 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// Server exposes a storage node over TCP. Event frames are applied with
+// fire-and-forget semantics (the ESP stream); request/response frames are
+// answered in order of completion, with query work running asynchronously
+// so slow scans never block the event path (§4.2: ESP communication is
+// synchronous, RTA communication is asynchronous).
+type Server struct {
+	node core.Storage
+	sch  *schema.Schema
+	ln   net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+	quit  chan struct{}
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") backed by node.
+func Serve(addr string, node core.Storage, sch *schema.Schema) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		node:  node,
+		sch:   sch,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		quit:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes every connection and waits for handlers.
+func (s *Server) Close() {
+	close(s.quit)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				return // listener failed; nothing more to accept
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	reply := func(reqID uint64, body []byte) {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_ = writeFrame(conn, frame{typ: msgResp, reqID: reqID, body: body})
+	}
+	var pendingQueries sync.WaitGroup
+	defer pendingQueries.Wait()
+
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch f.typ {
+		case msgEvent, msgEventSync:
+			var ev event.Event
+			if err := ev.Decode(f.body); err != nil {
+				if f.typ == msgEventSync {
+					reply(f.reqID, errBody(err))
+				}
+				continue
+			}
+			if f.typ == msgEvent {
+				if err := s.node.ProcessEventAsync(ev); err != nil {
+					// Fire-and-forget: the error surfaces via Flush.
+					continue
+				}
+			} else {
+				firings, err := s.node.ProcessEvent(ev)
+				if err != nil {
+					reply(f.reqID, errBody(err))
+					continue
+				}
+				var out [4]byte
+				binary.LittleEndian.PutUint32(out[:], uint32(firings))
+				reply(f.reqID, okBody(out[:]))
+			}
+		case msgFlush:
+			if err := s.node.FlushEvents(); err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			reply(f.reqID, okBody(nil))
+		case msgGet:
+			if len(f.body) < 8 {
+				reply(f.reqID, errBody(errors.New("short get frame")))
+				continue
+			}
+			entity := binary.LittleEndian.Uint64(f.body)
+			rec, version, found, err := s.node.Get(entity)
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			out := make([]byte, 9, 9+schema.EncodedSize(s.sch.Slots))
+			if found {
+				out[0] = 1
+			}
+			binary.LittleEndian.PutUint64(out[1:], version)
+			if found {
+				buf := make([]byte, schema.EncodedSize(len(rec)))
+				schema.EncodeRecord(rec, buf)
+				out = append(out, buf...)
+			}
+			reply(f.reqID, okBody(out))
+		case msgPut:
+			rec, err := schema.DecodeRecord(f.body, s.sch.Slots)
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			if err := s.node.Put(rec); err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			reply(f.reqID, okBody(nil))
+		case msgCondPut:
+			if len(f.body) < 8 {
+				reply(f.reqID, errBody(errors.New("short conditional put frame")))
+				continue
+			}
+			version := binary.LittleEndian.Uint64(f.body)
+			rec, err := schema.DecodeRecord(f.body[8:], s.sch.Slots)
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			if err := s.node.ConditionalPut(rec, version); err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			reply(f.reqID, okBody(nil))
+		case msgQuery:
+			q, err := query.DecodeQuery(f.body)
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			ch, err := s.node.SubmitQueryAsync(q)
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			// Answer asynchronously when the shared scan completes.
+			pendingQueries.Add(1)
+			go func(reqID uint64, ch <-chan core.QueryResponse) {
+				defer pendingQueries.Done()
+				r := <-ch
+				if r.Err != nil {
+					reply(reqID, errBody(r.Err))
+					return
+				}
+				reply(reqID, okBody(query.EncodePartial(r.Partial)))
+			}(f.reqID, ch)
+		default:
+			reply(f.reqID, errBody(fmt.Errorf("unknown message type %d", f.typ)))
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/columnmap"
+	"repro/internal/schema"
+	"repro/internal/vec"
+)
+
+// dictFixture builds a schema with a dictionary-encoded "plan" attribute
+// (variable-length data support, §7) and ten records.
+type dictFixture struct {
+	sch  *schema.Schema
+	cm   *columnmap.ColumnMap
+	plan int
+	dur  int
+}
+
+func newDictFixture(t *testing.T) *dictFixture {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddStatic(schema.StaticSpec{Name: "plan", Type: schema.TypeDictString}).
+		AddStatic(schema.StaticSpec{Name: "dur", Type: schema.TypeInt64}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &dictFixture{
+		sch:  sch,
+		cm:   columnmap.New(sch.Slots, 4),
+		plan: sch.MustAttrIndex("plan"),
+		dur:  sch.MustAttrIndex("dur"),
+	}
+	plans := []string{"prepaid", "contract", "business"}
+	for e := int64(1); e <= 10; e++ {
+		rec := sch.NewRecord(uint64(e))
+		sch.SetString(rec, f.plan, plans[e%3])
+		rec.SetInt(f.dur, e*10)
+		if _, err := f.cm.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestDictRoundTrip(t *testing.T) {
+	d := schema.NewDict()
+	a := d.Code("x")
+	b := d.Code("y")
+	if a == b || d.Code("x") != a || d.Len() != 2 {
+		t.Fatalf("interning broken: %d %d len=%d", a, b, d.Len())
+	}
+	if s, ok := d.String(a); !ok || s != "x" {
+		t.Fatalf("String(%d) = %q,%v", a, s, ok)
+	}
+	if _, ok := d.String(99); ok {
+		t.Fatal("unknown code resolved")
+	}
+	if _, ok := d.Lookup("zzz"); ok {
+		t.Fatal("Lookup interned")
+	}
+}
+
+func TestStringPredicateFilter(t *testing.T) {
+	f := newDictFixture(t)
+	q := &Query{
+		ID:      1,
+		Where:   []Conjunct{{PredString(f.sch, f.plan, vec.Eq, "contract")}},
+		Aggs:    []AggExpr{{Op: OpCount}, {Op: OpSum, Attr: f.dur}},
+		GroupBy: -1,
+	}
+	if err := q.Validate(f.sch); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(f.sch, nil)
+	p := NewPartial(q)
+	for _, b := range f.cm.Snapshot() {
+		if err := ex.ProcessBucket(b, q, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := p.Finalize(q)
+	// plans[e%3]=="contract" for e in {1,4,7,10}.
+	if res.Rows[0].Values[0] != 4 || res.Rows[0].Values[1] != (1+4+7+10)*10 {
+		t.Fatalf("contract rows = %+v", res.Rows[0])
+	}
+	// An unknown string matches nothing.
+	q2 := &Query{
+		ID:      2,
+		Where:   []Conjunct{{PredString(f.sch, f.plan, vec.Eq, "nope")}},
+		Aggs:    []AggExpr{{Op: OpCount}},
+		GroupBy: -1,
+	}
+	p2 := NewPartial(q2)
+	for _, b := range f.cm.Snapshot() {
+		if err := ex.ProcessBucket(b, q2, p2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(p2.Finalize(q2).Rows) != 0 {
+		t.Fatal("unknown string matched records")
+	}
+}
+
+func TestGroupByStringNames(t *testing.T) {
+	f := newDictFixture(t)
+	q := &Query{
+		ID:             3,
+		Aggs:           []AggExpr{{Op: OpCount}},
+		GroupBy:        f.plan,
+		GroupDictNames: true,
+	}
+	if err := q.Validate(f.sch); err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(f.sch, nil)
+	p := NewPartial(q)
+	for _, b := range f.cm.Snapshot() {
+		if err := ex.ProcessBucket(b, q, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := p.Finalize(q)
+	want := map[string]float64{"business": 3, "contract": 4, "prepaid": 3}
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups = %+v", res.Rows)
+	}
+	for _, row := range res.Rows {
+		if want[row.Key.S] != row.Values[0] {
+			t.Fatalf("group %q = %v, want %v", row.Key.S, row.Values[0], want[row.Key.S])
+		}
+	}
+	// The row evaluator agrees.
+	re := NewRowEvaluator(f.sch, nil)
+	rp := NewPartial(q)
+	rec := make([]uint64, f.sch.Slots)
+	for rid := 0; rid < f.cm.Len(); rid++ {
+		if err := f.cm.Gather(uint32(rid), rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := re.AddRecord(q, rec, rp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(rp.Finalize(q), res) {
+		t.Fatal("row evaluator diverges on string group-by")
+	}
+	// Codec preserves the flag.
+	got, err := DecodeQuery(EncodeQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.GroupDictNames {
+		t.Fatal("GroupDictNames lost in codec")
+	}
+}
+
+func TestDictValidation(t *testing.T) {
+	f := newDictFixture(t)
+	// Range predicates on string attributes are rejected.
+	q := &Query{
+		ID:      1,
+		Where:   []Conjunct{{{Attr: f.plan, Op: vec.Gt, Bits: 0}}},
+		Aggs:    []AggExpr{{Op: OpCount}},
+		GroupBy: -1,
+	}
+	if err := q.Validate(f.sch); err == nil {
+		t.Fatal("range predicate on string attribute accepted")
+	}
+	// GroupDictNames on a non-string attribute is rejected.
+	q2 := &Query{ID: 2, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.dur, GroupDictNames: true}
+	if err := q2.Validate(f.sch); err == nil {
+		t.Fatal("GroupDictNames on int attribute accepted")
+	}
+	// GroupDictNames plus GroupDim is rejected.
+	q3 := &Query{ID: 3, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.plan,
+		GroupDictNames: true, GroupDim: &DimJoin{Table: "T", Column: "c"}}
+	if err := q3.Validate(f.sch); err == nil {
+		t.Fatal("GroupDictNames+GroupDim accepted")
+	}
+	// GroupDictNames without GroupBy is rejected.
+	q4 := &Query{ID: 4, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: -1, GroupDictNames: true}
+	if err := q4.Validate(f.sch); err == nil {
+		t.Fatal("GroupDictNames without GroupBy accepted")
+	}
+}
+
+func TestSchemaStringHelpers(t *testing.T) {
+	f := newDictFixture(t)
+	rec := f.sch.NewRecord(99)
+	f.sch.SetString(rec, f.plan, "prepaid")
+	if s, ok := f.sch.GetString(rec, f.plan); !ok || s != "prepaid" {
+		t.Fatalf("GetString = %q,%v", s, ok)
+	}
+	if _, ok := f.sch.GetString(rec, f.dur); ok {
+		t.Fatal("GetString on non-dict attribute succeeded")
+	}
+	if f.sch.Dict(f.plan) == nil || f.sch.Dict(f.dur) != nil {
+		t.Fatal("Dict accessor wrong")
+	}
+}

@@ -1,0 +1,300 @@
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/columnmap"
+	"repro/internal/dimension"
+	"repro/internal/schema"
+	"repro/internal/vec"
+)
+
+// Executor evaluates queries over ColumnMap buckets. One Executor belongs to
+// one scan thread: it owns reusable bitmask scratch buffers and a dimension
+// lookup cache, so steady-state bucket processing is allocation-free for
+// non-grouped queries.
+type Executor struct {
+	sch  *schema.Schema
+	dims *dimension.Store
+
+	acc  []uint64 // DNF accumulator mask
+	conj []uint64 // current conjunct mask
+	pred []uint64 // current predicate mask
+
+	dimCache map[DimJoin]map[uint64]string
+}
+
+// NewExecutor returns an executor bound to a schema and the node's
+// replicated dimension tables (dims may be nil if no query joins).
+func NewExecutor(sch *schema.Schema, dims *dimension.Store) *Executor {
+	return &Executor{sch: sch, dims: dims, dimCache: make(map[DimJoin]map[uint64]string)}
+}
+
+func (ex *Executor) ensureScratch(n int) {
+	w := vec.MaskWords(n)
+	if cap(ex.acc) < w {
+		ex.acc = make([]uint64, w)
+		ex.conj = make([]uint64, w)
+		ex.pred = make([]uint64, w)
+	}
+	ex.acc = ex.acc[:cap(ex.acc)][:w]
+	ex.conj = ex.conj[:cap(ex.conj)][:w]
+	ex.pred = ex.pred[:cap(ex.pred)][:w]
+}
+
+// ProcessBucket evaluates q over one bucket and folds matches into p. This
+// is the process_bucket step of the paper's shared scan (Algorithm 5).
+func (ex *Executor) ProcessBucket(b columnmap.Bucket, q *Query, p *Partial) error {
+	n := b.N
+	if n == 0 {
+		return nil
+	}
+	ex.ensureScratch(n)
+
+	// Filter: DNF over word-packed bitmasks.
+	if len(q.Where) == 0 {
+		vec.FillMask(ex.acc, n)
+	} else {
+		vec.ZeroMask(ex.acc)
+		for _, c := range q.Where {
+			for pi, pr := range c {
+				if err := ex.evalPredicate(b, n, pr, ex.pred); err != nil {
+					return err
+				}
+				if pi == 0 {
+					copy(ex.conj, ex.pred)
+				} else {
+					vec.And(ex.conj, ex.pred)
+				}
+			}
+			vec.Or(ex.acc, ex.conj)
+		}
+	}
+
+	if q.GroupBy < 0 {
+		return ex.aggregateGlobal(b, q, p)
+	}
+	return ex.aggregateGrouped(b, q, p)
+}
+
+// evalPredicate fills mask with the predicate result over the bucket.
+func (ex *Executor) evalPredicate(b columnmap.Bucket, n int, pr Predicate, mask []uint64) error {
+	if pr.Attr < 0 || pr.Attr >= ex.sch.NumAttrs() {
+		return fmt.Errorf("query: predicate attribute %d out of range", pr.Attr)
+	}
+	col := b.Col(pr.Attr)
+	switch ex.sch.Attrs[pr.Attr].Type {
+	case schema.TypeInt64:
+		vec.CmpInt(col, n, pr.Op, int64(pr.Bits), mask)
+	case schema.TypeUint64, schema.TypeDictString:
+		vec.CmpUint(col, n, pr.Op, pr.Bits, mask)
+	case schema.TypeFloat64:
+		vec.CmpFloat(col, n, pr.Op, math.Float64frombits(pr.Bits), mask)
+	}
+	return nil
+}
+
+// aggregateGlobal is the vectorized single-group path.
+func (ex *Executor) aggregateGlobal(b columnmap.Bucket, q *Query, p *Partial) error {
+	matched := vec.Count(ex.acc)
+	if matched == 0 {
+		return nil
+	}
+	cells := p.cells(GroupKey{})
+	for i, a := range q.Aggs {
+		cell := &cells[i]
+		cell.Count += matched
+		switch a.Op {
+		case OpCount:
+			// count already folded in
+		case OpSum, OpAvg:
+			cell.Sum += ex.maskedSum(b, a.Attr)
+		case OpMin:
+			if v, ok := ex.maskedMin(b, a.Attr); ok && v < cell.Min {
+				cell.Min = v
+			}
+		case OpMax:
+			if v, ok := ex.maskedMax(b, a.Attr); ok && v > cell.Max {
+				cell.Max = v
+			}
+		default:
+			ex.argScan(b, a, cell)
+		}
+	}
+	return nil
+}
+
+func (ex *Executor) maskedSum(b columnmap.Bucket, attr int) float64 {
+	col := b.Col(attr)
+	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+		return vec.SumFloat(col, ex.acc)
+	}
+	return float64(vec.SumInt(col, ex.acc))
+}
+
+func (ex *Executor) maskedMin(b columnmap.Bucket, attr int) (float64, bool) {
+	col := b.Col(attr)
+	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+		return vec.MinFloat(col, ex.acc)
+	}
+	v, ok := vec.MinInt(col, ex.acc)
+	return float64(v), ok
+}
+
+func (ex *Executor) maskedMax(b columnmap.Bucket, attr int) (float64, bool) {
+	col := b.Col(attr)
+	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+		return vec.MaxFloat(col, ex.acc)
+	}
+	v, ok := vec.MaxInt(col, ex.acc)
+	return float64(v), ok
+}
+
+// argScan folds arg-style aggregates (entity-id of extreme value), which
+// need per-record iteration.
+func (ex *Executor) argScan(b columnmap.Bucket, a AggExpr, cell *Cell) {
+	ids := b.Col(schema.SlotEntityID)
+	col := b.Col(a.Attr)
+	t := ex.sch.Attrs[a.Attr].Type
+	var col2 []uint64
+	var t2 schema.Type
+	if a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio {
+		col2 = b.Col(a.Attr2)
+		t2 = ex.sch.Attrs[a.Attr2].Type
+	}
+	vec.ForEach(ex.acc, func(i int) {
+		v := slotVal(col[i], t)
+		switch a.Op {
+		case OpArgMinRatio, OpArgMaxRatio:
+			den := slotVal(col2[i], t2)
+			if den == 0 {
+				return
+			}
+			v /= den
+		}
+		updateArg(cell, a.Op, ids[i], v)
+	})
+}
+
+func updateArg(cell *Cell, op AggOp, id uint64, v float64) {
+	better := !cell.ArgSet
+	if !better {
+		switch op {
+		case OpArgMax, OpArgMaxRatio:
+			better = v > cell.ArgVal
+		case OpArgMin, OpArgMinRatio:
+			better = v < cell.ArgVal
+		}
+	}
+	if better {
+		cell.ArgKey, cell.ArgVal, cell.ArgSet = id, v, true
+	}
+}
+
+// aggregateGrouped is the per-record group-by path.
+func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial) error {
+	gcol := b.Col(q.GroupBy)
+	ids := b.Col(schema.SlotEntityID)
+	var dimMap map[uint64]string
+	if q.GroupDim != nil {
+		var err error
+		dimMap, err = ex.dimLookupMap(*q.GroupDim)
+		if err != nil {
+			return err
+		}
+	}
+	var dict *schema.Dict
+	if q.GroupDictNames {
+		dict = ex.sch.Dict(q.GroupBy)
+	}
+	var iterErr error
+	vec.ForEach(ex.acc, func(i int) {
+		if iterErr != nil {
+			return
+		}
+		var key GroupKey
+		gv := gcol[i]
+		switch {
+		case dimMap != nil:
+			s, ok := dimMap[gv]
+			if !ok {
+				return // inner-join semantics: unmatched keys drop out
+			}
+			key.S = s
+		case dict != nil:
+			s, ok := dict.String(gv)
+			if !ok {
+				return
+			}
+			key.S = s
+		default:
+			key.I = int64(gv)
+		}
+		cells := p.cells(key)
+		for ai, a := range q.Aggs {
+			cell := &cells[ai]
+			cell.Count++
+			switch a.Op {
+			case OpCount:
+			case OpSum, OpAvg:
+				cell.Sum += slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
+			case OpMin:
+				if v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v < cell.Min {
+					cell.Min = v
+				}
+			case OpMax:
+				if v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v > cell.Max {
+					cell.Max = v
+				}
+			default:
+				v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
+				if a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio {
+					den := slotVal(b.Col(a.Attr2)[i], ex.sch.Attrs[a.Attr2].Type)
+					if den == 0 {
+						continue
+					}
+					v /= den
+				}
+				updateArg(cell, a.Op, ids[i], v)
+			}
+		}
+	})
+	return iterErr
+}
+
+// dimLookupMap returns (and caches) the key -> column-value map for a
+// dimension join. Dimension tables are frozen, so the cache never staleness.
+func (ex *Executor) dimLookupMap(dj DimJoin) (map[uint64]string, error) {
+	if m, ok := ex.dimCache[dj]; ok {
+		return m, nil
+	}
+	if ex.dims == nil {
+		return nil, fmt.Errorf("query: dimension join against %q but executor has no dimension store", dj.Table)
+	}
+	tab, err := ex.dims.Table(dj.Table)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[uint64]string, tab.Len())
+	for _, k := range tab.Keys() {
+		v, ok := tab.Lookup(k, dj.Column)
+		if !ok {
+			return nil, fmt.Errorf("query: dimension table %q has no column %q", dj.Table, dj.Column)
+		}
+		m[k] = v
+	}
+	ex.dimCache[dj] = m
+	return m, nil
+}
+
+func slotVal(bits uint64, t schema.Type) float64 {
+	switch t {
+	case schema.TypeFloat64:
+		return math.Float64frombits(bits)
+	case schema.TypeUint64:
+		return float64(bits)
+	default:
+		return float64(int64(bits))
+	}
+}

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/columnmap"
+	"repro/internal/dimension"
+	"repro/internal/schema"
+)
+
+// ScanShared runs a query batch over the buckets with `workers` goroutines
+// pulling buckets from a shared queue — the work-stealing load-balancing
+// alternative of §3.2 ("partition the data into many small chunks at the
+// start of a Scan and then continuously assign chunks to idle threads").
+// Buckets are the natural chunks: fixed-size, cache-resident units.
+//
+// It returns one merged Partial per query, identical to what a sequential
+// shared scan produces. The fixed thread-partition assignment (the design
+// AIM chose) lives in core.StorageNode; this entry point exists for the
+// ablation bench and for embedding scans outside a storage node.
+func ScanShared(sch *schema.Schema, dims *dimension.Store, buckets []columnmap.Bucket, queries []*Query, workers int) ([]*Partial, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(buckets) && len(buckets) > 0 {
+		workers = len(buckets)
+	}
+	merged := make([]*Partial, len(queries))
+	for i, q := range queries {
+		merged[i] = NewPartial(q)
+	}
+	if len(buckets) == 0 || len(queries) == 0 {
+		return merged, nil
+	}
+
+	var next atomic.Int64 // shared chunk queue: the next bucket to claim
+	var mu sync.Mutex     // guards merged and firstErr
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ex := NewExecutor(sch, dims)
+			local := make([]*Partial, len(queries))
+			for i, q := range queries {
+				local[i] = NewPartial(q)
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(buckets) {
+					break
+				}
+				for qi, q := range queries {
+					if err := ex.ProcessBucket(buckets[i], q, local[qi]); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}
+			mu.Lock()
+			for qi, q := range queries {
+				merged[qi].Merge(local[qi], q)
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return merged, nil
+}

@@ -1,0 +1,73 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestScanSharedMatchesSequential(t *testing.T) {
+	f := newFixture(t)
+	queries := []*Query{
+		{ID: 1, Aggs: []AggExpr{{Op: OpCount}, {Op: OpSum, Attr: f.dur}, {Op: OpMin, Attr: f.cost}}, GroupBy: -1},
+		{ID: 2, Where: []Conjunct{{PredInt(f.calls, vec.Gt, 4)}}, Aggs: []AggExpr{{Op: OpAvg, Attr: f.cost}}, GroupBy: -1},
+		{ID: 3, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "RegionInfo", Column: "city"}},
+		{ID: 4, Aggs: []AggExpr{{Op: OpArgMax, Attr: f.dur}}, GroupBy: -1},
+	}
+	for _, q := range queries {
+		if err := q.Validate(f.sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buckets := f.cm.Snapshot()
+
+	// Sequential reference.
+	ex := NewExecutor(f.sch, f.dims)
+	want := make([]*Result, len(queries))
+	for qi, q := range queries {
+		p := NewPartial(q)
+		for _, b := range buckets {
+			if err := ex.ProcessBucket(b, q, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want[qi] = p.Finalize(q)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		partials, err := ScanShared(f.sch, f.dims, buckets, queries, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for qi, q := range queries {
+			got := partials[qi].Finalize(q)
+			if !reflect.DeepEqual(got, want[qi]) {
+				t.Fatalf("workers=%d query %d:\ngot  %+v\nwant %+v", workers, q.ID, got, want[qi])
+			}
+		}
+	}
+}
+
+func TestScanSharedEdgeCases(t *testing.T) {
+	f := newFixture(t)
+	// No queries.
+	if out, err := ScanShared(f.sch, f.dims, f.cm.Snapshot(), nil, 4); err != nil || len(out) != 0 {
+		t.Fatalf("no queries: %v %v", out, err)
+	}
+	// No buckets.
+	q := &Query{ID: 1, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: -1}
+	out, err := ScanShared(f.sch, f.dims, nil, []*Query{q}, 4)
+	if err != nil || len(out) != 1 || len(out[0].Groups) != 0 {
+		t.Fatalf("no buckets: %v %v", out, err)
+	}
+	// Errors propagate (missing dimension table).
+	bad := &Query{ID: 2, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "Nope", Column: "x"}}
+	if _, err := ScanShared(f.sch, f.dims, f.cm.Snapshot(), []*Query{bad}, 4); err == nil {
+		t.Fatal("missing dimension table not surfaced")
+	}
+	// workers <= 0 coerces to 1.
+	if _, err := ScanShared(f.sch, f.dims, f.cm.Snapshot(), []*Query{q}, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package query
+
+import (
+	"math"
+	"sort"
+)
+
+// GroupKey identifies one result group. For plain attribute group-bys only I
+// is set; for dimension-joined group-bys only S is set.
+type GroupKey struct {
+	I int64
+	S string
+}
+
+// Less orders keys deterministically (string part first, then integer).
+func (k GroupKey) Less(o GroupKey) bool {
+	if k.S != o.S {
+		return k.S < o.S
+	}
+	return k.I < o.I
+}
+
+// Cell is the mergeable accumulator for one aggregate within one group.
+type Cell struct {
+	Count  int64
+	Sum    float64
+	Min    float64
+	Max    float64
+	ArgKey uint64
+	ArgVal float64
+	ArgSet bool
+}
+
+// newCells returns an initialized accumulator row.
+func newCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i].Min = math.Inf(1)
+		cells[i].Max = math.Inf(-1)
+	}
+	return cells
+}
+
+// Partial is the mergeable per-partition (or per-node) query result.
+type Partial struct {
+	// QueryID echoes Query.ID.
+	QueryID uint64
+	// NumAggs is the aggregate arity (len(Query.Aggs)).
+	NumAggs int
+	// Groups maps group keys to accumulator rows.
+	Groups map[GroupKey][]Cell
+}
+
+// NewPartial returns an empty partial for a query.
+func NewPartial(q *Query) *Partial {
+	return &Partial{QueryID: q.ID, NumAggs: len(q.Aggs), Groups: make(map[GroupKey][]Cell)}
+}
+
+// cells returns (creating if needed) the accumulator row for key.
+func (p *Partial) cells(key GroupKey) []Cell {
+	if c, ok := p.Groups[key]; ok {
+		return c
+	}
+	c := newCells(p.NumAggs)
+	p.Groups[key] = c
+	return c
+}
+
+// mergeCell folds src into dst for aggregate expression a.
+func mergeCell(dst *Cell, src *Cell, op AggOp) {
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	if src.Min < dst.Min {
+		dst.Min = src.Min
+	}
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+	if src.ArgSet {
+		better := !dst.ArgSet
+		if !better {
+			switch op {
+			case OpArgMax, OpArgMaxRatio:
+				better = src.ArgVal > dst.ArgVal
+			case OpArgMin, OpArgMinRatio:
+				better = src.ArgVal < dst.ArgVal
+			}
+		}
+		if better {
+			dst.ArgKey, dst.ArgVal, dst.ArgSet = src.ArgKey, src.ArgVal, true
+		}
+	}
+}
+
+// Merge folds other into p. Both partials must stem from the same query.
+func (p *Partial) Merge(other *Partial, q *Query) {
+	for key, src := range other.Groups {
+		dst := p.cells(key)
+		for i := range src {
+			mergeCell(&dst[i], &src[i], q.Aggs[i].Op)
+		}
+	}
+}
+
+// ResultRow is one finalized result group.
+type ResultRow struct {
+	Key GroupKey
+	// Values holds one finalized value per aggregate projection, followed
+	// by the derived ratio columns. Arg ops yield float64(entity id),
+	// exact for ids below 2^53.
+	Values []float64
+}
+
+// Result is a finalized query result.
+type Result struct {
+	QueryID uint64
+	Rows    []ResultRow
+}
+
+// Finalize converts the merged partial into ordered result rows, resolving
+// averages, empty-group min/max, derived ratios and the limit.
+func (p *Partial) Finalize(q *Query) *Result {
+	res := &Result{QueryID: p.QueryID}
+	keys := make([]GroupKey, 0, len(p.Groups))
+	for k := range p.Groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	if q.Limit > 0 && len(keys) > q.Limit {
+		keys = keys[:q.Limit]
+	}
+	for _, k := range keys {
+		cells := p.Groups[k]
+		row := ResultRow{Key: k, Values: make([]float64, 0, len(cells)+len(q.Derived))}
+		for i, c := range cells {
+			row.Values = append(row.Values, finalizeCell(&c, q.Aggs[i].Op))
+		}
+		for _, r := range q.Derived {
+			den := row.Values[r.Den]
+			if den == 0 {
+				row.Values = append(row.Values, 0)
+			} else {
+				row.Values = append(row.Values, row.Values[r.Num]/den)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func finalizeCell(c *Cell, op AggOp) float64 {
+	switch op {
+	case OpCount:
+		return float64(c.Count)
+	case OpSum:
+		return c.Sum
+	case OpAvg:
+		if c.Count == 0 {
+			return 0
+		}
+		return c.Sum / float64(c.Count)
+	case OpMin:
+		if c.Count == 0 {
+			return 0
+		}
+		return c.Min
+	case OpMax:
+		if c.Count == 0 {
+			return 0
+		}
+		return c.Max
+	default: // arg ops
+		if !c.ArgSet {
+			return 0
+		}
+		return float64(c.ArgKey)
+	}
+}

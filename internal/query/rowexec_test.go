@@ -1,0 +1,66 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestRowEvaluatorMatchesColumnarExecutor cross-checks the row-at-a-time
+// evaluator (used by the baseline engines) against the vectorized bucket
+// executor on every query shape.
+func TestRowEvaluatorMatchesColumnarExecutor(t *testing.T) {
+	f := newFixture(t)
+	queries := []*Query{
+		{ID: 1, Aggs: []AggExpr{{Op: OpCount}, {Op: OpSum, Attr: f.dur}, {Op: OpAvg, Attr: f.cost}, {Op: OpMin, Attr: f.dur}, {Op: OpMax, Attr: f.dur}}, GroupBy: -1},
+		{ID: 2, Where: []Conjunct{{PredInt(f.calls, vec.Gt, 5)}}, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: -1},
+		{ID: 3, Where: []Conjunct{{PredInt(f.calls, vec.Le, 2)}, {PredFloat(f.cost, vec.Gt, 12)}}, Aggs: []AggExpr{{Op: OpSum, Attr: f.calls}}, GroupBy: -1},
+		{ID: 4, Aggs: []AggExpr{{Op: OpCount}, {Op: OpSum, Attr: f.dur}}, GroupBy: f.zip},
+		{ID: 5, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "RegionInfo", Column: "city"}},
+		{ID: 6, Aggs: []AggExpr{{Op: OpArgMax, Attr: f.dur}, {Op: OpArgMinRatio, Attr: f.cost, Attr2: f.dur}}, GroupBy: -1},
+		{ID: 7, Aggs: []AggExpr{{Op: OpSum, Attr: f.cost}, {Op: OpSum, Attr: f.dur}}, GroupBy: f.calls, Derived: []Ratio{{Num: 0, Den: 1}}, Limit: 4},
+	}
+	ex := NewExecutor(f.sch, f.dims)
+	re := NewRowEvaluator(f.sch, f.dims)
+	rec := make([]uint64, f.sch.Slots)
+	for _, q := range queries {
+		if err := q.Validate(f.sch); err != nil {
+			t.Fatalf("q%d: %v", q.ID, err)
+		}
+		colP := NewPartial(q)
+		for _, b := range f.cm.Snapshot() {
+			if err := ex.ProcessBucket(b, q, colP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rowP := NewPartial(q)
+		for rid := 0; rid < f.cm.Len(); rid++ {
+			if err := f.cm.Gather(uint32(rid), rec); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.AddRecord(q, rec, rowP); err != nil {
+				t.Fatal(err)
+			}
+		}
+		colRes, rowRes := colP.Finalize(q), rowP.Finalize(q)
+		if !reflect.DeepEqual(colRes, rowRes) {
+			t.Fatalf("q%d mismatch:\ncolumnar %+v\nrow      %+v", q.ID, colRes, rowRes)
+		}
+	}
+}
+
+func TestRowEvaluatorDimErrors(t *testing.T) {
+	f := newFixture(t)
+	re := NewRowEvaluator(f.sch, nil)
+	q := &Query{ID: 1, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "RegionInfo", Column: "city"}}
+	rec := make([]uint64, f.sch.Slots)
+	if err := re.AddRecord(q, rec, NewPartial(q)); err == nil {
+		t.Fatal("nil dimension store accepted")
+	}
+	re2 := NewRowEvaluator(f.sch, f.dims)
+	q2 := &Query{ID: 2, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "RegionInfo", Column: "nope"}}
+	if err := re2.AddRecord(q2, rec, NewPartial(q2)); err == nil {
+		t.Fatal("missing dimension column accepted")
+	}
+}

@@ -1,0 +1,146 @@
+// Package rta implements AIM's Real-Time Analytics processing nodes (§2.3,
+// §4.2): stateless, lightweight coordinators that scatter each query to all
+// storage servers, merge the partial results, and deliver the final result —
+// plus the closed-loop client machinery the benchmark uses to generate RTA
+// load (§5).
+package rta
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/query"
+)
+
+// Coordinator is one stateless RTA processing node. It holds handles to
+// every storage server; Execute fans a query out to all of them
+// asynchronously and merges the partials (the "merge partial results"
+// responsibility of Figure 4).
+type Coordinator struct {
+	backends []core.Storage
+}
+
+// NewCoordinator returns a coordinator over the given storage servers.
+func NewCoordinator(backends []core.Storage) (*Coordinator, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("rta: coordinator needs at least one storage server")
+	}
+	return &Coordinator{backends: backends}, nil
+}
+
+// Execute scatters q to every storage server, gathers and merges the
+// partials, and finalizes the result.
+func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
+	chans := make([]<-chan core.QueryResponse, len(c.backends))
+	for i, b := range c.backends {
+		ch, err := b.SubmitQueryAsync(q)
+		if err != nil {
+			return nil, err
+		}
+		chans[i] = ch
+	}
+	merged := query.NewPartial(q)
+	var firstErr error
+	for _, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = r.Err
+			}
+			continue
+		}
+		merged.Merge(r.Partial, q)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return merged.Finalize(q), nil
+}
+
+// QuerySource yields the queries a closed-loop client sends; the workload
+// package's QueryGen satisfies it via an adapter in the caller.
+type QuerySource interface {
+	Next() *query.Query
+}
+
+// ClientStats aggregates closed-loop client measurements.
+type ClientStats struct {
+	// Queries is the number of completed queries.
+	Queries int
+	// Duration is the measured wall-clock window.
+	Duration time.Duration
+	// Throughput is queries per second over the window.
+	Throughput float64
+	// MeanLatency is the average end-to-end response time.
+	MeanLatency time.Duration
+	// P95Latency is the 95th-percentile response time.
+	P95Latency time.Duration
+	// MaxLatency is the worst response time.
+	MaxLatency time.Duration
+	// Errors counts failed queries.
+	Errors int
+}
+
+// RunClosedLoop drives the coordinator with clients concurrent closed-loop
+// clients for the given duration (§5: "RTA clients work in a closed loop
+// and submit only one query at a time"), each drawing queries from its own
+// source. It returns aggregate throughput and latency statistics.
+func RunClosedLoop(coord *Coordinator, sources []QuerySource, duration time.Duration) ClientStats {
+	type sample struct {
+		lat time.Duration
+		err bool
+	}
+	var mu sync.Mutex
+	var samples []sample
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	for _, src := range sources {
+		wg.Add(1)
+		go func(src QuerySource) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				q := src.Next()
+				t0 := time.Now()
+				_, err := coord.Execute(q)
+				lat := time.Since(t0)
+				mu.Lock()
+				samples = append(samples, sample{lat: lat, err: err != nil})
+				mu.Unlock()
+			}
+		}(src)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := ClientStats{Duration: elapsed}
+	if len(samples) == 0 {
+		return st
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	for _, s := range samples {
+		if s.err {
+			st.Errors++
+			continue
+		}
+		lats = append(lats, s.lat)
+		sum += s.lat
+	}
+	st.Queries = len(lats)
+	if st.Queries == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.Throughput = float64(st.Queries) / elapsed.Seconds()
+	st.MeanLatency = sum / time.Duration(st.Queries)
+	st.P95Latency = lats[(len(lats)*95)/100]
+	if idx := len(lats) - 1; idx >= 0 {
+		st.MaxLatency = lats[idx]
+	}
+	return st
+}

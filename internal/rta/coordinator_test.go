@@ -1,0 +1,139 @@
+package rta
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+func rtaSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		AddGroup(schema.GroupSpec{Name: "dur_today", Metric: schema.MetricDuration,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggSum}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func setup(t *testing.T, nodes int) (*Coordinator, *cluster.Cluster, *schema.Schema) {
+	t.Helper()
+	sch := rtaSchema(t)
+	c, ns, err := cluster.NewLocal(nodes, core.Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, n := range ns {
+			n.Stop()
+		}
+	})
+	coord, err := NewCoordinator(c.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, c, sch
+}
+
+func feed(t *testing.T, c *cluster.Cluster, events int, entities uint64) {
+	t.Helper()
+	for i := 0; i < events; i++ {
+		ev := event.Event{
+			Caller: uint64(i)%entities + 1, Timestamp: 100*24*3600*1000 + int64(i),
+			Duration: 10, Cost: 1,
+		}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitSum(t *testing.T, coord *Coordinator, q *query.Query, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		res, err := coord.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) > 0 && res.Rows[0].Values[0] == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("coordinator never saw %v", want)
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(nil); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+}
+
+func TestScatterGatherMergesAcrossNodes(t *testing.T) {
+	coord, c, sch := setup(t, 3)
+	feed(t, c, 300, 60)
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	waitSum(t, coord, q, 300)
+
+	// A group-by across nodes merges groups correctly: group by calls
+	// count; all 60 entities saw exactly 5 events.
+	q2 := &query.Query{ID: 2, Aggs: []query.AggExpr{{Op: query.OpCount}}, GroupBy: calls}
+	res, err := coord.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Key.I != 5 || res.Rows[0].Values[0] != 60 {
+		t.Fatalf("group-by across nodes = %+v", res.Rows)
+	}
+}
+
+func TestCoordinatorPropagatesErrors(t *testing.T) {
+	coord, _, _ := setup(t, 2)
+	bad := &query.Query{ID: 1, GroupBy: -1} // no aggregates
+	if _, err := coord.Execute(bad); err == nil {
+		t.Fatal("invalid query did not error")
+	}
+}
+
+type fixedSource struct{ q func() *query.Query }
+
+func (s fixedSource) Next() *query.Query { return s.q() }
+
+func TestRunClosedLoop(t *testing.T) {
+	coord, c, sch := setup(t, 2)
+	feed(t, c, 200, 40)
+	calls := sch.MustAttrIndex("calls_today_count")
+	var id uint64
+	src := fixedSource{q: func() *query.Query {
+		id++
+		return &query.Query{ID: id, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	}}
+	sources := []QuerySource{src, src, src, src}
+	st := RunClosedLoop(coord, sources, 100*time.Millisecond)
+	if st.Queries == 0 {
+		t.Fatal("no queries completed")
+	}
+	if st.Errors != 0 {
+		t.Fatalf("%d errors", st.Errors)
+	}
+	if st.Throughput <= 0 || st.MeanLatency <= 0 || st.P95Latency < st.MeanLatency/2 || st.MaxLatency < st.P95Latency {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+}

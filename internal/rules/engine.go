@@ -1,0 +1,111 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// Firing reports one rule firing to the action sink.
+type Firing struct {
+	RuleID   int
+	Action   string
+	EntityID uint64
+	// Timestamp is the triggering event's timestamp.
+	Timestamp int64
+}
+
+// Engine evaluates a rule set against events, enforcing firing policies.
+// The rule set is replicated read-only at each ESP node (§3.4); an Engine is
+// confined to one ESP thread and needs no locking.
+type Engine struct {
+	sch   *schema.Schema
+	rules []Rule
+	index *Index // nil = straight-forward Algorithm 2
+
+	// firing state per (rule, entity), for rules with a policy.
+	fired map[fireKey]*fireState
+}
+
+type fireKey struct {
+	rule   int
+	entity uint64
+}
+
+type fireState struct {
+	windowStart int64
+	count       int
+}
+
+// NewEngine validates the rules and returns an engine. useIndex selects the
+// Fabret-style predicate index over the straight-forward evaluator.
+func NewEngine(sch *schema.Schema, rs []Rule, useIndex bool) (*Engine, error) {
+	seen := make(map[int]bool, len(rs))
+	for i := range rs {
+		if err := rs[i].Validate(sch); err != nil {
+			return nil, err
+		}
+		if seen[rs[i].ID] {
+			return nil, fmt.Errorf("rules: duplicate rule id %d", rs[i].ID)
+		}
+		seen[rs[i].ID] = true
+	}
+	e := &Engine{sch: sch, rules: rs, fired: make(map[fireKey]*fireState)}
+	if useIndex {
+		e.index = NewIndex(rs)
+	}
+	return e, nil
+}
+
+// NumRules returns the rule-set size.
+func (e *Engine) NumRules() int { return len(e.rules) }
+
+// Evaluate runs the rule set against one event and its updated Entity
+// Record and returns the firings permitted by the firing policies.
+func (e *Engine) Evaluate(ev *event.Event, rec schema.Record) []Firing {
+	var out []Firing
+	emit := func(r *Rule) {
+		if !e.allowFiring(r, ev) {
+			return
+		}
+		out = append(out, Firing{
+			RuleID:    r.ID,
+			Action:    r.Action,
+			EntityID:  ev.Caller,
+			Timestamp: ev.Timestamp,
+		})
+	}
+	if e.index != nil {
+		for _, ri := range e.index.Evaluate(ev, rec, e.sch) {
+			emit(&e.rules[ri])
+		}
+		return out
+	}
+	for _, r := range EvaluateAll(e.rules, ev, rec, e.sch) {
+		emit(r)
+	}
+	return out
+}
+
+// allowFiring enforces the rule's tumbling-window firing policy.
+func (e *Engine) allowFiring(r *Rule, ev *event.Event) bool {
+	if r.Policy.Limit <= 0 {
+		return true
+	}
+	key := fireKey{rule: r.ID, entity: ev.Caller}
+	st := e.fired[key]
+	windowStart := ev.Timestamp - ev.Timestamp%r.Policy.WindowMillis
+	if st == nil {
+		st = &fireState{windowStart: windowStart}
+		e.fired[key] = st
+	} else if st.windowStart != windowStart {
+		st.windowStart = windowStart
+		st.count = 0
+	}
+	if st.count >= r.Policy.Limit {
+		return false
+	}
+	st.count++
+	return true
+}

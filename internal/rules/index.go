@@ -1,0 +1,103 @@
+package rules
+
+import (
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// Index is a predicate-sharing rule index in the spirit of Fabret et al.
+// (§4.4): identical predicates appearing in many rules are deduplicated and
+// evaluated at most once per event (lazily, memoized), and conjunct/rule
+// bookkeeping turns predicate outcomes into the matched-rule set. For large
+// rule sets with heavy predicate overlap this beats the straight-forward
+// Algorithm 2; the paper (and our reproduction bench) finds the crossover
+// around a thousand rules.
+type Index struct {
+	preds []Predicate // distinct predicates
+	// conjuncts[c] lists the distinct-predicate ids of conjunct c.
+	conjuncts [][]int32
+	// conjRule[c] is the index into rules of the conjunct's rule.
+	conjRule []int32
+	// ruleConjStart[r]..ruleConjStart[r+1] are rule r's conjunct ids
+	// (conjuncts are grouped by rule in construction order).
+	ruleConjStart []int32
+
+	// memo[p]: 0 unknown, 1 true, 2 false. Reset per evaluation via the
+	// epoch trick to avoid clearing.
+	memo      []uint8
+	memoEpoch []uint32
+	epoch     uint32
+}
+
+// NewIndex builds an index over rs. The caller retains ownership of rs; the
+// index stores conjunct structure and predicate values only.
+func NewIndex(rs []Rule) *Index {
+	idx := &Index{}
+	predID := make(map[Predicate]int32)
+	for ri := range rs {
+		idx.ruleConjStart = append(idx.ruleConjStart, int32(len(idx.conjuncts)))
+		for _, c := range rs[ri].Conjuncts {
+			ids := make([]int32, 0, len(c))
+			for _, p := range c {
+				id, ok := predID[p]
+				if !ok {
+					id = int32(len(idx.preds))
+					predID[p] = id
+					idx.preds = append(idx.preds, p)
+				}
+				ids = append(ids, id)
+			}
+			idx.conjuncts = append(idx.conjuncts, ids)
+			idx.conjRule = append(idx.conjRule, int32(ri))
+		}
+	}
+	idx.ruleConjStart = append(idx.ruleConjStart, int32(len(idx.conjuncts)))
+	idx.memo = make([]uint8, len(idx.preds))
+	idx.memoEpoch = make([]uint32, len(idx.preds))
+	return idx
+}
+
+// NumDistinctPredicates reports how many predicates remain after sharing.
+func (idx *Index) NumDistinctPredicates() int { return len(idx.preds) }
+
+// Evaluate returns the ids (indices into the original rule slice) of all
+// rules matching the event/record pair. Each distinct predicate is evaluated
+// at most once.
+func (idx *Index) Evaluate(ev *event.Event, rec schema.Record, sch *schema.Schema) []int {
+	idx.epoch++
+	var matched []int
+	nRules := len(idx.ruleConjStart) - 1
+	for r := 0; r < nRules; r++ {
+		lo, hi := idx.ruleConjStart[r], idx.ruleConjStart[r+1]
+		for c := lo; c < hi; c++ {
+			if idx.conjunctTrue(idx.conjuncts[c], ev, rec, sch) {
+				matched = append(matched, r)
+				break // early success for this rule
+			}
+		}
+	}
+	return matched
+}
+
+func (idx *Index) conjunctTrue(predIDs []int32, ev *event.Event, rec schema.Record, sch *schema.Schema) bool {
+	for _, id := range predIDs {
+		if !idx.predTrue(id, ev, rec, sch) {
+			return false // early abort
+		}
+	}
+	return true
+}
+
+func (idx *Index) predTrue(id int32, ev *event.Event, rec schema.Record, sch *schema.Schema) bool {
+	if idx.memoEpoch[id] == idx.epoch {
+		return idx.memo[id] == 1
+	}
+	v := idx.preds[id].Eval(ev, rec, sch)
+	idx.memoEpoch[id] = idx.epoch
+	if v {
+		idx.memo[id] = 1
+	} else {
+		idx.memo[id] = 2
+	}
+	return v
+}

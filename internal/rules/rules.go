@@ -1,0 +1,186 @@
+// Package rules implements AIM's Business Rule subsystem (§2.2, §4.4): DNF
+// rules evaluated against each incoming event and the freshly updated Entity
+// Record, firing policies that bound how often a rule may trigger, and a
+// Fabret-style predicate-sharing rule index for large rule sets.
+package rules
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// LHSKind selects what the left-hand side of a predicate reads.
+type LHSKind uint8
+
+const (
+	// LHSAttr reads a visible attribute of the updated Entity Record.
+	LHSAttr LHSKind = iota
+	// LHSAttrRatio reads Attr/Attr2 of the record (0 when Attr2 is 0),
+	// e.g. the paper's "total-duration-today / number-of-calls-today".
+	LHSAttrRatio
+	// LHSEventDuration reads the event's call duration in seconds.
+	LHSEventDuration
+	// LHSEventCost reads the event's cost.
+	LHSEventCost
+	// LHSEventLongDistance reads 1 for long-distance events, else 0.
+	LHSEventLongDistance
+)
+
+// CmpOp mirrors vec.CmpOp for rule predicates (kept separate so the rules
+// package has no dependency on the scan kernels).
+type CmpOp uint8
+
+const (
+	Lt CmpOp = iota
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+)
+
+// Predicate compares a record/event reading against a constant. Predicates
+// are value types and comparable, which the rule index exploits to share
+// identical predicates across rules.
+type Predicate struct {
+	Kind  LHSKind
+	Attr  int
+	Attr2 int
+	Op    CmpOp
+	Value float64
+}
+
+// read extracts the predicate's left-hand side.
+func (p Predicate) read(ev *event.Event, rec schema.Record, sch *schema.Schema) float64 {
+	switch p.Kind {
+	case LHSAttr:
+		return rec.Value(p.Attr, sch.Attrs[p.Attr].Type)
+	case LHSAttrRatio:
+		den := rec.Value(p.Attr2, sch.Attrs[p.Attr2].Type)
+		if den == 0 {
+			return 0
+		}
+		return rec.Value(p.Attr, sch.Attrs[p.Attr].Type) / den
+	case LHSEventDuration:
+		return float64(ev.Duration)
+	case LHSEventCost:
+		return ev.Cost
+	case LHSEventLongDistance:
+		if ev.LongDistance {
+			return 1
+		}
+		return 0
+	default:
+		return math.NaN()
+	}
+}
+
+// Eval evaluates the predicate against an event and record.
+func (p Predicate) Eval(ev *event.Event, rec schema.Record, sch *schema.Schema) bool {
+	v := p.read(ev, rec, sch)
+	switch p.Op {
+	case Lt:
+		return v < p.Value
+	case Le:
+		return v <= p.Value
+	case Gt:
+		return v > p.Value
+	case Ge:
+		return v >= p.Value
+	case Eq:
+		return v == p.Value
+	case Ne:
+		return v != p.Value
+	default:
+		return false
+	}
+}
+
+// Conjunct is an AND of predicates.
+type Conjunct []Predicate
+
+// FiringPolicy bounds rule firings per entity within a tumbling time window
+// (§2.2). The zero value means "fire on every match".
+type FiringPolicy struct {
+	// Limit is the maximum number of firings per entity per window; 0
+	// disables the policy.
+	Limit int
+	// WindowMillis is the tumbling-window width.
+	WindowMillis int64
+}
+
+// Rule is one Business Rule in disjunctive normal form.
+type Rule struct {
+	// ID must be unique within an Engine.
+	ID int
+	// Name describes the rule ("free-minutes campaign").
+	Name string
+	// Action is the action tag delivered to the action sink when the rule
+	// fires (the paper's "inform subscriber ..." payloads).
+	Action string
+	// Conjuncts is the DNF body: OR over conjuncts, AND within.
+	Conjuncts []Conjunct
+	// Policy optionally bounds firings.
+	Policy FiringPolicy
+}
+
+// Matches implements the straight-forward evaluation of a single rule with
+// early abort per conjunct (Algorithm 2's inner loops).
+func (r *Rule) Matches(ev *event.Event, rec schema.Record, sch *schema.Schema) bool {
+	for _, c := range r.Conjuncts {
+		matching := true
+		for _, p := range c {
+			if !p.Eval(ev, rec, sch) {
+				matching = false
+				break // early abort
+			}
+		}
+		if matching {
+			return true // early success
+		}
+	}
+	return false
+}
+
+// Validate checks the rule's attribute references against a schema.
+func (r *Rule) Validate(sch *schema.Schema) error {
+	if len(r.Conjuncts) == 0 {
+		return fmt.Errorf("rules: rule %d has no conjuncts", r.ID)
+	}
+	for ci, c := range r.Conjuncts {
+		if len(c) == 0 {
+			return fmt.Errorf("rules: rule %d conjunct %d is empty", r.ID, ci)
+		}
+		for _, p := range c {
+			switch p.Kind {
+			case LHSAttr:
+				if p.Attr < 0 || p.Attr >= sch.NumAttrs() {
+					return fmt.Errorf("rules: rule %d references attribute %d out of range", r.ID, p.Attr)
+				}
+			case LHSAttrRatio:
+				if p.Attr < 0 || p.Attr >= sch.NumAttrs() || p.Attr2 < 0 || p.Attr2 >= sch.NumAttrs() {
+					return fmt.Errorf("rules: rule %d ratio references attribute out of range", r.ID)
+				}
+			}
+		}
+	}
+	if r.Policy.Limit > 0 && r.Policy.WindowMillis <= 0 {
+		return fmt.Errorf("rules: rule %d has a firing limit without a window", r.ID)
+	}
+	return nil
+}
+
+// EvaluateAll is Algorithm 2: it returns the rules in rs whose DNF matches
+// the event/record pair, using early abort and early success.
+func EvaluateAll(rs []Rule, ev *event.Event, rec schema.Record, sch *schema.Schema) []*Rule {
+	var result []*Rule
+	for i := range rs {
+		if rs[i].Matches(ev, rec, sch) {
+			result = append(result, &rs[i])
+		}
+	}
+	return result
+}

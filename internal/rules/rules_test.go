@@ -1,0 +1,303 @@
+package rules
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/schema"
+)
+
+// ruleSchema builds a schema with the indicators the paper's example rules
+// reference: calls today, total cost today, total duration today.
+func ruleSchema(t testing.TB) *schema.Schema {
+	t.Helper()
+	sch, err := schema.NewBuilder().
+		AddGroup(schema.GroupSpec{Name: "calls_today", Metric: schema.MetricCount,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggCount}}).
+		AddGroup(schema.GroupSpec{Name: "cost_today", Metric: schema.MetricCost,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggSum}}).
+		AddGroup(schema.GroupSpec{Name: "dur_today", Metric: schema.MetricDuration,
+			Window: schema.Day(), Aggs: []schema.AggKind{schema.AggSum}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+// paperRules returns the two example rules from Table 2.
+func paperRules(sch *schema.Schema) []Rule {
+	calls := sch.MustAttrIndex("calls_today_count")
+	cost := sch.MustAttrIndex("cost_today_sum")
+	dur := sch.MustAttrIndex("dur_today_sum")
+	return []Rule{
+		{
+			ID: 1, Name: "free-minutes", Action: "offer-free-minutes",
+			Conjuncts: []Conjunct{{
+				{Kind: LHSAttr, Attr: calls, Op: Gt, Value: 20},
+				{Kind: LHSAttr, Attr: cost, Op: Gt, Value: 100},
+				{Kind: LHSEventDuration, Op: Gt, Value: 300},
+			}},
+		},
+		{
+			ID: 2, Name: "phone-misuse", Action: "advise-screen-lock",
+			Conjuncts: []Conjunct{{
+				{Kind: LHSAttr, Attr: calls, Op: Gt, Value: 30},
+				{Kind: LHSAttrRatio, Attr: dur, Attr2: calls, Op: Lt, Value: 10},
+			}},
+		},
+	}
+}
+
+func applyN(t testing.TB, sch *schema.Schema, rec schema.Record, n int, dur int64, cost float64) *event.Event {
+	t.Helper()
+	var ev event.Event
+	base := int64(100 * 24 * 3600 * 1000)
+	for i := 0; i < n; i++ {
+		ev = event.Event{Caller: rec.EntityID(), Timestamp: base + int64(i), Duration: dur, Cost: cost}
+		sch.Apply(rec, &ev)
+	}
+	return &ev
+}
+
+func TestPaperRule1(t *testing.T) {
+	sch := ruleSchema(t)
+	rs := paperRules(sch)
+	rec := sch.NewRecord(5)
+	// 25 calls of $5 each: calls=25 > 20, cost=125 > 100.
+	last := applyN(t, sch, rec, 25, 400, 5)
+	got := EvaluateAll(rs, last, rec, sch)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("matched %v, want rule 1 only", got)
+	}
+	// Short final call: event predicate fails.
+	shortCall := *last
+	shortCall.Duration = 100
+	if m := EvaluateAll(rs, &shortCall, rec, sch); len(m) != 0 {
+		t.Fatalf("short call matched %v", m)
+	}
+}
+
+func TestPaperRule2Ratio(t *testing.T) {
+	sch := ruleSchema(t)
+	rs := paperRules(sch)
+	rec := sch.NewRecord(5)
+	// 40 calls of 5 seconds: ratio 5 < 10, calls 40 > 30 -> rule 2 fires.
+	last := applyN(t, sch, rec, 40, 5, 0.01)
+	got := EvaluateAll(rs, last, rec, sch)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("matched %v, want rule 2 only", got)
+	}
+}
+
+func TestRatioZeroDenominator(t *testing.T) {
+	sch := ruleSchema(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	dur := sch.MustAttrIndex("dur_today_sum")
+	p := Predicate{Kind: LHSAttrRatio, Attr: dur, Attr2: calls, Op: Eq, Value: 0}
+	rec := sch.NewRecord(1) // no events: calls = 0
+	ev := &event.Event{Caller: 1, Timestamp: 1}
+	if !p.Eval(ev, rec, sch) {
+		t.Fatal("ratio with zero denominator should read as 0")
+	}
+}
+
+func TestAllCmpOps(t *testing.T) {
+	sch := ruleSchema(t)
+	rec := sch.NewRecord(1)
+	ev := &event.Event{Caller: 1, Timestamp: 1, Duration: 10, Cost: 2.5, LongDistance: true}
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{Kind: LHSEventDuration, Op: Lt, Value: 11}, true},
+		{Predicate{Kind: LHSEventDuration, Op: Le, Value: 10}, true},
+		{Predicate{Kind: LHSEventDuration, Op: Gt, Value: 10}, false},
+		{Predicate{Kind: LHSEventDuration, Op: Ge, Value: 10}, true},
+		{Predicate{Kind: LHSEventCost, Op: Eq, Value: 2.5}, true},
+		{Predicate{Kind: LHSEventCost, Op: Ne, Value: 2.5}, false},
+		{Predicate{Kind: LHSEventLongDistance, Op: Eq, Value: 1}, true},
+	}
+	for i, c := range cases {
+		if got := c.p.Eval(ev, rec, sch); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	sch := ruleSchema(t)
+	bad := []Rule{
+		{ID: 1},
+		{ID: 2, Conjuncts: []Conjunct{{}}},
+		{ID: 3, Conjuncts: []Conjunct{{{Kind: LHSAttr, Attr: 999, Op: Gt}}}},
+		{ID: 4, Conjuncts: []Conjunct{{{Kind: LHSAttrRatio, Attr: 0, Attr2: 999, Op: Gt}}}},
+		{ID: 5, Conjuncts: []Conjunct{{{Kind: LHSEventCost, Op: Gt}}}, Policy: FiringPolicy{Limit: 1}},
+	}
+	for _, r := range bad {
+		if err := r.Validate(sch); err == nil {
+			t.Errorf("rule %d validated, want error", r.ID)
+		}
+	}
+	if _, err := NewEngine(sch, bad[:1], false); err == nil {
+		t.Error("NewEngine accepted invalid rule")
+	}
+	dup := []Rule{
+		{ID: 1, Conjuncts: []Conjunct{{{Kind: LHSEventCost, Op: Gt, Value: 0}}}},
+		{ID: 1, Conjuncts: []Conjunct{{{Kind: LHSEventCost, Op: Gt, Value: 1}}}},
+	}
+	if _, err := NewEngine(sch, dup, false); err == nil {
+		t.Error("NewEngine accepted duplicate rule ids")
+	}
+}
+
+func TestFiringPolicy(t *testing.T) {
+	sch := ruleSchema(t)
+	day := int64(24 * 3600 * 1000)
+	rs := []Rule{{
+		ID: 1, Action: "act",
+		Conjuncts: []Conjunct{{{Kind: LHSEventCost, Op: Ge, Value: 0}}}, // always true
+		Policy:    FiringPolicy{Limit: 2, WindowMillis: day},
+	}}
+	eng, err := NewEngine(sch, rs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sch.NewRecord(9)
+	base := 100 * day
+	fire := func(ts int64, entity uint64) int {
+		ev := &event.Event{Caller: entity, Timestamp: ts, Cost: 1}
+		sch.Apply(rec, ev)
+		return len(eng.Evaluate(ev, rec))
+	}
+	if fire(base, 9) != 1 || fire(base+1, 9) != 1 {
+		t.Fatal("first two firings should pass")
+	}
+	if fire(base+2, 9) != 0 {
+		t.Fatal("third firing in window should be suppressed")
+	}
+	// Different entity has its own budget.
+	if fire(base+3, 10) != 1 {
+		t.Fatal("other entity should fire")
+	}
+	// Next day the window resets.
+	if fire(base+day, 9) != 1 {
+		t.Fatal("new window should fire again")
+	}
+}
+
+func TestEngineFiringFields(t *testing.T) {
+	sch := ruleSchema(t)
+	eng, err := NewEngine(sch, paperRules(sch), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.NumRules() != 2 {
+		t.Fatalf("NumRules = %d", eng.NumRules())
+	}
+	rec := sch.NewRecord(5)
+	last := applyN(t, sch, rec, 25, 400, 5)
+	fs := eng.Evaluate(last, rec)
+	if len(fs) != 1 {
+		t.Fatalf("firings = %v", fs)
+	}
+	f := fs[0]
+	if f.RuleID != 1 || f.Action != "offer-free-minutes" || f.EntityID != 5 || f.Timestamp != last.Timestamp {
+		t.Fatalf("firing = %+v", f)
+	}
+}
+
+// randomRules builds n random rules over the schema's numeric attributes,
+// with predicate values drawn from a small set so predicates repeat across
+// rules (the sharing the index exploits).
+func randomRules(sch *schema.Schema, n int, rng *rand.Rand) []Rule {
+	attrs := []int{
+		sch.MustAttrIndex("calls_today_count"),
+		sch.MustAttrIndex("cost_today_sum"),
+		sch.MustAttrIndex("dur_today_sum"),
+	}
+	rs := make([]Rule, n)
+	for i := range rs {
+		nc := 1 + rng.Intn(4)
+		conjs := make([]Conjunct, nc)
+		for c := range conjs {
+			np := 1 + rng.Intn(4)
+			preds := make(Conjunct, np)
+			for p := range preds {
+				preds[p] = Predicate{
+					Kind:  LHSAttr,
+					Attr:  attrs[rng.Intn(len(attrs))],
+					Op:    CmpOp(rng.Intn(6)),
+					Value: float64(rng.Intn(8) * 10),
+				}
+			}
+			conjs[c] = preds
+		}
+		rs[i] = Rule{ID: i, Conjuncts: conjs}
+	}
+	return rs
+}
+
+// TestIndexMatchesStraightforward cross-checks the rule index against
+// Algorithm 2 on random rules and random records.
+func TestIndexMatchesStraightforward(t *testing.T) {
+	sch := ruleSchema(t)
+	rng := rand.New(rand.NewSource(11))
+	rs := randomRules(sch, 200, rng)
+	idx := NewIndex(rs)
+	if idx.NumDistinctPredicates() >= 200*4*4 {
+		t.Fatal("index shares no predicates")
+	}
+	for trial := 0; trial < 50; trial++ {
+		rec := sch.NewRecord(uint64(trial))
+		ev := applyN(t, sch, rec, rng.Intn(40), int64(rng.Intn(500)+1), float64(rng.Intn(10)))
+		var straight []int
+		for i := range rs {
+			if rs[i].Matches(ev, rec, sch) {
+				straight = append(straight, i)
+			}
+		}
+		indexed := idx.Evaluate(ev, rec, sch)
+		if !reflect.DeepEqual(straight, indexed) {
+			t.Fatalf("trial %d: straight %v != indexed %v", trial, straight, indexed)
+		}
+	}
+}
+
+// TestQuickEngineIndexEquivalence property-tests that engines with and
+// without the index always produce identical firings.
+func TestQuickEngineIndexEquivalence(t *testing.T) {
+	sch := ruleSchema(t)
+	rng := rand.New(rand.NewSource(23))
+	rs := randomRules(sch, 60, rng)
+	plain, err := NewEngine(sch, rs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := NewEngine(sch, rs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(nEvents uint8, dur uint16, cost uint8) bool {
+		rec1 := sch.NewRecord(1)
+		rec2 := sch.NewRecord(1)
+		base := int64(100 * 24 * 3600 * 1000)
+		for i := 0; i <= int(nEvents)%30; i++ {
+			ev := &event.Event{Caller: 1, Timestamp: base + int64(i), Duration: int64(dur%500) + 1, Cost: float64(cost)}
+			sch.Apply(rec1, ev)
+			sch.Apply(rec2, ev)
+			a := plain.Evaluate(ev, rec1)
+			b := indexed.Evaluate(ev, rec2)
+			if !reflect.DeepEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package schema
+
+import "sync"
+
+// Dict is an order-preserving-free string dictionary backing
+// dictionary-encoded attributes. The production AIM system's PAX layout
+// supports variable-length data (§7); in this reproduction, string-valued
+// segmentation attributes are interned into per-attribute dictionaries so
+// Entity Records stay fixed-size 8-byte slots and scans keep their
+// columnar kernels — codes compare with the integer Eq/Ne kernels.
+//
+// A Dict takes concurrent readers and writers: interning happens on the
+// ESP path while scans resolve codes.
+type Dict struct {
+	mu     sync.RWMutex
+	toCode map[string]uint64
+	toStr  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{toCode: make(map[string]uint64)}
+}
+
+// Code interns s and returns its code. Codes are dense, starting at 0.
+func (d *Dict) Code(s string) uint64 {
+	d.mu.RLock()
+	c, ok := d.toCode[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.toCode[s]; ok {
+		return c
+	}
+	c = uint64(len(d.toStr))
+	d.toCode[s] = c
+	d.toStr = append(d.toStr, s)
+	return c
+}
+
+// Lookup returns the code of s without interning.
+func (d *Dict) Lookup(s string) (uint64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.toCode[s]
+	return c, ok
+}
+
+// String resolves a code back to its string.
+func (d *Dict) String(code uint64) (string, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if code >= uint64(len(d.toStr)) {
+		return "", false
+	}
+	return d.toStr[code], true
+}
+
+// Len returns the number of distinct interned strings.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.toStr)
+}
+
+// --- schema integration ------------------------------------------------------
+
+// Dict returns the dictionary of a TypeDictString attribute, or nil.
+func (s *Schema) Dict(attr int) *Dict {
+	return s.dicts[attr]
+}
+
+// SetString interns v in the attribute's dictionary and stores its code in
+// the record. The attribute must be TypeDictString.
+func (s *Schema) SetString(rec Record, attr int, v string) {
+	rec[attr] = s.dicts[attr].Code(v)
+}
+
+// GetString resolves the record's dictionary code for the attribute.
+func (s *Schema) GetString(rec Record, attr int) (string, bool) {
+	d := s.dicts[attr]
+	if d == nil {
+		return "", false
+	}
+	return d.String(rec[attr])
+}

@@ -1,0 +1,119 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestCustomAttrNames(t *testing.T) {
+	s, err := NewBuilder().AddGroup(GroupSpec{
+		Name: "ignored", Metric: MetricCost, Window: Day(),
+		Aggs:      []AggKind{AggSum, AggMax},
+		AttrNames: []string{"total_cost_today", "most_expensive_call_today"},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttrIndex("total_cost_today"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttrIndex("most_expensive_call_today"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AttrIndex("ignored_sum"); err == nil {
+		t.Fatal("generated name exists despite override")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid spec")
+		}
+	}()
+	NewBuilder().AddGroup(GroupSpec{Name: "bad", Metric: MetricCost, Window: Day()}).MustBuild()
+}
+
+func TestMonthAndHourWindows(t *testing.T) {
+	s := NewBuilder().AddGroup(GroupSpec{
+		Name: "cost_month", Metric: MetricCost, Window: Month(),
+		Aggs: []AggKind{AggSum},
+	}).MustBuild()
+	rec := s.NewRecord(1)
+	monthMs := int64(30 * 24 * 3600 * 1000)
+	base := 10 * monthMs
+	s.Apply(rec, &event.Event{Caller: 1, Timestamp: base, Cost: 5})
+	s.Apply(rec, &event.Event{Caller: 1, Timestamp: base + monthMs - 1, Cost: 3})
+	if got := rec.Float(s.MustAttrIndex("cost_month_sum")); got != 8 {
+		t.Fatalf("month sum = %v", got)
+	}
+	s.Apply(rec, &event.Event{Caller: 1, Timestamp: base + monthMs, Cost: 1})
+	if got := rec.Float(s.MustAttrIndex("cost_month_sum")); got != 1 {
+		t.Fatalf("month sum after rollover = %v", got)
+	}
+}
+
+func TestGroupUpdateDirect(t *testing.T) {
+	s := NewBuilder().AddGroup(GroupSpec{
+		Name: "calls", Metric: MetricCount, Window: Day(),
+		Aggs: []AggKind{AggCount},
+	}).MustBuild()
+	rec := s.NewRecord(1)
+	ev := &event.Event{Caller: 1, Timestamp: 100 * 24 * 3600 * 1000}
+	s.Groups[0].Update(rec, ev)
+	if rec.Int(s.MustAttrIndex("calls_count")) != 1 {
+		t.Fatal("direct group update failed")
+	}
+}
+
+func TestStringerCoverage(t *testing.T) {
+	cases := []string{
+		TypeInt64.String(), TypeFloat64.String(), TypeUint64.String(), TypeDictString.String(),
+		Type(99).String(),
+		MetricCount.String(), MetricDuration.String(), MetricCost.String(), Metric(99).String(),
+		CallAny.String(), CallLocal.String(), CallLongDistance.String(), Filter(99).String(),
+		AggCount.String(), AggSum.String(), AggAvg.String(), AggMin.String(), AggMax.String(), AggKind(99).String(),
+		Day().String(), LastEvents(5).String(), SlidingHours(24, 4).String(),
+		Window{Kind: WindowKind(9)}.String(),
+	}
+	for _, s := range cases {
+		if s == "" {
+			t.Fatal("empty Stringer output")
+		}
+	}
+	if !strings.Contains(Day().String(), "tumbling") {
+		t.Fatalf("Day window string: %s", Day().String())
+	}
+}
+
+func TestRecordUintAndSetters(t *testing.T) {
+	s := NewBuilder().AddStatic(StaticSpec{Name: "x", Type: TypeUint64}).MustBuild()
+	rec := s.NewRecord(5)
+	xi := s.MustAttrIndex("x")
+	rec[xi] = 77
+	if rec.Uint(xi) != 77 {
+		t.Fatal("Uint accessor")
+	}
+	rec.SetFloat(xi, 1.5)
+	if rec.Float(xi) != 1.5 {
+		t.Fatal("SetFloat/Float")
+	}
+	if rec.Value(xi, TypeFloat64) != 1.5 {
+		t.Fatal("Value float")
+	}
+	rec.SetInt(xi, -3)
+	if rec.Value(xi, TypeInt64) != -3 {
+		t.Fatal("Value int")
+	}
+	if rec.Value(SlotEntityID, TypeUint64) != 5 {
+		t.Fatal("Value uint")
+	}
+	if EncodedSize(4) != 32 {
+		t.Fatal("EncodedSize")
+	}
+	if numBuiltin != 2 {
+		t.Fatal("builtin count drifted")
+	}
+}

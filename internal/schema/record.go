@@ -1,0 +1,79 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Record is an Entity Record: one row of the Analytics Matrix, stored as a
+// flat slice of 8-byte slots. The leading Schema.NumAttrs() slots are the
+// visible columns; the rest is window/aggregate bookkeeping.
+type Record []uint64
+
+// EntityID returns the record's entity id.
+func (r Record) EntityID() uint64 { return r[SlotEntityID] }
+
+// LastTimestamp returns the timestamp of the last applied event, in
+// milliseconds since the Unix epoch.
+func (r Record) LastTimestamp() int64 { return int64(r[SlotLastTimestamp]) }
+
+// Int returns the slot at attribute index i interpreted as int64.
+func (r Record) Int(i int) int64 { return int64(r[i]) }
+
+// Uint returns the slot at attribute index i interpreted as uint64.
+func (r Record) Uint(i int) uint64 { return r[i] }
+
+// Float returns the slot at attribute index i interpreted as float64.
+func (r Record) Float(i int) float64 { return math.Float64frombits(r[i]) }
+
+// SetInt stores an int64 into slot i.
+func (r Record) SetInt(i int, v int64) { r[i] = uint64(v) }
+
+// SetFloat stores a float64 into slot i.
+func (r Record) SetFloat(i int, v float64) { r[i] = math.Float64bits(v) }
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	c := make(Record, len(r))
+	copy(c, r)
+	return c
+}
+
+// Value returns the slot at attribute index i as a float64 regardless of the
+// attribute's logical type, using t to pick the conversion. Query aggregation
+// uses this to work in float64 space.
+func (r Record) Value(i int, t Type) float64 {
+	switch t {
+	case TypeFloat64:
+		return math.Float64frombits(r[i])
+	case TypeUint64, TypeDictString:
+		return float64(r[i])
+	default:
+		return float64(int64(r[i]))
+	}
+}
+
+// EncodedSize returns the wire size of a record with n slots.
+func EncodedSize(n int) int { return n * 8 }
+
+// EncodeRecord writes rec into dst in little-endian slot order and returns
+// the number of bytes written. dst must be at least EncodedSize(len(rec)).
+func EncodeRecord(rec Record, dst []byte) int {
+	for i, w := range rec {
+		binary.LittleEndian.PutUint64(dst[i*8:], w)
+	}
+	return len(rec) * 8
+}
+
+// DecodeRecord parses a record of n slots from src.
+func DecodeRecord(src []byte, n int) (Record, error) {
+	if len(src) < n*8 {
+		return nil, fmt.Errorf("schema: short record frame: %d < %d bytes", len(src), n*8)
+	}
+	rec := make(Record, n)
+	for i := range rec {
+		rec[i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+	return rec, nil
+}

@@ -1,0 +1,349 @@
+package schema
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+)
+
+// testSchema builds a small schema exercising every metric, filter, agg and
+// window kind.
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	b := NewBuilder()
+	b.AddGroup(GroupSpec{
+		Name: "calls_today", Metric: MetricCount, Filter: CallAny,
+		Window: Day(), Aggs: []AggKind{AggCount},
+	})
+	b.AddGroup(GroupSpec{
+		Name: "dur_today", Metric: MetricDuration, Filter: CallAny,
+		Window: Day(), Aggs: []AggKind{AggSum, AggAvg, AggMin, AggMax},
+	})
+	b.AddGroup(GroupSpec{
+		Name: "cost_week", Metric: MetricCost, Filter: CallAny,
+		Window: Week(), Aggs: []AggKind{AggSum, AggMax},
+	})
+	b.AddGroup(GroupSpec{
+		Name: "local_calls_week", Metric: MetricCount, Filter: CallLocal,
+		Window: Week(), Aggs: []AggKind{AggCount},
+	})
+	b.AddGroup(GroupSpec{
+		Name: "ld_cost_last10", Metric: MetricCost, Filter: CallLongDistance,
+		Window: LastEvents(10), Aggs: []AggKind{AggSum},
+	})
+	b.AddGroup(GroupSpec{
+		Name: "dur_sliding24h", Metric: MetricDuration, Filter: CallAny,
+		Window: SlidingHours(24, 4), Aggs: []AggKind{AggSum, AggCount},
+	})
+	s, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func ev(ts, dur int64, cost float64, ld bool) *event.Event {
+	return &event.Event{Caller: 1, Callee: 2, Timestamp: ts, Duration: dur, Cost: cost, LongDistance: ld}
+}
+
+const dayMs = 24 * 3600 * 1000
+
+func TestBuilderLayout(t *testing.T) {
+	s := testSchema(t)
+	if got := s.Attrs[0].Name; got != "entity_id" {
+		t.Fatalf("attr 0 = %q, want entity_id", got)
+	}
+	if s.NumAttrs() != 2+1+4+2+1+1+2 {
+		t.Fatalf("NumAttrs = %d, want 13", s.NumAttrs())
+	}
+	if s.Slots <= s.NumAttrs() {
+		t.Fatalf("Slots = %d must exceed visible attrs %d (hidden bookkeeping)", s.Slots, s.NumAttrs())
+	}
+	for i, a := range s.Attrs {
+		if a.Slot != i {
+			t.Fatalf("attr %d has slot %d", i, a.Slot)
+		}
+		if j := s.MustAttrIndex(a.Name); j != i {
+			t.Fatalf("AttrIndex(%q) = %d, want %d", a.Name, j, i)
+		}
+	}
+	if _, err := s.AttrIndex("nope"); err == nil {
+		t.Fatal("AttrIndex on unknown name should fail")
+	}
+}
+
+func TestBuilderRejectsBadSpecs(t *testing.T) {
+	cases := []GroupSpec{
+		{Name: "noaggs", Metric: MetricCost, Window: Day()},
+		{Name: "dup", Metric: MetricCost, Window: Day(), Aggs: []AggKind{AggSum, AggSum}},
+		{Name: "mincount", Metric: MetricCount, Window: Day(), Aggs: []AggKind{AggMin}},
+		{Name: "badwin", Metric: MetricCost, Window: Window{Kind: WindowTumbling}, Aggs: []AggKind{AggSum}},
+		{Name: "badslide", Metric: MetricCost, Window: Window{Kind: WindowSliding, DurationMillis: 100, Sub: 1}, Aggs: []AggKind{AggSum}},
+		{Name: "badcount", Metric: MetricCost, Window: Window{Kind: WindowTumblingCount}, Aggs: []AggKind{AggSum}},
+		{Name: "badnames", Metric: MetricCost, Window: Day(), Aggs: []AggKind{AggSum}, AttrNames: []string{"a", "b"}},
+	}
+	for _, spec := range cases {
+		if _, err := NewBuilder().AddGroup(spec).Build(); err == nil {
+			t.Errorf("spec %q: Build succeeded, want error", spec.Name)
+		}
+	}
+	// Duplicate attribute names across groups.
+	b := NewBuilder()
+	b.AddGroup(GroupSpec{Name: "x", Metric: MetricCost, Window: Day(), Aggs: []AggKind{AggSum}})
+	b.AddGroup(GroupSpec{Name: "x", Metric: MetricCost, Window: Week(), Aggs: []AggKind{AggSum}})
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate names across groups should fail")
+	}
+}
+
+func TestTumblingAggregation(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(42)
+	if rec.EntityID() != 42 {
+		t.Fatalf("EntityID = %d", rec.EntityID())
+	}
+	base := int64(100 * dayMs)
+	s.Apply(rec, ev(base+1000, 60, 1.5, false))
+	s.Apply(rec, ev(base+2000, 120, 2.5, true))
+	s.Apply(rec, ev(base+3000, 30, 0.5, false))
+
+	get := func(name string) int { return s.MustAttrIndex(name) }
+	if n := rec.Int(get("calls_today_count")); n != 3 {
+		t.Errorf("calls_today_count = %d, want 3", n)
+	}
+	if d := rec.Int(get("dur_today_sum")); d != 210 {
+		t.Errorf("dur_today_sum = %d, want 210", d)
+	}
+	if a := rec.Float(get("dur_today_avg")); a != 70 {
+		t.Errorf("dur_today_avg = %v, want 70", a)
+	}
+	if m := rec.Int(get("dur_today_min")); m != 30 {
+		t.Errorf("dur_today_min = %d, want 30", m)
+	}
+	if m := rec.Int(get("dur_today_max")); m != 120 {
+		t.Errorf("dur_today_max = %d, want 120", m)
+	}
+	if c := rec.Float(get("cost_week_sum")); math.Abs(c-4.5) > 1e-9 {
+		t.Errorf("cost_week_sum = %v, want 4.5", c)
+	}
+	if c := rec.Float(get("cost_week_max")); c != 2.5 {
+		t.Errorf("cost_week_max = %v, want 2.5", c)
+	}
+	if n := rec.Int(get("local_calls_week_count")); n != 2 {
+		t.Errorf("local_calls_week_count = %d, want 2", n)
+	}
+	if rec.LastTimestamp() != base+3000 {
+		t.Errorf("LastTimestamp = %d", rec.LastTimestamp())
+	}
+}
+
+func TestTumblingWindowReset(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(1)
+	base := int64(100 * dayMs)
+	s.Apply(rec, ev(base, 60, 1, false))
+	s.Apply(rec, ev(base+1000, 60, 1, false))
+	// Next day: daily aggregates reset, weekly persist (same week).
+	s.Apply(rec, ev(base+dayMs, 10, 2, false))
+	if n := rec.Int(s.MustAttrIndex("calls_today_count")); n != 1 {
+		t.Errorf("after day rollover calls_today_count = %d, want 1", n)
+	}
+	if d := rec.Int(s.MustAttrIndex("dur_today_sum")); d != 10 {
+		t.Errorf("after day rollover dur_today_sum = %d, want 10", d)
+	}
+	if m := rec.Int(s.MustAttrIndex("dur_today_min")); m != 10 {
+		t.Errorf("after day rollover dur_today_min = %d, want 10", m)
+	}
+	if c := rec.Float(s.MustAttrIndex("cost_week_sum")); math.Abs(c-4) > 1e-9 {
+		t.Errorf("cost_week_sum = %v, want 4 (week did not roll)", c)
+	}
+}
+
+func TestEventCountWindow(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(1)
+	idx := s.MustAttrIndex("ld_cost_last10_sum")
+	base := int64(100 * dayMs)
+	// 10 long-distance events of $1 fill the window.
+	for i := 0; i < 10; i++ {
+		s.Apply(rec, ev(base+int64(i), 10, 1, true))
+	}
+	if c := rec.Float(idx); c != 10 {
+		t.Fatalf("after 10 events sum = %v, want 10", c)
+	}
+	// Local events don't count toward the long-distance window.
+	s.Apply(rec, ev(base+100, 10, 1, false))
+	if c := rec.Float(idx); c != 10 {
+		t.Fatalf("local event changed LD window: %v", c)
+	}
+	// The 11th matching event starts a fresh window.
+	s.Apply(rec, ev(base+200, 10, 2, true))
+	if c := rec.Float(idx); c != 2 {
+		t.Fatalf("after window rollover sum = %v, want 2", c)
+	}
+}
+
+func TestSlidingWindow(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(1)
+	sumIdx := s.MustAttrIndex("dur_sliding24h_sum")
+	cntIdx := s.MustAttrIndex("dur_sliding24h_count")
+	sub := int64(6 * 3600 * 1000) // 24h / 4 sub-windows
+	base := int64(100 * dayMs)
+
+	s.Apply(rec, ev(base, 100, 1, false))
+	s.Apply(rec, ev(base+sub, 200, 1, false))
+	s.Apply(rec, ev(base+2*sub, 300, 1, false))
+	if d := rec.Int(sumIdx); d != 600 {
+		t.Fatalf("sliding sum = %d, want 600", d)
+	}
+	// Advance two more sub-windows: the first event (at base) falls out.
+	s.Apply(rec, ev(base+4*sub, 50, 1, false))
+	if d := rec.Int(sumIdx); d != 550 {
+		t.Fatalf("sliding sum after expiry = %d, want 550", d)
+	}
+	if n := rec.Int(cntIdx); n != 3 {
+		t.Fatalf("sliding count = %d, want 3", n)
+	}
+	// A long gap expires everything but the newest event.
+	s.Apply(rec, ev(base+100*sub, 7, 1, false))
+	if d := rec.Int(sumIdx); d != 7 {
+		t.Fatalf("sliding sum after gap = %d, want 7", d)
+	}
+}
+
+func TestMinMaxEmptyWindowReadsZero(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(1)
+	if m := rec.Int(s.MustAttrIndex("dur_today_min")); m != 0 {
+		t.Fatalf("fresh record min = %d, want 0", m)
+	}
+	base := int64(100 * dayMs)
+	s.Apply(rec, ev(base, 60, 1, false))
+	// Day rolls over with an event whose group filter matches: min resets
+	// then re-applies, so it tracks only the new day.
+	s.Apply(rec, ev(base+dayMs, 90, 1, false))
+	if m := rec.Int(s.MustAttrIndex("dur_today_min")); m != 90 {
+		t.Fatalf("min after rollover = %d, want 90", m)
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(7)
+	base := int64(100 * dayMs)
+	s.Apply(rec, ev(base, 60, 1.25, true))
+	buf := make([]byte, EncodedSize(len(rec)))
+	n := EncodeRecord(rec, buf)
+	if n != len(buf) {
+		t.Fatalf("EncodeRecord wrote %d, want %d", n, len(buf))
+	}
+	got, err := DecodeRecord(buf, len(rec))
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	for i := range rec {
+		if got[i] != rec[i] {
+			t.Fatalf("slot %d: got %x want %x", i, got[i], rec[i])
+		}
+	}
+	if _, err := DecodeRecord(buf[:8], len(rec)); err == nil {
+		t.Fatal("DecodeRecord on short buffer should fail")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	s := testSchema(t)
+	rec := s.NewRecord(7)
+	c := rec.Clone()
+	c[SlotEntityID] = 99
+	if rec.EntityID() != 7 {
+		t.Fatal("Clone aliases original storage")
+	}
+}
+
+// TestQuickCountSumInvariant property-tests the core kernel invariant: after
+// any event sequence, count equals the number of matching events and sum
+// equals the sum of their durations.
+func TestQuickCountSumInvariant(t *testing.T) {
+	s, err := NewBuilder().AddGroup(GroupSpec{
+		Name: "g", Metric: MetricDuration, Filter: CallLocal,
+		Window: Month(), Aggs: []AggKind{AggCount, AggSum, AggMin, AggMax, AggAvg},
+	}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := s.MustAttrIndex("g_count")
+	sum := s.MustAttrIndex("g_sum")
+	mn := s.MustAttrIndex("g_min")
+	mx := s.MustAttrIndex("g_max")
+	av := s.MustAttrIndex("g_avg")
+
+	f := func(durs []uint16, ldMask []bool) bool {
+		rec := s.NewRecord(1)
+		base := int64(100 * dayMs)
+		var wantCount, wantSum int64
+		wantMin, wantMax := int64(math.MaxInt64), int64(math.MinInt64)
+		for i, d16 := range durs {
+			d := int64(d16) + 1
+			ld := i < len(ldMask) && ldMask[i]
+			s.Apply(rec, ev(base+int64(i), d, 1, ld))
+			if !ld {
+				wantCount++
+				wantSum += d
+				if d < wantMin {
+					wantMin = d
+				}
+				if d > wantMax {
+					wantMax = d
+				}
+			}
+		}
+		if rec.Int(cnt) != wantCount || rec.Int(sum) != wantSum {
+			return false
+		}
+		if wantCount == 0 {
+			return rec.Int(mn) == 0 && rec.Int(mx) == 0 && rec.Float(av) == 0
+		}
+		if rec.Int(mn) != wantMin || rec.Int(mx) != wantMax {
+			return false
+		}
+		return math.Abs(rec.Float(av)-float64(wantSum)/float64(wantCount)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSlidingNeverExceedsTotal property-tests that a sliding-window sum
+// never exceeds the all-time sum and is always non-negative.
+func TestQuickSlidingNeverExceedsTotal(t *testing.T) {
+	s, err := NewBuilder().
+		AddGroup(GroupSpec{Name: "slide", Metric: MetricDuration, Filter: CallAny,
+			Window: SlidingHours(4, 4), Aggs: []AggKind{AggSum}}).
+		AddGroup(GroupSpec{Name: "all", Metric: MetricDuration, Filter: CallAny,
+			Window: Window{Kind: WindowTumbling, DurationMillis: math.MaxInt64 / 2}, Aggs: []AggKind{AggSum}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slideIdx := s.MustAttrIndex("slide_sum")
+	allIdx := s.MustAttrIndex("all_sum")
+	f := func(steps []uint32) bool {
+		rec := s.NewRecord(1)
+		ts := int64(100 * dayMs)
+		for _, st := range steps {
+			ts += int64(st % 7_200_000) // jumps up to 2h
+			s.Apply(rec, ev(ts, int64(st%1000)+1, 1, false))
+			if rec.Int(slideIdx) < 0 || rec.Int(slideIdx) > rec.Int(allIdx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package schema defines the Analytics Matrix schema: the set of maintained
+// indicators (attributes), their grouping into attribute groups, and the
+// compiled update kernel that applies one CDR event to an Entity Record.
+//
+// The design mirrors §2.1 and §4.3 of the AIM paper: an indicator is a point
+// in the Cartesian product of event metrics (count, duration, cost), call
+// filters (any, local, long-distance), aggregation functions (count, sum,
+// avg, min, max) and aggregation windows (tumbling, event-count tumbling,
+// sliding). Interdependent indicators over the same metric and window form an
+// attribute group with a single update function that is composed once from
+// small building blocks and thereafter called through a function value with
+// no per-event schema interpretation — the Go analogue of the paper's
+// templated C++ kernel.
+//
+// Entity Records are flat []uint64 slot arrays. Visible attributes (the
+// scannable Analytics-Matrix columns) occupy the leading slots; hidden
+// bookkeeping slots (window epochs, aggregation primitives) follow. All
+// values are 8-byte slots holding either an int64/uint64 or a float64 bit
+// pattern, so the ColumnMap can scan any column without type dispatch.
+package schema
+
+import "fmt"
+
+// Type is the logical type of a visible attribute value.
+type Type uint8
+
+const (
+	// TypeInt64 marks a slot holding a signed 64-bit integer.
+	TypeInt64 Type = iota
+	// TypeFloat64 marks a slot holding an IEEE-754 double bit pattern.
+	TypeFloat64
+	// TypeUint64 marks a slot holding an unsigned 64-bit integer (entity ids).
+	TypeUint64
+	// TypeDictString marks a slot holding a dictionary code for a
+	// variable-length string attribute (see Dict).
+	TypeDictString
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeInt64:
+		return "int64"
+	case TypeFloat64:
+		return "float64"
+	case TypeUint64:
+		return "uint64"
+	case TypeDictString:
+		return "dictstring"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Metric selects which event property an attribute group aggregates.
+type Metric uint8
+
+const (
+	// MetricCount aggregates the constant 1 per matching event.
+	MetricCount Metric = iota
+	// MetricDuration aggregates the call duration in seconds.
+	MetricDuration
+	// MetricCost aggregates the call cost in dollars.
+	MetricCost
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricCount:
+		return "count"
+	case MetricDuration:
+		return "duration"
+	case MetricCost:
+		return "cost"
+	default:
+		return fmt.Sprintf("Metric(%d)", uint8(m))
+	}
+}
+
+// kind returns the value kind the metric produces.
+func (m Metric) kind() Type {
+	if m == MetricCost {
+		return TypeFloat64
+	}
+	return TypeInt64
+}
+
+// Filter restricts which events an attribute group observes.
+type Filter uint8
+
+const (
+	// CallAny matches every event.
+	CallAny Filter = iota
+	// CallLocal matches local calls only.
+	CallLocal
+	// CallLongDistance matches long-distance calls only.
+	CallLongDistance
+)
+
+// String implements fmt.Stringer.
+func (f Filter) String() string {
+	switch f {
+	case CallAny:
+		return "any"
+	case CallLocal:
+		return "local"
+	case CallLongDistance:
+		return "longdist"
+	default:
+		return fmt.Sprintf("Filter(%d)", uint8(f))
+	}
+}
+
+// AggKind is an aggregation function over a metric within a window.
+type AggKind uint8
+
+const (
+	// AggCount counts matching events.
+	AggCount AggKind = iota
+	// AggSum sums the metric.
+	AggSum
+	// AggAvg is the running average (sum/count), materialized as float64.
+	AggAvg
+	// AggMin is the minimum metric value seen in the window.
+	AggMin
+	// AggMax is the maximum metric value seen in the window.
+	AggMax
+)
+
+// String implements fmt.Stringer.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(a))
+	}
+}
+
+// resultType returns the visible type of the aggregate given the metric.
+func (a AggKind) resultType(m Metric) Type {
+	switch a {
+	case AggCount:
+		return TypeInt64
+	case AggAvg:
+		return TypeFloat64
+	default:
+		return m.kind()
+	}
+}
+
+// WindowKind selects the aggregation-window semantics of a group.
+type WindowKind uint8
+
+const (
+	// WindowTumbling resets aggregates whenever the event timestamp crosses
+	// a window boundary (e.g. "today", "this week").
+	WindowTumbling WindowKind = iota
+	// WindowTumblingCount resets aggregates every Count matching events
+	// ("since the last N events").
+	WindowTumblingCount
+	// WindowSliding approximates a sliding window of DurationMillis using
+	// Sub tumbling sub-windows merged on write (see DESIGN.md §2).
+	WindowSliding
+)
+
+// Window describes an aggregation window.
+type Window struct {
+	Kind WindowKind
+	// DurationMillis is the window width for time-based windows.
+	DurationMillis int64
+	// Count is the window width for event-count windows.
+	Count int64
+	// Sub is the number of sub-windows for sliding windows (>= 2).
+	Sub int
+}
+
+// Common window constructors matching the paper's examples.
+
+// Day returns a tumbling one-day window ("today").
+func Day() Window { return Window{Kind: WindowTumbling, DurationMillis: 24 * 3600 * 1000} }
+
+// Week returns a tumbling seven-day window ("this week").
+func Week() Window { return Window{Kind: WindowTumbling, DurationMillis: 7 * 24 * 3600 * 1000} }
+
+// Month returns a tumbling 30-day window ("this month").
+func Month() Window { return Window{Kind: WindowTumbling, DurationMillis: 30 * 24 * 3600 * 1000} }
+
+// LastEvents returns an event-count tumbling window ("since the last n events").
+func LastEvents(n int64) Window { return Window{Kind: WindowTumblingCount, Count: n} }
+
+// SlidingHours returns a sliding window of h hours approximated by sub
+// tumbling sub-windows.
+func SlidingHours(h int64, sub int) Window {
+	return Window{Kind: WindowSliding, DurationMillis: h * 3600 * 1000, Sub: sub}
+}
+
+// String implements fmt.Stringer.
+func (w Window) String() string {
+	switch w.Kind {
+	case WindowTumbling:
+		return fmt.Sprintf("tumbling(%dms)", w.DurationMillis)
+	case WindowTumblingCount:
+		return fmt.Sprintf("last(%d events)", w.Count)
+	case WindowSliding:
+		return fmt.Sprintf("sliding(%dms/%d)", w.DurationMillis, w.Sub)
+	default:
+		return fmt.Sprintf("Window(kind=%d)", uint8(w.Kind))
+	}
+}
+
+// validate reports whether the window parameters are usable.
+func (w Window) validate() error {
+	switch w.Kind {
+	case WindowTumbling:
+		if w.DurationMillis <= 0 {
+			return fmt.Errorf("schema: tumbling window needs positive duration, got %d", w.DurationMillis)
+		}
+	case WindowTumblingCount:
+		if w.Count <= 0 {
+			return fmt.Errorf("schema: event-count window needs positive count, got %d", w.Count)
+		}
+	case WindowSliding:
+		if w.DurationMillis <= 0 {
+			return fmt.Errorf("schema: sliding window needs positive duration, got %d", w.DurationMillis)
+		}
+		if w.Sub < 2 {
+			return fmt.Errorf("schema: sliding window needs >= 2 sub-windows, got %d", w.Sub)
+		}
+		if w.DurationMillis%int64(w.Sub) != 0 {
+			return fmt.Errorf("schema: sliding window duration %d not divisible by %d sub-windows", w.DurationMillis, w.Sub)
+		}
+	default:
+		return fmt.Errorf("schema: unknown window kind %d", uint8(w.Kind))
+	}
+	return nil
+}

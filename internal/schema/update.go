@@ -1,0 +1,256 @@
+package schema
+
+import (
+	"math"
+
+	"repro/internal/event"
+)
+
+// Aggregation primitives maintained per group (per sub-window for sliding
+// windows). Visible aggregates are materialized from these after each
+// update, which keeps one uniform kernel shape for all window kinds.
+const (
+	pCount = iota // number of matching events in the window
+	pSum          // sum of the metric
+	pMin          // minimum metric value
+	pMax          // maximum metric value
+	numPrims
+)
+
+// layoutGroup assigns hidden slots to g starting at slot next and returns
+// the next free slot.
+func layoutGroup(g *Group, next int) int {
+	g.epochSlot = next
+	next++
+	g.primSets = 1
+	g.subEpochAt = -1
+	if g.Spec.Window.Kind == WindowSliding {
+		g.primSets = g.Spec.Window.Sub
+		g.subEpochAt = next
+		next += g.Spec.Window.Sub
+	}
+	need := [numPrims]bool{pCount: true} // count doubles as the emptiness marker
+	for _, a := range g.Spec.Aggs {
+		switch a {
+		case AggSum, AggAvg:
+			need[pSum] = true
+		case AggMin:
+			need[pMin] = true
+		case AggMax:
+			need[pMax] = true
+		}
+	}
+	for p := 0; p < numPrims; p++ {
+		if need[p] {
+			g.primAt[p] = next
+			next += g.primSets
+		} else {
+			g.primAt[p] = -1
+		}
+	}
+	return next
+}
+
+// kernelOps bundles the type-specialized arithmetic a group kernel needs.
+// The right ops are selected once at compile time, so the per-event path
+// performs no type dispatch — the Go analogue of the paper's templated
+// building blocks (§4.3).
+type kernelOps struct {
+	add         func(a, b uint64) uint64
+	less        func(a, b uint64) bool
+	toFloat     func(a uint64) float64
+	minIdentity uint64
+	maxIdentity uint64
+}
+
+var intOps = kernelOps{
+	add:         func(a, b uint64) uint64 { return uint64(int64(a) + int64(b)) },
+	less:        func(a, b uint64) bool { return int64(a) < int64(b) },
+	toFloat:     func(a uint64) float64 { return float64(int64(a)) },
+	minIdentity: uint64(math.MaxInt64),
+	maxIdentity: 1 << 63, // bit pattern of math.MinInt64
+}
+
+var floatOps = kernelOps{
+	add: func(a, b uint64) uint64 {
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	},
+	less: func(a, b uint64) bool {
+		return math.Float64frombits(a) < math.Float64frombits(b)
+	},
+	toFloat:     func(a uint64) float64 { return math.Float64frombits(a) },
+	minIdentity: math.Float64bits(math.Inf(1)),
+	maxIdentity: math.Float64bits(math.Inf(-1)),
+}
+
+// compileGroup builds g.update from the building blocks: an event extractor
+// (metric × filter), window maintenance, primitive application, and visible
+// materialization.
+func compileGroup(g *Group) {
+	ops := intOps
+	if g.Spec.Metric.kind() == TypeFloat64 {
+		ops = floatOps
+	}
+
+	// Building block 1: metric extraction.
+	var value func(ev *event.Event) uint64
+	switch g.Spec.Metric {
+	case MetricCount:
+		value = func(*event.Event) uint64 { return 1 }
+	case MetricDuration:
+		value = func(ev *event.Event) uint64 { return uint64(ev.Duration) }
+	case MetricCost:
+		value = func(ev *event.Event) uint64 { return math.Float64bits(ev.Cost) }
+	}
+
+	// Building block 2: event filter.
+	var match func(ev *event.Event) bool
+	switch g.Spec.Filter {
+	case CallAny:
+		match = func(*event.Event) bool { return true }
+	case CallLocal:
+		match = func(ev *event.Event) bool { return !ev.LongDistance }
+	case CallLongDistance:
+		match = func(ev *event.Event) bool { return ev.LongDistance }
+	}
+
+	countAt, sumAt, minAt, maxAt := g.primAt[pCount], g.primAt[pSum], g.primAt[pMin], g.primAt[pMax]
+
+	// Building block 3: reset one primitive set to aggregation identities.
+	reset := func(rec []uint64, set int) {
+		rec[countAt+set] = 0
+		if sumAt >= 0 {
+			rec[sumAt+set] = 0 // 0 and +0.0 share the zero bit pattern
+		}
+		if minAt >= 0 {
+			rec[minAt+set] = ops.minIdentity
+		}
+		if maxAt >= 0 {
+			rec[maxAt+set] = ops.maxIdentity
+		}
+	}
+
+	// Building block 4: apply one matching event to a primitive set.
+	apply := func(rec []uint64, set int, v uint64) {
+		rec[countAt+set]++
+		if sumAt >= 0 {
+			rec[sumAt+set] = ops.add(rec[sumAt+set], v)
+		}
+		if minAt >= 0 && ops.less(v, rec[minAt+set]) {
+			rec[minAt+set] = v
+		}
+		if maxAt >= 0 && ops.less(rec[maxAt+set], v) {
+			rec[maxAt+set] = v
+		}
+	}
+
+	// Building block 5: materialize the visible aggregates. For sliding
+	// windows, valid is the per-set validity predicate for the current
+	// event time; for tumbling windows every group has exactly one set.
+	materialize := func(rec []uint64, valid func(set int) bool) {
+		var total uint64
+		var sum uint64
+		mn, mx := ops.minIdentity, ops.maxIdentity
+		for set := 0; set < g.primSets; set++ {
+			if valid != nil && !valid(set) {
+				continue
+			}
+			total += rec[countAt+set]
+			if sumAt >= 0 {
+				sum = ops.add(sum, rec[sumAt+set])
+			}
+			if minAt >= 0 && ops.less(rec[minAt+set], mn) {
+				mn = rec[minAt+set]
+			}
+			if maxAt >= 0 && ops.less(mx, rec[maxAt+set]) {
+				mx = rec[maxAt+set]
+			}
+		}
+		for i, a := range g.Spec.Aggs {
+			slot := g.visSlots[i]
+			switch a {
+			case AggCount:
+				rec[slot] = total
+			case AggSum:
+				rec[slot] = sum
+			case AggAvg:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = math.Float64bits(ops.toFloat(sum) / float64(total))
+				}
+			case AggMin:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = mn
+				}
+			case AggMax:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = mx
+				}
+			}
+		}
+	}
+
+	epochSlot := g.epochSlot
+	switch g.Spec.Window.Kind {
+	case WindowTumbling:
+		dur := g.Spec.Window.DurationMillis
+		g.update = func(rec []uint64, ev *event.Event) {
+			epoch := uint64(ev.Timestamp / dur)
+			changed := false
+			if rec[epochSlot] != epoch {
+				rec[epochSlot] = epoch
+				reset(rec, 0)
+				changed = true
+			}
+			if match(ev) {
+				apply(rec, 0, value(ev))
+				changed = true
+			}
+			if changed {
+				materialize(rec, nil)
+			}
+		}
+
+	case WindowTumblingCount:
+		n := uint64(g.Spec.Window.Count)
+		g.update = func(rec []uint64, ev *event.Event) {
+			if !match(ev) {
+				return
+			}
+			if rec[epochSlot] >= n {
+				reset(rec, 0)
+				rec[epochSlot] = 0
+			}
+			apply(rec, 0, value(ev))
+			rec[epochSlot]++
+			materialize(rec, nil)
+		}
+
+	case WindowSliding:
+		sub := int64(g.Spec.Window.Sub)
+		width := g.Spec.Window.DurationMillis / sub
+		subEpochAt := g.subEpochAt
+		g.update = func(rec []uint64, ev *event.Event) {
+			subIdx := ev.Timestamp / width
+			j := int(subIdx % sub)
+			if rec[subEpochAt+j] != uint64(subIdx) {
+				rec[subEpochAt+j] = uint64(subIdx)
+				reset(rec, j)
+			}
+			if match(ev) {
+				apply(rec, j, value(ev))
+			}
+			// A sub-window is live iff its epoch lies in (subIdx-sub, subIdx].
+			lo := subIdx - sub
+			materialize(rec, func(set int) bool {
+				e := int64(rec[subEpochAt+set])
+				return e > lo && e <= subIdx
+			})
+		}
+	}
+}

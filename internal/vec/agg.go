@@ -1,0 +1,123 @@
+package vec
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SumInt returns the sum of int64-typed column values whose mask bit is set.
+func SumInt(col []uint64, mask []uint64) int64 {
+	var sum int64
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sum += int64(col[base+b])
+			w &= w - 1
+		}
+	}
+	return sum
+}
+
+// SumFloat returns the sum of float64-typed column values under the mask.
+func SumFloat(col []uint64, mask []uint64) float64 {
+	var sum float64
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sum += math.Float64frombits(col[base+b])
+			w &= w - 1
+		}
+	}
+	return sum
+}
+
+// MinInt returns the minimum int64 column value under the mask and whether
+// any bit was set.
+func MinInt(col []uint64, mask []uint64) (int64, bool) {
+	mn := int64(math.MaxInt64)
+	any := false
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if v := int64(col[base+b]); v < mn {
+				mn = v
+			}
+			any = true
+			w &= w - 1
+		}
+	}
+	return mn, any
+}
+
+// MaxInt returns the maximum int64 column value under the mask and whether
+// any bit was set.
+func MaxInt(col []uint64, mask []uint64) (int64, bool) {
+	mx := int64(math.MinInt64)
+	any := false
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if v := int64(col[base+b]); v > mx {
+				mx = v
+			}
+			any = true
+			w &= w - 1
+		}
+	}
+	return mx, any
+}
+
+// MinFloat returns the minimum float64 column value under the mask and
+// whether any bit was set.
+func MinFloat(col []uint64, mask []uint64) (float64, bool) {
+	mn := math.Inf(1)
+	any := false
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if v := math.Float64frombits(col[base+b]); v < mn {
+				mn = v
+			}
+			any = true
+			w &= w - 1
+		}
+	}
+	return mn, any
+}
+
+// MaxFloat returns the maximum float64 column value under the mask and
+// whether any bit was set.
+func MaxFloat(col []uint64, mask []uint64) (float64, bool) {
+	mx := math.Inf(-1)
+	any := false
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if v := math.Float64frombits(col[base+b]); v > mx {
+				mx = v
+			}
+			any = true
+			w &= w - 1
+		}
+	}
+	return mx, any
+}
+
+// ForEach invokes fn with the record index of every set mask bit, in
+// ascending order. The query engine uses it for group-by and top-k scans.
+func ForEach(mask []uint64, fn func(i int)) {
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(base + b)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveCmpInt(col []uint64, n int, op CmpOp, v int64) []bool {
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a := int64(col[i])
+		switch op {
+		case Lt:
+			out[i] = a < v
+		case Le:
+			out[i] = a <= v
+		case Gt:
+			out[i] = a > v
+		case Ge:
+			out[i] = a >= v
+		case Eq:
+			out[i] = a == v
+		case Ne:
+			out[i] = a != v
+		}
+	}
+	return out
+}
+
+func maskBit(mask []uint64, i int) bool { return mask[i/64]&(1<<uint(i%64)) != 0 }
+
+func TestCmpIntMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 200, 1000} {
+		col := make([]uint64, n)
+		for i := range col {
+			col[i] = uint64(rng.Int63n(100) - 50)
+		}
+		mask := make([]uint64, MaskWords(n))
+		for op := Lt; op <= Ne; op++ {
+			v := rng.Int63n(100) - 50
+			CmpInt(col, n, op, v, mask)
+			want := naiveCmpInt(col, n, op, v)
+			for i := 0; i < n; i++ {
+				if maskBit(mask, i) != want[i] {
+					t.Fatalf("n=%d op=%v i=%d: mask=%v want=%v", n, op, i, maskBit(mask, i), want[i])
+				}
+			}
+			// Tail bits beyond n must be clear.
+			for i := n; i < len(mask)*64; i++ {
+				if maskBit(mask, i) {
+					t.Fatalf("n=%d op=%v: tail bit %d set", n, op, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCmpFloatAndUint(t *testing.T) {
+	col := []uint64{math.Float64bits(1.5), math.Float64bits(-2.0), math.Float64bits(3.25)}
+	mask := make([]uint64, 1)
+	CmpFloat(col, 3, Gt, 0, mask)
+	if mask[0] != 0b101 {
+		t.Fatalf("CmpFloat Gt 0 mask = %b, want 101", mask[0])
+	}
+	ucol := []uint64{10, 20, 30}
+	CmpUint(ucol, 3, Eq, 20, mask)
+	if mask[0] != 0b010 {
+		t.Fatalf("CmpUint Eq 20 mask = %b, want 010", mask[0])
+	}
+}
+
+func TestMaskOps(t *testing.T) {
+	a := make([]uint64, 2)
+	b := make([]uint64, 2)
+	FillMask(a, 70)
+	if a[0] != ^uint64(0) || a[1] != (1<<6)-1 {
+		t.Fatalf("FillMask(70) = %x %x", a[0], a[1])
+	}
+	if Count(a) != 70 {
+		t.Fatalf("Count = %d, want 70", Count(a))
+	}
+	FillMask(b, 1)
+	And(a, b)
+	if Count(a) != 1 {
+		t.Fatalf("after And, Count = %d, want 1", Count(a))
+	}
+	FillMask(b, 70)
+	Or(a, b)
+	if Count(a) != 70 {
+		t.Fatalf("after Or, Count = %d, want 70", Count(a))
+	}
+	ZeroMask(a)
+	if Count(a) != 0 {
+		t.Fatalf("after ZeroMask, Count = %d", Count(a))
+	}
+	FillMask(a, 0)
+	if Count(a) != 0 {
+		t.Fatalf("FillMask(0) Count = %d", Count(a))
+	}
+}
+
+func TestMaskedAggregates(t *testing.T) {
+	neg3 := int64(-3)
+	col := []uint64{5, uint64(neg3), 10, 7}
+	mask := []uint64{0b1011} // records 0,1,3
+	if s := SumInt(col, mask); s != 9 {
+		t.Fatalf("SumInt = %d, want 9", s)
+	}
+	if mn, ok := MinInt(col, mask); !ok || mn != -3 {
+		t.Fatalf("MinInt = %d,%v", mn, ok)
+	}
+	if mx, ok := MaxInt(col, mask); !ok || mx != 7 {
+		t.Fatalf("MaxInt = %d,%v", mx, ok)
+	}
+	if _, ok := MinInt(col, []uint64{0}); ok {
+		t.Fatal("MinInt on empty mask should report !ok")
+	}
+
+	fcol := []uint64{math.Float64bits(1.5), math.Float64bits(2.5), math.Float64bits(-1)}
+	fmask := []uint64{0b101}
+	if s := SumFloat(fcol, fmask); s != 0.5 {
+		t.Fatalf("SumFloat = %v, want 0.5", s)
+	}
+	if mn, ok := MinFloat(fcol, fmask); !ok || mn != -1 {
+		t.Fatalf("MinFloat = %v,%v", mn, ok)
+	}
+	if mx, ok := MaxFloat(fcol, fmask); !ok || mx != 1.5 {
+		t.Fatalf("MaxFloat = %v,%v", mx, ok)
+	}
+	if _, ok := MaxFloat(fcol, []uint64{0}); ok {
+		t.Fatal("MaxFloat on empty mask should report !ok")
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	mask := []uint64{1 << 3, 1 << 0}
+	var got []int
+	ForEach(mask, func(i int) { got = append(got, i) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 64 {
+		t.Fatalf("ForEach = %v, want [3 64]", got)
+	}
+}
+
+// TestQuickSumMatchesNaive property-tests that masked SumInt equals a naive
+// filtered sum for random columns and thresholds.
+func TestQuickSumMatchesNaive(t *testing.T) {
+	f := func(vals []int32, threshold int32) bool {
+		n := len(vals)
+		col := make([]uint64, n)
+		var want int64
+		for i, v := range vals {
+			col[i] = uint64(int64(v))
+			if int64(v) > int64(threshold) {
+				want += int64(v)
+			}
+		}
+		mask := make([]uint64, MaskWords(n))
+		CmpInt(col, n, Gt, int64(threshold), mask)
+		return SumInt(col, mask) == want && Count(mask) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dimension"
+	"repro/internal/schema"
+)
+
+// Dimension cardinalities for the benchmark (small, static tables as in
+// §3.4).
+const (
+	NumZips              = 1000
+	NumCities            = 50
+	NumRegions           = 10
+	NumCountries         = 5
+	NumSubscriptionTypes = 5
+	NumCategories        = 5
+	NumValueTypes        = 8
+)
+
+// Dimensions bundles the replicated dimension tables plus the consistent
+// zip → region/country mapping the record factory needs.
+type Dimensions struct {
+	Store *dimension.Store
+
+	// zipRegion[z] / zipCountry[z] give the region/country ids of zip
+	// 1000+z, keeping inlined attributes consistent with RegionInfo.
+	zipRegion  []uint64
+	zipCountry []uint64
+}
+
+// BuildDimensions generates the benchmark dimension tables deterministically
+// from seed.
+func BuildDimensions(seed int64) (*Dimensions, error) {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dimensions{
+		Store:      dimension.NewStore(),
+		zipRegion:  make([]uint64, NumZips),
+		zipCountry: make([]uint64, NumZips),
+	}
+
+	region := dimension.NewTable("Region", "name")
+	for r := uint64(0); r < NumRegions; r++ {
+		if err := region.Insert(r, fmt.Sprintf("region-%02d", r)); err != nil {
+			return nil, err
+		}
+	}
+	country := dimension.NewTable("Country", "name")
+	for c := uint64(0); c < NumCountries; c++ {
+		if err := country.Insert(c, fmt.Sprintf("country-%d", c)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Each city belongs to one region; each region to one country; each
+	// zip to one city. RegionInfo inlines the whole hierarchy per zip.
+	cityRegion := make([]uint64, NumCities)
+	for c := range cityRegion {
+		cityRegion[c] = uint64(rng.Intn(NumRegions))
+	}
+	regionCountry := make([]uint64, NumRegions)
+	for r := range regionCountry {
+		regionCountry[r] = uint64(rng.Intn(NumCountries))
+	}
+	regionInfo := dimension.NewTable("RegionInfo", "city", "region", "country")
+	for z := 0; z < NumZips; z++ {
+		city := uint64(rng.Intn(NumCities))
+		reg := cityRegion[city]
+		cty := regionCountry[reg]
+		d.zipRegion[z] = reg
+		d.zipCountry[z] = cty
+		if err := regionInfo.Insert(ZipKey(z),
+			fmt.Sprintf("city-%02d", city),
+			fmt.Sprintf("region-%02d", reg),
+			fmt.Sprintf("country-%d", cty)); err != nil {
+			return nil, err
+		}
+	}
+
+	subs := dimension.NewTable("SubscriptionType", "name")
+	for s := uint64(0); s < NumSubscriptionTypes; s++ {
+		if err := subs.Insert(s, fmt.Sprintf("sub-%d", s)); err != nil {
+			return nil, err
+		}
+	}
+	cat := dimension.NewTable("Category", "name")
+	for c := uint64(0); c < NumCategories; c++ {
+		if err := cat.Insert(c, fmt.Sprintf("cat-%d", c)); err != nil {
+			return nil, err
+		}
+	}
+	vt := dimension.NewTable("CellValueType", "name")
+	for v := uint64(0); v < NumValueTypes; v++ {
+		if err := vt.Insert(v, fmt.Sprintf("vt-%d", v)); err != nil {
+			return nil, err
+		}
+	}
+
+	d.Store.Add(region)
+	d.Store.Add(country)
+	d.Store.Add(regionInfo)
+	d.Store.Add(subs)
+	d.Store.Add(cat)
+	d.Store.Add(vt)
+	return d, nil
+}
+
+// ZipKey maps a zip ordinal to its dimension key (zips start at 1000).
+func ZipKey(ordinal int) uint64 { return uint64(1000 + ordinal) }
+
+// Factory returns a record factory that populates the segmentation
+// attributes deterministically from the entity id, consistently with the
+// dimension hierarchy (an entity's region_id is the region of its zip).
+func (d *Dimensions) Factory(sch *schema.Schema) func(uint64) schema.Record {
+	zip := sch.MustAttrIndex("zip")
+	regionID := sch.MustAttrIndex("region_id")
+	countryID := sch.MustAttrIndex("country_id")
+	sub := sch.MustAttrIndex("subscription_type")
+	cat := sch.MustAttrIndex("category")
+	vt := sch.MustAttrIndex("value_type")
+	return func(entityID uint64) schema.Record {
+		rec := sch.NewRecord(entityID)
+		h := entityID * 0xBF58476D1CE4E5B9
+		z := int((h >> 16) % NumZips)
+		rec.SetInt(zip, int64(ZipKey(z)))
+		rec.SetInt(regionID, int64(d.zipRegion[z]))
+		rec.SetInt(countryID, int64(d.zipCountry[z]))
+		rec.SetInt(sub, int64((h>>40)%NumSubscriptionTypes))
+		rec.SetInt(cat, int64((h>>48)%NumCategories))
+		rec.SetInt(vt, int64((h>>56)%NumValueTypes))
+		return rec
+	}
+}

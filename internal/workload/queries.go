@@ -1,0 +1,209 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/vec"
+)
+
+// QueryGen generates random instances of the seven RTA query templates of
+// Table 5, with parameters drawn uniformly from the published ranges:
+// α∈[0,2], β∈[2,5], γ∈[2,10], δ∈[20,150], t∈SubscriptionTypes,
+// cat∈Categories, cty∈Countries, v∈CellValueTypes.
+type QueryGen struct {
+	sch *schema.Schema
+	rng *rand.Rand
+	id  uint64
+
+	// resolved attribute indices
+	callsLocalWeek int
+	durAnyWeekSum  int
+	callsAnyWeek   int
+	costAnyWeekMax int
+	durLocalWeek   int
+	costAnyWeek    int
+	costLocalWeek  int
+	costLDWeek     int
+	durLocalDayMax int
+	durLocalWkMax  int
+	durLDDayMax    int
+	durLDWkMax     int
+	zip            int
+	regionID       int
+	countryID      int
+	subType        int
+	category       int
+	valueType      int
+}
+
+// NewQueryGen builds a generator over a schema produced by BuildSchema or
+// BuildSmallSchema.
+func NewQueryGen(sch *schema.Schema, seed int64) (*QueryGen, error) {
+	g := &QueryGen{sch: sch, rng: rand.New(rand.NewSource(seed))}
+	var err error
+	attr := func(name string) int {
+		if err != nil {
+			return 0
+		}
+		var i int
+		i, err = sch.AttrIndex(name)
+		return i
+	}
+	g.callsLocalWeek = attr("calls_local_week_count")
+	g.durAnyWeekSum = attr("dur_any_week_sum")
+	g.callsAnyWeek = attr("calls_any_week_count")
+	g.costAnyWeekMax = attr("cost_any_week_max")
+	g.durLocalWeek = attr("dur_local_week_sum")
+	g.costAnyWeek = attr("cost_any_week_sum")
+	g.costLocalWeek = attr("cost_local_week_sum")
+	g.costLDWeek = attr("cost_longdist_week_sum")
+	g.durLocalDayMax = attr("dur_local_day_max")
+	g.durLocalWkMax = attr("dur_local_week_max")
+	g.durLDDayMax = attr("dur_longdist_day_max")
+	g.durLDWkMax = attr("dur_longdist_week_max")
+	g.zip = attr("zip")
+	g.regionID = attr("region_id")
+	g.countryID = attr("country_id")
+	g.subType = attr("subscription_type")
+	g.category = attr("category")
+	g.valueType = attr("value_type")
+	if err != nil {
+		return nil, fmt.Errorf("workload: schema missing benchmark attribute: %w", err)
+	}
+	return g, nil
+}
+
+func (g *QueryGen) nextID() uint64 {
+	g.id++
+	return g.id
+}
+
+// Next returns a random query drawn uniformly from the seven templates.
+func (g *QueryGen) Next() *query.Query {
+	switch g.rng.Intn(7) + 1 {
+	case 1:
+		return g.Q1(int64(g.rng.Intn(3)))
+	case 2:
+		return g.Q2(int64(2 + g.rng.Intn(4)))
+	case 3:
+		return g.Q3()
+	case 4:
+		return g.Q4(int64(2+g.rng.Intn(9)), int64(20+g.rng.Intn(131)))
+	case 5:
+		return g.Q5(int64(g.rng.Intn(NumSubscriptionTypes)), int64(g.rng.Intn(NumCategories)))
+	case 6:
+		return g.Q6(int64(g.rng.Intn(NumCountries)))
+	default:
+		return g.Q7(int64(g.rng.Intn(NumValueTypes)))
+	}
+}
+
+// Q1: SELECT AVG(total_duration_this_week) FROM AnalyticsMatrix
+// WHERE number_of_local_calls_this_week > α.
+func (g *QueryGen) Q1(alpha int64) *query.Query {
+	return &query.Query{
+		ID:      g.nextID(),
+		Where:   []query.Conjunct{{query.PredInt(g.callsLocalWeek, vec.Gt, alpha)}},
+		Aggs:    []query.AggExpr{{Op: query.OpAvg, Attr: g.durAnyWeekSum}},
+		GroupBy: -1,
+	}
+}
+
+// Q2: SELECT MAX(most_expensive_call_this_week) FROM AnalyticsMatrix
+// WHERE total_number_of_calls_this_week > β.
+func (g *QueryGen) Q2(beta int64) *query.Query {
+	return &query.Query{
+		ID:      g.nextID(),
+		Where:   []query.Conjunct{{query.PredInt(g.callsAnyWeek, vec.Gt, beta)}},
+		Aggs:    []query.AggExpr{{Op: query.OpMax, Attr: g.costAnyWeekMax}},
+		GroupBy: -1,
+	}
+}
+
+// Q3: SELECT SUM(total_cost_this_week)/SUM(total_duration_this_week) AS
+// cost_ratio FROM AnalyticsMatrix GROUP BY number_of_calls_this_week
+// LIMIT 100.
+func (g *QueryGen) Q3() *query.Query {
+	return &query.Query{
+		ID: g.nextID(),
+		Aggs: []query.AggExpr{
+			{Op: query.OpSum, Attr: g.costAnyWeek},
+			{Op: query.OpSum, Attr: g.durAnyWeekSum},
+		},
+		GroupBy: g.callsAnyWeek,
+		Derived: []query.Ratio{{Num: 0, Den: 1}},
+		Limit:   100,
+	}
+}
+
+// Q4: SELECT city, AVG(number_of_local_calls_this_week),
+// SUM(total_duration_of_local_calls_this_week) FROM AnalyticsMatrix,
+// RegionInfo WHERE local calls > γ AND local duration > δ AND zip join
+// GROUP BY city.
+func (g *QueryGen) Q4(gamma, delta int64) *query.Query {
+	return &query.Query{
+		ID: g.nextID(),
+		Where: []query.Conjunct{{
+			query.PredInt(g.callsLocalWeek, vec.Gt, gamma),
+			query.PredInt(g.durLocalWeek, vec.Gt, delta),
+		}},
+		Aggs: []query.AggExpr{
+			{Op: query.OpAvg, Attr: g.callsLocalWeek},
+			{Op: query.OpSum, Attr: g.durLocalWeek},
+		},
+		GroupBy:  g.zip,
+		GroupDim: &query.DimJoin{Table: "RegionInfo", Column: "city"},
+	}
+}
+
+// Q5: SELECT region, SUM(local cost this week), SUM(long-distance cost this
+// week) FROM AnalyticsMatrix (joins inlined) WHERE subscription_type = t AND
+// category = cat GROUP BY region.
+func (g *QueryGen) Q5(t, cat int64) *query.Query {
+	return &query.Query{
+		ID: g.nextID(),
+		Where: []query.Conjunct{{
+			query.PredInt(g.subType, vec.Eq, t),
+			query.PredInt(g.category, vec.Eq, cat),
+		}},
+		Aggs: []query.AggExpr{
+			{Op: query.OpSum, Attr: g.costLocalWeek},
+			{Op: query.OpSum, Attr: g.costLDWeek},
+		},
+		GroupBy:  g.regionID,
+		GroupDim: &query.DimJoin{Table: "Region", Column: "name"},
+	}
+}
+
+// Q6: report the entity-ids of the records with the longest call this day
+// and this week for local and long-distance calls, for a specific country.
+func (g *QueryGen) Q6(country int64) *query.Query {
+	return &query.Query{
+		ID:    g.nextID(),
+		Where: []query.Conjunct{{query.PredInt(g.countryID, vec.Eq, country)}},
+		Aggs: []query.AggExpr{
+			{Op: query.OpArgMax, Attr: g.durLocalDayMax},
+			{Op: query.OpArgMax, Attr: g.durLocalWkMax},
+			{Op: query.OpArgMax, Attr: g.durLDDayMax},
+			{Op: query.OpArgMax, Attr: g.durLDWkMax},
+		},
+		GroupBy: -1,
+	}
+}
+
+// Q7: report the entity-ids of the records with the smallest flat rate
+// (cost of calls divided by duration of calls this week) for a specific
+// value type.
+func (g *QueryGen) Q7(valueType int64) *query.Query {
+	return &query.Query{
+		ID:    g.nextID(),
+		Where: []query.Conjunct{{query.PredInt(g.valueType, vec.Eq, valueType)}},
+		Aggs: []query.AggExpr{
+			{Op: query.OpArgMinRatio, Attr: g.costAnyWeek, Attr2: g.durAnyWeekSum},
+		},
+		GroupBy: -1,
+	}
+}

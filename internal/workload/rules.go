@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+// DefaultRuleCount is the benchmark's rule-set size (§5).
+const DefaultRuleCount = 300
+
+// BuildRules generates n Business Rules over the benchmark schema,
+// deterministically from seed. Matching the published shape, each rule has
+// 1–10 conjuncts of 1–10 predicates each, over day/week indicators and
+// event properties; roughly a quarter of the rules carry a firing policy.
+// Predicate constants are drawn from coarse grids so predicates repeat
+// across rules (the sharing a rule index exploits).
+func BuildRules(sch *schema.Schema, n int, seed int64) ([]rules.Rule, error) {
+	rng := rand.New(rand.NewSource(seed))
+	attrPool := []struct {
+		name string
+		// scale spaces predicate constants so thresholds are plausible
+		// for the attribute (counts vs durations vs costs).
+		scale float64
+	}{
+		{"calls_any_day_count", 5},
+		{"calls_any_week_count", 10},
+		{"calls_local_week_count", 8},
+		{"calls_longdist_week_count", 5},
+		{"dur_any_day_sum", 600},
+		{"dur_any_week_sum", 2000},
+		{"dur_local_week_avg", 120},
+		{"cost_any_day_sum", 10},
+		{"cost_any_week_sum", 25},
+		{"cost_longdist_week_max", 5},
+	}
+	type pooled struct {
+		attr  int
+		scale float64
+	}
+	pool := make([]pooled, len(attrPool))
+	for i, a := range attrPool {
+		idx, err := sch.AttrIndex(a.name)
+		if err != nil {
+			return nil, fmt.Errorf("workload: rule attribute: %w", err)
+		}
+		pool[i] = pooled{attr: idx, scale: a.scale}
+	}
+	// Campaign rules should fire rarely (the paper's examples trigger on
+	// exceptional behaviour like ">20 calls today AND >$100 spent"), so
+	// predicates are dominated by high-threshold Gt/Ge comparisons with a
+	// sprinkling of low-threshold Lt/Le ones.
+	highOp := func(rng *rand.Rand) rules.CmpOp {
+		if rng.Intn(2) == 0 {
+			return rules.Gt
+		}
+		return rules.Ge
+	}
+	lowOp := func(rng *rand.Rand) rules.CmpOp {
+		if rng.Intn(2) == 0 {
+			return rules.Lt
+		}
+		return rules.Le
+	}
+
+	out := make([]rules.Rule, n)
+	for i := range out {
+		nConj := 1 + rng.Intn(10)
+		conjs := make([]rules.Conjunct, nConj)
+		for c := range conjs {
+			nPred := 1 + rng.Intn(10)
+			preds := make(rules.Conjunct, nPred)
+			for p := range preds {
+				switch rng.Intn(8) {
+				case 0: // event duration predicate (90th+ percentile)
+					preds[p] = rules.Predicate{
+						Kind: rules.LHSEventDuration, Op: highOp(rng),
+						Value: float64(3+rng.Intn(10)) * 120,
+					}
+				case 1: // event cost predicate
+					preds[p] = rules.Predicate{
+						Kind: rules.LHSEventCost, Op: highOp(rng),
+						Value: float64(2 + rng.Intn(10)),
+					}
+				default: // record attribute predicate (coarse value grid)
+					a := pool[rng.Intn(len(pool))]
+					if rng.Intn(5) == 0 {
+						preds[p] = rules.Predicate{
+							Kind: rules.LHSAttr, Attr: a.attr, Op: lowOp(rng),
+							Value: float64(1+rng.Intn(3)) * a.scale / 20,
+						}
+					} else {
+						preds[p] = rules.Predicate{
+							Kind: rules.LHSAttr, Attr: a.attr, Op: highOp(rng),
+							Value: float64(3+rng.Intn(10)) * a.scale,
+						}
+					}
+				}
+			}
+			conjs[c] = preds
+		}
+		r := rules.Rule{
+			ID:        i + 1,
+			Name:      fmt.Sprintf("campaign-%03d", i+1),
+			Action:    fmt.Sprintf("action-%03d", i+1),
+			Conjuncts: conjs,
+		}
+		if rng.Intn(4) == 0 {
+			r.Policy = rules.FiringPolicy{
+				Limit:        1 + rng.Intn(3),
+				WindowMillis: 24 * 3600 * 1000,
+			}
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/schema"
+)
+
+func TestBuildSchemaHas546Indicators(t *testing.T) {
+	sch, err := BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumIndicators(sch); got != 546 {
+		t.Fatalf("indicators = %d, want 546", got)
+	}
+	// Entity records are on the order of the paper's 3 KB.
+	if sch.RecordBytes() < 3*1024 {
+		t.Fatalf("record bytes = %d, want >= 3 KiB", sch.RecordBytes())
+	}
+	t.Logf("record: %d slots = %d bytes", sch.Slots, sch.RecordBytes())
+}
+
+func TestBuildSmallSchema(t *testing.T) {
+	sch, err := BuildSmallSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := NumIndicators(sch); got != 3*4*9+6 {
+		t.Fatalf("small indicators = %d, want %d", got, 3*4*9+6)
+	}
+}
+
+func TestDimensionsConsistency(t *testing.T) {
+	dims, err := BuildDimensions(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := dims.Store.Table("RegionInfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Len() != NumZips {
+		t.Fatalf("RegionInfo rows = %d", ri.Len())
+	}
+	// Every zip's region string must match the region table's name for the
+	// id recorded in zipRegion.
+	region, _ := dims.Store.Table("Region")
+	for z := 0; z < NumZips; z += 97 {
+		got, ok := ri.Lookup(ZipKey(z), "region")
+		if !ok {
+			t.Fatalf("zip %d missing region", z)
+		}
+		want, _ := region.Lookup(dims.zipRegion[z], "name")
+		if got != want {
+			t.Fatalf("zip %d region %q != region table %q", z, got, want)
+		}
+	}
+	// Determinism.
+	dims2, _ := BuildDimensions(42)
+	for z := 0; z < NumZips; z += 211 {
+		if dims.zipCountry[z] != dims2.zipCountry[z] {
+			t.Fatal("dimension generation not deterministic")
+		}
+	}
+}
+
+func TestFactoryStaticsConsistentWithDims(t *testing.T) {
+	sch, err := BuildSmallSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := BuildDimensions(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := dims.Factory(sch)
+	zip := sch.MustAttrIndex("zip")
+	regionID := sch.MustAttrIndex("region_id")
+	countryID := sch.MustAttrIndex("country_id")
+	for e := uint64(1); e <= 500; e += 13 {
+		rec := factory(e)
+		if rec.EntityID() != e {
+			t.Fatalf("entity %d", e)
+		}
+		z := int(rec.Int(zip)) - 1000
+		if z < 0 || z >= NumZips {
+			t.Fatalf("zip ordinal %d out of range", z)
+		}
+		if uint64(rec.Int(regionID)) != dims.zipRegion[z] {
+			t.Fatalf("entity %d region %d != zip's region %d", e, rec.Int(regionID), dims.zipRegion[z])
+		}
+		if uint64(rec.Int(countryID)) != dims.zipCountry[z] {
+			t.Fatalf("entity %d country inconsistent", e)
+		}
+		// Deterministic.
+		rec2 := factory(e)
+		for i := range rec {
+			if rec[i] != rec2[i] {
+				t.Fatal("factory not deterministic")
+			}
+		}
+	}
+}
+
+func TestBuildRulesShape(t *testing.T) {
+	sch, err := BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := BuildRules(sch, DefaultRuleCount, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 300 {
+		t.Fatalf("rules = %d", len(rs))
+	}
+	withPolicy := 0
+	for _, r := range rs {
+		if err := r.Validate(sch); err != nil {
+			t.Fatalf("rule %d invalid: %v", r.ID, err)
+		}
+		if len(r.Conjuncts) < 1 || len(r.Conjuncts) > 10 {
+			t.Fatalf("rule %d has %d conjuncts", r.ID, len(r.Conjuncts))
+		}
+		for _, c := range r.Conjuncts {
+			if len(c) < 1 || len(c) > 10 {
+				t.Fatalf("rule %d conjunct with %d predicates", r.ID, len(c))
+			}
+		}
+		if r.Policy.Limit > 0 {
+			withPolicy++
+		}
+	}
+	if withPolicy == 0 || withPolicy == len(rs) {
+		t.Fatalf("firing-policy mix degenerate: %d/300", withPolicy)
+	}
+	// The engine accepts the full set, with and without index.
+	if _, err := rules.NewEngine(sch, rs, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rules.NewEngine(sch, rs, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryGenAllTemplatesValid(t *testing.T) {
+	sch, err := BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewQueryGen(sch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []*query.Query{
+		g.Q1(1), g.Q2(3), g.Q3(), g.Q4(5, 100), g.Q5(1, 2), g.Q6(0), g.Q7(3),
+	}
+	for i, q := range qs {
+		if err := q.Validate(sch); err != nil {
+			t.Fatalf("Q%d invalid: %v", i+1, err)
+		}
+	}
+	if qs[2].Limit != 100 {
+		t.Fatal("Q3 must carry LIMIT 100")
+	}
+	if qs[3].GroupDim == nil || qs[3].GroupDim.Column != "city" {
+		t.Fatal("Q4 must group by city via RegionInfo")
+	}
+	// Next covers all templates and produces unique ids.
+	seen := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		q := g.Next()
+		if err := q.Validate(sch); err != nil {
+			t.Fatalf("Next() produced invalid query: %v", err)
+		}
+		if seen[q.ID] {
+			t.Fatal("duplicate query id")
+		}
+		seen[q.ID] = true
+	}
+	// QueryGen works on the small schema too (examples use it).
+	small, _ := BuildSmallSchema()
+	if _, err := NewQueryGen(small, 1); err != nil {
+		t.Fatalf("small schema query gen: %v", err)
+	}
+}
+
+func TestSchemaAppliesFullEventPath(t *testing.T) {
+	sch, err := BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, _ := BuildDimensions(1)
+	factory := dims.Factory(sch)
+	rec := factory(77)
+	gen := event.NewGenerator(1000, 9)
+	var ev event.Event
+	for i := 0; i < 100; i++ {
+		gen.NextFor(&ev, 77)
+		sch.Apply(rec, &ev)
+	}
+	calls := sch.MustAttrIndex("calls_any_quarter_count")
+	if rec.Int(calls) != 100 {
+		t.Fatalf("quarter call count = %d, want 100", rec.Int(calls))
+	}
+	local := sch.MustAttrIndex("calls_local_quarter_count")
+	ld := sch.MustAttrIndex("calls_longdist_quarter_count")
+	if rec.Int(local)+rec.Int(ld) != 100 {
+		t.Fatalf("local %d + longdist %d != 100", rec.Int(local), rec.Int(ld))
+	}
+	var _ schema.Record = rec
+}
