@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+## build: compile every package and the aimbench binary
+build:
+	$(GO) build ./...
+
+## test: run the full test suite
+test:
+	$(GO) test ./...
+
+## race: race-detect the concurrent scan/merge paths
+race:
+	$(GO) test -race ./internal/core/... ./internal/query/...
+
+## bench: fused shared-scan batch microbenchmark (single vs naive vs fused)
+bench:
+	$(GO) test -bench BenchmarkSharedScanBatch -benchmem -run '^$$' ./internal/query/

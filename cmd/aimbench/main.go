@@ -35,6 +35,7 @@ var experiments = []experiment{
 	{"rules", "§4.4: rule index crossover micro-benchmark", bench.RuleIndexCrossover},
 	{"bucket", "§4.5: bucket-size scan ablation", bench.BucketSizeSweep},
 	{"batch", "§3.2: shared-scan batch-size ablation", bench.SharedScanBatch},
+	{"fused", "§4.7: fused batch plans vs naive shared scan", bench.FusedScanMicro},
 	{"steal", "§3.2: fixed assignment vs work-stealing scan", bench.WorkStealingScan},
 	{"cow", "§6: differential updates vs copy-on-write", bench.COWvsDelta},
 }

@@ -111,6 +111,7 @@ func TestExperimentsSmoke(t *testing.T) {
 		{"fig9c", Fig9c10c, 2},
 		{"esprate", EventRateComparison, 6},
 		{"bucket", BucketSizeSweep, 5},
+		{"fused", FusedScanMicro, 4},
 		{"cow", COWvsDelta, 2},
 	}
 	for _, e := range exps {

@@ -511,3 +511,114 @@ func COWvsDelta(p Params) (*Table, error) {
 	t.Note("pages copied by COW: %d; paper: COW TCO 2-3x the differential-update design", cow.PagesCopied())
 	return t, nil
 }
+
+// FusedScanMicro measures the fused batch-plan scan against the naive
+// shared scan (per-query predicate re-evaluation) and against batch
+// independent single-query passes, over one preloaded partition. The
+// batches cycle through the seven Table-5 templates with random parameters,
+// matching the mix a node's coordinator batches under concurrent clients.
+func FusedScanMicro(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Fused shared-scan batch plans: one round over one partition",
+		Header: []string{"batch", "preds", "dedup", "single_ms", "naive_ms", "fused_ms", "speedup"},
+	}
+	part := core.NewPartition(w.Schema, 0, w.Dims.Factory(w.Schema))
+	gen := event.NewGenerator(p.Entities, p.Seed)
+	var ev event.Event
+	for e := uint64(1); e <= p.Entities; e++ {
+		gen.NextFor(&ev, e)
+		part.ApplyEvent(&ev)
+	}
+	part.MergeStep()
+	buckets := part.ScanSnapshot()
+	qg, err := workload.NewQueryGen(w.Schema, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, size := range []int{1, 4, 8, 16} {
+		queries := make([]*query.Query, size)
+		occurrences := 0
+		for i := range queries {
+			queries[i] = qg.Next()
+			for _, c := range queries[i].Where {
+				occurrences += len(c)
+			}
+		}
+		plan, err := query.CompileBatch(w.Schema, queries)
+		if err != nil {
+			return nil, err
+		}
+		partials := make([]*query.Partial, size)
+		for qi, q := range queries {
+			partials[qi] = query.NewPartial(q)
+		}
+		reset := func() {
+			for qi, q := range queries {
+				partials[qi].Reset(q)
+			}
+		}
+		best := func(round func() error) (time.Duration, error) {
+			var b time.Duration
+			for r := 0; r < 5; r++ {
+				reset()
+				t0 := time.Now()
+				if err := round(); err != nil {
+					return 0, err
+				}
+				if d := time.Since(t0); r == 0 || d < b {
+					b = d
+				}
+			}
+			return b, nil
+		}
+		ex := query.NewExecutor(w.Schema, w.Dims.Store)
+		single, err := best(func() error {
+			for qi, q := range queries {
+				for _, b := range buckets {
+					if err := ex.ProcessBucket(b, q, partials[qi]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := best(func() error {
+			for _, b := range buckets {
+				for qi, q := range queries {
+					if err := ex.ProcessBucket(b, q, partials[qi]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		fused, err := best(func() error {
+			for _, b := range buckets {
+				if err := ex.ProcessBucketBatch(b, plan, partials); err != nil {
+					return err
+				}
+			}
+			plan.FoldDuplicates(partials)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(size, plan.NumPredicates(),
+			fmt.Sprintf("%dq/%dp", plan.NumDuplicates(), occurrences-plan.NumPredicates()),
+			ms(single), ms(naive), ms(fused),
+			fmt.Sprintf("%.2fx", float64(single)/float64(fused)))
+	}
+	t.Note("speedup = batch independent single-query passes vs one fused pass; dedup = duplicate queries / shared predicate occurrences")
+	return t, nil
+}

@@ -95,8 +95,11 @@ type submission struct {
 
 type scanBatch struct {
 	queries []*submission
-	done    chan []*query.Partial // one slice per scan thread, parallel to queries
-	errCh   chan error
+	// plan is the fused batch plan compiled once per round by the
+	// coordinator and shared read-only by every scan thread.
+	plan  *query.BatchPlan
+	done  chan []*query.Partial // one slice per scan thread, parallel to queries
+	errCh chan error
 }
 
 // NodeStats is a snapshot of a node's counters.
@@ -361,11 +364,24 @@ func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
 	return batch, true
 }
 
-// runRound distributes the batch to every scan thread, gathers their
-// per-partition partials, merges them and answers the submitters.
+// runRound compiles the batch into one fused plan, distributes it to every
+// scan thread, gathers their per-partition partials, merges them and answers
+// the submitters.
 func (n *StorageNode) runRound(batch []*submission) {
+	queries := make([]*query.Query, len(batch))
+	for i, s := range batch {
+		queries[i] = s.q
+	}
+	plan, err := query.CompileBatch(n.cfg.Schema, queries)
+	if err != nil {
+		// Unreachable for validated submissions; fail the batch rather than
+		// stall the merge cadence for long.
+		n.failBatch(batch, err)
+		return
+	}
 	sb := &scanBatch{
 		queries: batch,
+		plan:    plan,
 		done:    make(chan []*query.Partial, len(n.scanChs)),
 		errCh:   make(chan error, len(n.scanChs)),
 	}
@@ -413,9 +429,16 @@ func (n *StorageNode) failBatch(batch []*submission, err error) {
 
 // scanLoop is one RTA thread (Figure 6): scan step over the partition's
 // main for the whole batch, then merge step.
+//
+// The thread pools its partials across rounds: the coordinator finishes
+// merging a round's partials before it dispatches the next round, so the
+// pool entries are free for reuse by the time the next batch arrives. With
+// the executor's pooled mask slab this makes steady-state scan rounds
+// allocation-free for non-grouped queries.
 func (n *StorageNode) scanLoop(idx int) {
 	p := n.parts[idx]
 	ex := query.NewExecutor(n.cfg.Schema, n.cfg.Dims)
+	pool := make([]*query.Partial, 0, n.cfg.MaxBatch)
 	for {
 		var sb *scanBatch
 		select {
@@ -423,23 +446,25 @@ func (n *StorageNode) scanLoop(idx int) {
 		case <-n.stopCh:
 			return
 		}
-		partials := make([]*query.Partial, len(sb.queries))
+		for len(pool) < len(sb.queries) {
+			pool = append(pool, &query.Partial{})
+		}
+		partials := pool[:len(sb.queries)]
 		for i, s := range sb.queries {
-			partials[i] = query.NewPartial(s.q)
+			partials[i].Reset(s.q)
 		}
 		var scanErr error
 		if len(sb.queries) > 0 {
-			// Shared scan (Algorithm 5): buckets outer, queries inner.
+			// Shared scan (Algorithm 5): buckets outer, the fused batch
+			// plan answering every query inside.
 			for _, bucket := range p.ScanSnapshot() {
-				for i, s := range sb.queries {
-					if err := ex.ProcessBucket(bucket, s.q, partials[i]); err != nil {
-						scanErr = fmt.Errorf("core: partition %d: %w", idx, err)
-						break
-					}
-				}
-				if scanErr != nil {
+				if err := ex.ProcessBucketBatch(bucket, sb.plan, partials); err != nil {
+					scanErr = fmt.Errorf("core: partition %d: %w", idx, err)
 					break
 				}
+			}
+			if scanErr == nil {
+				sb.plan.FoldDuplicates(partials)
 			}
 		}
 		merged := p.MergeStep()

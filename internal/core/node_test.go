@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -186,6 +187,82 @@ func TestNodeQueryBatchSharing(t *testing.T) {
 	rounds := n.Stats().ScanRounds - before
 	if rounds >= burst {
 		t.Fatalf("no scan sharing: %d rounds for %d queries", rounds, burst)
+	}
+}
+
+// TestNodeBatchedRoundsMixedQueries drives several sequential rounds of
+// concurrent mixed-shape batches (global, filtered, grouped, and exact
+// duplicates) through the scan loop. Each round reuses the loop's pooled
+// partials, so a stale accumulator or group-cache entry from a previous
+// round would surface as a wrong result here.
+func TestNodeBatchedRoundsMixedQueries(t *testing.T) {
+	n := newTestNode(t, Config{Partitions: 2, MaxBatch: 8, IdleMergePause: 5 * time.Millisecond})
+	sch := n.Schema()
+	calls := sch.MustAttrIndex("calls_today_count")
+	zip := sch.MustAttrIndex("zip")
+	// 10 entities x 10 events each.
+	for i := 0; i < 100; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	warm := &query.Query{ID: 999, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	waitForSum(t, n, warm, 100)
+
+	for round := 0; round < 3; round++ {
+		base := uint64(round * 10)
+		mk := func(id uint64) *query.Query {
+			return &query.Query{ID: base + id, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+		}
+		sum, sumDup := mk(1), mk(2) // exact duplicates -> folded, not rescanned
+		filtered := &query.Query{
+			ID:      base + 3,
+			Where:   []query.Conjunct{{query.PredInt(calls, vec.Ge, 5)}},
+			Aggs:    []query.AggExpr{{Op: query.OpCount}},
+			GroupBy: -1,
+		}
+		grouped := &query.Query{
+			ID:      base + 4,
+			Aggs:    []query.AggExpr{{Op: query.OpCount}, {Op: query.OpSum, Attr: calls}},
+			GroupBy: zip,
+		}
+		var wg sync.WaitGroup
+		check := func(q *query.Query, verify func(*query.Result) error) {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, err := n.SubmitQuery(q)
+				if err != nil {
+					t.Errorf("round %d query %d: %v", round, q.ID, err)
+					return
+				}
+				if err := verify(p.Finalize(q)); err != nil {
+					t.Errorf("round %d query %d: %v", round, q.ID, err)
+				}
+			}()
+		}
+		wantScalar := func(want float64) func(*query.Result) error {
+			return func(r *query.Result) error {
+				if len(r.Rows) != 1 || r.Rows[0].Values[0] != want {
+					return fmt.Errorf("got %+v, want [%v]", r.Rows, want)
+				}
+				return nil
+			}
+		}
+		check(sum, wantScalar(100))
+		check(sumDup, wantScalar(100))
+		check(filtered, wantScalar(10)) // all 10 entities have calls >= 5
+		check(grouped, func(r *query.Result) error {
+			// zip is never set: one group (zip=0), count 10, sum 100.
+			if len(r.Rows) != 1 || r.Rows[0].Values[0] != 10 || r.Rows[0].Values[1] != 100 {
+				return fmt.Errorf("got %+v, want one group [10 100]", r.Rows)
+			}
+			return nil
+		})
+		wg.Wait()
 	}
 }
 

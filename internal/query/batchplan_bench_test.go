@@ -1,0 +1,125 @@
+package query_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/columnmap"
+	"repro/internal/query"
+	"repro/internal/schema"
+	"repro/internal/workload"
+)
+
+// setupBench populates an 8k-entity matrix over the small Huawei schema and
+// returns the scan fixtures.
+func setupBench(b *testing.B) (*schema.Schema, []columnmap.Bucket, *workload.QueryGen, *workload.Dimensions) {
+	b.Helper()
+	sch, err := workload.BuildSmallSchema()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dims, err := workload.BuildDimensions(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cm := populateMatrix(b, sch, dims, 8192, 1024)
+	gen, err := workload.NewQueryGen(sch, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sch, cm.Snapshot(), gen, dims
+}
+
+// templateBatch returns the first size queries of the cyclic template
+// sequence Q1..Q7, Q1', Q2', ... — repeated templates carry fresh random
+// parameters, matching what a node's coordinator batches under load.
+func templateBatch(gen *workload.QueryGen, size int) []*query.Query {
+	fixed := []*query.Query{
+		gen.Q1(1), gen.Q2(3), gen.Q3(), gen.Q4(4, 60), gen.Q5(1, 1), gen.Q6(2), gen.Q7(0),
+	}
+	out := make([]*query.Query, 0, size)
+	if size < len(fixed) {
+		out = append(out, fixed[:size]...)
+	} else {
+		out = append(out, fixed...)
+	}
+	for len(out) < size {
+		out = append(out, gen.Next())
+	}
+	return out
+}
+
+// BenchmarkSharedScanBatch compares three batch-scan regimes at the batch
+// sizes the acceptance criteria name. One iteration is one full scan round
+// (the whole batch over every bucket):
+//
+//   - single: one independent pass per query — batch × single-query cost,
+//     the thread-per-query baseline the fused plan is measured against.
+//   - naive:  shared bucket walk, but each query re-evaluates its own
+//     predicates per bucket (the pre-batch-plan code path).
+//   - fused:  compiled BatchPlan — predicate dedup, complement sharing,
+//     mask-slab caching, duplicate-query elimination.
+func BenchmarkSharedScanBatch(b *testing.B) {
+	sch, buckets, gen, dims := setupBench(b)
+	for _, size := range []int{1, 4, 8, 16} {
+		queries := templateBatch(gen, size)
+		partials := make([]*query.Partial, len(queries))
+		for qi, q := range queries {
+			partials[qi] = query.NewPartial(q)
+		}
+
+		b.Run(fmt.Sprintf("single/batch=%d", size), func(b *testing.B) {
+			ex := query.NewExecutor(sch, dims.Store)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for qi, q := range queries {
+					partials[qi].Reset(q)
+				}
+				for qi, q := range queries {
+					for _, bk := range buckets {
+						if err := ex.ProcessBucket(bk, q, partials[qi]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("naive/batch=%d", size), func(b *testing.B) {
+			ex := query.NewExecutor(sch, dims.Store)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for qi, q := range queries {
+					partials[qi].Reset(q)
+				}
+				for _, bk := range buckets {
+					for qi, q := range queries {
+						if err := ex.ProcessBucket(bk, q, partials[qi]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("fused/batch=%d", size), func(b *testing.B) {
+			plan, err := query.CompileBatch(sch, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ex := query.NewExecutor(sch, dims.Store)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for qi, q := range queries {
+					partials[qi].Reset(q)
+				}
+				for _, bk := range buckets {
+					if err := ex.ProcessBucketBatch(bk, plan, partials); err != nil {
+						b.Fatal(err)
+					}
+				}
+				plan.FoldDuplicates(partials)
+			}
+		})
+	}
+}

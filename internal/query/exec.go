@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/columnmap"
 	"repro/internal/dimension"
@@ -11,9 +12,10 @@ import (
 )
 
 // Executor evaluates queries over ColumnMap buckets. One Executor belongs to
-// one scan thread: it owns reusable bitmask scratch buffers and a dimension
-// lookup cache, so steady-state bucket processing is allocation-free for
-// non-grouped queries.
+// one scan goroutine (see the package doc for the thread-confinement
+// contract): it owns reusable bitmask scratch buffers, the batch-plan mask
+// slab, and a dimension lookup cache, so steady-state bucket processing is
+// allocation-free for non-grouped queries.
 type Executor struct {
 	sch  *schema.Schema
 	dims *dimension.Store
@@ -21,8 +23,38 @@ type Executor struct {
 	acc  []uint64 // DNF accumulator mask
 	conj []uint64 // current conjunct mask
 	pred []uint64 // current predicate mask
+	slab []uint64 // per-bucket mask cache for batch plans (one mask per distinct predicate)
+
+	// gcache holds one group-row cache per batch-query position: raw group
+	// column value -> the partial's accumulator row. It replaces the
+	// per-record GroupKey (string hash) map lookup of the grouped path with
+	// a uint64 one while a scan pass runs.
+	gcache []groupCache
 
 	dimCache map[DimJoin]map[uint64]string
+}
+
+// groupCache memoizes group-column values to accumulator rows of one
+// partial. It stays valid as long as it observes the same (partial,
+// generation) pair; pooled partials bump their generation on Reset.
+type groupCache struct {
+	p    *Partial
+	gen  uint64
+	rows map[uint64][]Cell // nil row = group dropped (failed dim/dict join)
+}
+
+// rowsFor returns the cache's row map, emptied if the cache was bound to a
+// different partial or an earlier generation of p.
+func (gc *groupCache) rowsFor(p *Partial) map[uint64][]Cell {
+	if gc.rows == nil {
+		gc.rows = make(map[uint64][]Cell)
+	} else if gc.p != p || gc.gen != p.gen {
+		for k := range gc.rows {
+			delete(gc.rows, k)
+		}
+	}
+	gc.p, gc.gen = p, p.gen
+	return gc.rows
 }
 
 // NewExecutor returns an executor bound to a schema and the node's
@@ -43,8 +75,21 @@ func (ex *Executor) ensureScratch(n int) {
 	ex.pred = ex.pred[:cap(ex.pred)][:w]
 }
 
+// ensureSlab returns the mask slab resliced to hold words words, growing the
+// backing array only when a bigger batch or bucket arrives.
+func (ex *Executor) ensureSlab(words int) []uint64 {
+	if cap(ex.slab) < words {
+		ex.slab = make([]uint64, words)
+	}
+	ex.slab = ex.slab[:cap(ex.slab)][:words]
+	return ex.slab
+}
+
 // ProcessBucket evaluates q over one bucket and folds matches into p. This
 // is the process_bucket step of the paper's shared scan (Algorithm 5).
+//
+// For whole-batch processing with cross-query predicate sharing, compile the
+// batch with CompileBatch and use ProcessBucketBatch instead.
 func (ex *Executor) ProcessBucket(b columnmap.Bucket, q *Query, p *Partial) error {
 	n := b.N
 	if n == 0 {
@@ -63,7 +108,7 @@ func (ex *Executor) ProcessBucket(b columnmap.Bucket, q *Query, p *Partial) erro
 					return err
 				}
 				if pi == 0 {
-					copy(ex.conj, ex.pred)
+					vec.CopyMask(ex.conj, ex.pred)
 				} else {
 					vec.And(ex.conj, ex.pred)
 				}
@@ -71,11 +116,17 @@ func (ex *Executor) ProcessBucket(b columnmap.Bucket, q *Query, p *Partial) erro
 			vec.Or(ex.acc, ex.conj)
 		}
 	}
+	return ex.aggregate(b, q, p, ex.acc, nil)
+}
 
+// aggregate folds the records selected by mask into p. gc may be nil; the
+// batch path passes a per-query group cache.
+func (ex *Executor) aggregate(b columnmap.Bucket, q *Query, p *Partial, mask []uint64, gc *groupCache) error {
 	if q.GroupBy < 0 {
-		return ex.aggregateGlobal(b, q, p)
+		ex.aggregateGlobal(b, q, p, mask)
+		return nil
 	}
-	return ex.aggregateGrouped(b, q, p)
+	return ex.aggregateGrouped(b, q, p, mask, gc)
 }
 
 // evalPredicate fills mask with the predicate result over the bucket.
@@ -96,10 +147,10 @@ func (ex *Executor) evalPredicate(b columnmap.Bucket, n int, pr Predicate, mask 
 }
 
 // aggregateGlobal is the vectorized single-group path.
-func (ex *Executor) aggregateGlobal(b columnmap.Bucket, q *Query, p *Partial) error {
-	matched := vec.Count(ex.acc)
+func (ex *Executor) aggregateGlobal(b columnmap.Bucket, q *Query, p *Partial, mask []uint64) {
+	matched := vec.Count(mask)
 	if matched == 0 {
-		return nil
+		return
 	}
 	cells := p.cells(GroupKey{})
 	for i, a := range q.Aggs {
@@ -109,72 +160,78 @@ func (ex *Executor) aggregateGlobal(b columnmap.Bucket, q *Query, p *Partial) er
 		case OpCount:
 			// count already folded in
 		case OpSum, OpAvg:
-			cell.Sum += ex.maskedSum(b, a.Attr)
+			cell.Sum += ex.maskedSum(b, a.Attr, mask)
 		case OpMin:
-			if v, ok := ex.maskedMin(b, a.Attr); ok && v < cell.Min {
+			if v, ok := ex.maskedMin(b, a.Attr, mask); ok && v < cell.Min {
 				cell.Min = v
 			}
 		case OpMax:
-			if v, ok := ex.maskedMax(b, a.Attr); ok && v > cell.Max {
+			if v, ok := ex.maskedMax(b, a.Attr, mask); ok && v > cell.Max {
 				cell.Max = v
 			}
 		default:
-			ex.argScan(b, a, cell)
+			ex.argScan(b, a, cell, mask)
 		}
 	}
-	return nil
 }
 
-func (ex *Executor) maskedSum(b columnmap.Bucket, attr int) float64 {
+func (ex *Executor) maskedSum(b columnmap.Bucket, attr int, mask []uint64) float64 {
 	col := b.Col(attr)
 	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
-		return vec.SumFloat(col, ex.acc)
+		return vec.SumFloat(col, mask)
 	}
-	return float64(vec.SumInt(col, ex.acc))
+	return float64(vec.SumInt(col, mask))
 }
 
-func (ex *Executor) maskedMin(b columnmap.Bucket, attr int) (float64, bool) {
+func (ex *Executor) maskedMin(b columnmap.Bucket, attr int, mask []uint64) (float64, bool) {
 	col := b.Col(attr)
 	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
-		return vec.MinFloat(col, ex.acc)
+		return vec.MinFloat(col, mask)
 	}
-	v, ok := vec.MinInt(col, ex.acc)
+	v, ok := vec.MinInt(col, mask)
 	return float64(v), ok
 }
 
-func (ex *Executor) maskedMax(b columnmap.Bucket, attr int) (float64, bool) {
+func (ex *Executor) maskedMax(b columnmap.Bucket, attr int, mask []uint64) (float64, bool) {
 	col := b.Col(attr)
 	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
-		return vec.MaxFloat(col, ex.acc)
+		return vec.MaxFloat(col, mask)
 	}
-	v, ok := vec.MaxInt(col, ex.acc)
+	v, ok := vec.MaxInt(col, mask)
 	return float64(v), ok
 }
 
 // argScan folds arg-style aggregates (entity-id of extreme value), which
-// need per-record iteration.
-func (ex *Executor) argScan(b columnmap.Bucket, a AggExpr, cell *Cell) {
+// need per-record iteration. The mask words are walked inline rather than
+// through vec.ForEach so the hot batch path stays closure- and
+// allocation-free.
+func (ex *Executor) argScan(b columnmap.Bucket, a AggExpr, cell *Cell, mask []uint64) {
 	ids := b.Col(schema.SlotEntityID)
 	col := b.Col(a.Attr)
 	t := ex.sch.Attrs[a.Attr].Type
 	var col2 []uint64
 	var t2 schema.Type
-	if a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio {
+	ratio := a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio
+	if ratio {
 		col2 = b.Col(a.Attr2)
 		t2 = ex.sch.Attrs[a.Attr2].Type
 	}
-	vec.ForEach(ex.acc, func(i int) {
-		v := slotVal(col[i], t)
-		switch a.Op {
-		case OpArgMinRatio, OpArgMaxRatio:
-			den := slotVal(col2[i], t2)
-			if den == 0 {
-				return
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			v := slotVal(col[i], t)
+			if ratio {
+				den := slotVal(col2[i], t2)
+				if den == 0 {
+					continue
+				}
+				v /= den
 			}
-			v /= den
+			updateArg(cell, a.Op, ids[i], v)
 		}
-		updateArg(cell, a.Op, ids[i], v)
-	})
+	}
 }
 
 func updateArg(cell *Cell, op AggOp, id uint64, v float64) {
@@ -192,8 +249,34 @@ func updateArg(cell *Cell, op AggOp, id uint64, v float64) {
 	}
 }
 
-// aggregateGrouped is the per-record group-by path.
-func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial) error {
+// resolveGroup maps a raw group-column value to the partial's accumulator
+// row, or nil when inner-join semantics drop the group (unmatched dimension
+// or dictionary key).
+func resolveGroup(p *Partial, gv uint64, dimMap map[uint64]string, dict *schema.Dict) []Cell {
+	var key GroupKey
+	switch {
+	case dimMap != nil:
+		s, ok := dimMap[gv]
+		if !ok {
+			return nil
+		}
+		key.S = s
+	case dict != nil:
+		s, ok := dict.String(gv)
+		if !ok {
+			return nil
+		}
+		key.S = s
+	default:
+		key.I = int64(gv)
+	}
+	return p.cells(key)
+}
+
+// aggregateGrouped is the per-record group-by path. With a group cache the
+// (hash-expensive) GroupKey resolution runs once per distinct group value
+// per scan pass; every further record is one uint64 map probe.
+func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, mask []uint64, gc *groupCache) error {
 	gcol := b.Col(q.GroupBy)
 	ids := b.Col(schema.SlotEntityID)
 	var dimMap map[uint64]string
@@ -208,30 +291,26 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial) e
 	if q.GroupDictNames {
 		dict = ex.sch.Dict(q.GroupBy)
 	}
-	var iterErr error
-	vec.ForEach(ex.acc, func(i int) {
-		if iterErr != nil {
-			return
-		}
-		var key GroupKey
+	var rows map[uint64][]Cell
+	if gc != nil {
+		rows = gc.rowsFor(p)
+	}
+	vec.ForEach(mask, func(i int) {
 		gv := gcol[i]
-		switch {
-		case dimMap != nil:
-			s, ok := dimMap[gv]
-			if !ok {
-				return // inner-join semantics: unmatched keys drop out
+		var cells []Cell
+		if rows != nil {
+			var hit bool
+			cells, hit = rows[gv]
+			if !hit {
+				cells = resolveGroup(p, gv, dimMap, dict)
+				rows[gv] = cells // nil remembers dropped groups too
 			}
-			key.S = s
-		case dict != nil:
-			s, ok := dict.String(gv)
-			if !ok {
-				return
-			}
-			key.S = s
-		default:
-			key.I = int64(gv)
+		} else {
+			cells = resolveGroup(p, gv, dimMap, dict)
 		}
-		cells := p.cells(key)
+		if cells == nil {
+			return // inner-join semantics: unmatched keys drop out
+		}
 		for ai, a := range q.Aggs {
 			cell := &cells[ai]
 			cell.Count++
@@ -260,11 +339,12 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial) e
 			}
 		}
 	})
-	return iterErr
+	return nil
 }
 
 // dimLookupMap returns (and caches) the key -> column-value map for a
-// dimension join. Dimension tables are frozen, so the cache never staleness.
+// dimension join. Dimension tables are frozen, so the cache never goes
+// stale.
 func (ex *Executor) dimLookupMap(dj DimJoin) (map[uint64]string, error) {
 	if m, ok := ex.dimCache[dj]; ok {
 		return m, nil

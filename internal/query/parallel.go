@@ -33,6 +33,12 @@ func ScanShared(sch *schema.Schema, dims *dimension.Store, buckets []columnmap.B
 	if len(buckets) == 0 || len(queries) == 0 {
 		return merged, nil
 	}
+	// Compile the fused batch plan once; every worker shares the immutable
+	// plan while keeping its own executor (mask slab, scratch, dim cache).
+	plan, err := CompileBatch(sch, queries)
+	if err != nil {
+		return nil, err
+	}
 
 	var next atomic.Int64 // shared chunk queue: the next bucket to claim
 	var mu sync.Mutex     // guards merged and firstErr
@@ -52,15 +58,13 @@ func ScanShared(sch *schema.Schema, dims *dimension.Store, buckets []columnmap.B
 				if i >= len(buckets) {
 					break
 				}
-				for qi, q := range queries {
-					if err := ex.ProcessBucket(buckets[i], q, local[qi]); err != nil {
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						return
+				if err := ex.ProcessBucketBatch(buckets[i], plan, local); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
 					}
+					mu.Unlock()
+					return
 				}
 			}
 			mu.Lock()
@@ -74,5 +78,6 @@ func ScanShared(sch *schema.Schema, dims *dimension.Store, buckets []columnmap.B
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	plan.FoldDuplicates(merged)
 	return merged, nil
 }

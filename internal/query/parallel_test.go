@@ -2,7 +2,9 @@ package query
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/vec"
 )
@@ -69,5 +71,58 @@ func TestScanSharedEdgeCases(t *testing.T) {
 	// workers <= 0 coerces to 1.
 	if _, err := ScanShared(f.sch, f.dims, f.cm.Snapshot(), []*Query{q}, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestScanSharedWorkersExceedBuckets(t *testing.T) {
+	f := newFixture(t)
+	buckets := f.cm.Snapshot() // 3 buckets
+	q := &Query{ID: 1, Aggs: []AggExpr{{Op: OpCount}, {Op: OpSum, Attr: f.dur}}, GroupBy: -1}
+
+	ex := NewExecutor(f.sch, f.dims)
+	want := NewPartial(q)
+	for _, b := range buckets {
+		if err := ex.ProcessBucket(b, q, want); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{len(buckets) + 1, 64} {
+		out, err := ScanShared(f.sch, f.dims, buckets, []*Query{q}, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(out[0], want) {
+			t.Fatalf("workers=%d: partial differs\ngot  %+v\nwant %+v", workers, out[0], want)
+		}
+	}
+}
+
+// TestScanSharedErrorMidScan injects a failure that only manifests while
+// processing buckets (a dimension join against a missing table) into the
+// middle of an otherwise healthy batch: no partial may be returned — not
+// even for the healthy queries — and all worker goroutines must exit.
+func TestScanSharedErrorMidScan(t *testing.T) {
+	f := newFixture(t)
+	queries := []*Query{
+		{ID: 1, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: -1},
+		{ID: 2, Aggs: []AggExpr{{Op: OpCount}}, GroupBy: f.zip, GroupDim: &DimJoin{Table: "Nope", Column: "x"}},
+		{ID: 3, Aggs: []AggExpr{{Op: OpSum, Attr: f.dur}}, GroupBy: -1},
+	}
+	before := runtime.NumGoroutine()
+	out, err := ScanShared(f.sch, f.dims, f.cm.Snapshot(), queries, 4)
+	if err == nil {
+		t.Fatal("mid-scan error not surfaced")
+	}
+	if out != nil {
+		t.Fatalf("error scan returned partials: %+v", out)
+	}
+	// ScanShared waits on its WaitGroup, so workers should already be gone;
+	// poll briefly to absorb unrelated runtime goroutine churn.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Fatalf("worker goroutines leaked: %d before, %d after", before, n)
 	}
 }

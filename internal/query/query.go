@@ -8,6 +8,18 @@
 // whole batch of queries shares one scan pass (Algorithm 5), producing
 // mergeable Partials; the stateless RTA node merges the partials from every
 // storage partition and finalizes them into a Result.
+//
+// Batches are fused before scanning: CompileBatch deduplicates structurally
+// identical predicates across the batch and Executor.ProcessBucketBatch
+// evaluates each distinct predicate once per bucket into a cached mask slab,
+// assembling every query's filter from the shared masks (see BatchPlan).
+//
+// Thread confinement: an Executor is confined to a single scan goroutine.
+// It owns mutable scratch state (bitmask buffers, the batch mask slab, the
+// dimension lookup cache) that is reused across buckets without
+// synchronization — create one Executor per goroutine and never share it.
+// Schemas, dimension stores, Queries and compiled BatchPlans are immutable
+// during a scan and safe to share between executors.
 package query
 
 import (

@@ -49,11 +49,29 @@ type Partial struct {
 	NumAggs int
 	// Groups maps group keys to accumulator rows.
 	Groups map[GroupKey][]Cell
+	// gen counts Resets, so executor-side caches of Groups rows can detect
+	// that a pooled partial was recycled for a new scan round.
+	gen uint64
 }
 
 // NewPartial returns an empty partial for a query.
 func NewPartial(q *Query) *Partial {
 	return &Partial{QueryID: q.ID, NumAggs: len(q.Aggs), Groups: make(map[GroupKey][]Cell)}
+}
+
+// Reset re-initializes p for query q, retaining the group map's storage so
+// pooled partials can be reused across scan rounds without reallocating.
+func (p *Partial) Reset(q *Query) {
+	p.QueryID = q.ID
+	p.NumAggs = len(q.Aggs)
+	p.gen++
+	if p.Groups == nil {
+		p.Groups = make(map[GroupKey][]Cell)
+		return
+	}
+	for k := range p.Groups {
+		delete(p.Groups, k)
+	}
 }
 
 // cells returns (creating if needed) the accumulator row for key.

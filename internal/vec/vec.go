@@ -81,6 +81,18 @@ func And(dst, src []uint64) {
 	}
 }
 
+// AndNot sets dst &^= src element-wise (clears the dst bits set in src).
+func AndNot(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &^= src[i]
+	}
+}
+
+// CopyMask copies src into dst; the slices must have equal length.
+func CopyMask(dst, src []uint64) {
+	copy(dst, src)
+}
+
 // Or sets dst |= src element-wise.
 func Or(dst, src []uint64) {
 	for i := range dst {
