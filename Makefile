@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench
+.PHONY: build test race bench ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -17,3 +17,9 @@ race:
 ## bench: fused shared-scan batch microbenchmark (single vs naive vs fused)
 bench:
 	$(GO) test -bench BenchmarkSharedScanBatch -benchmem -run '^$$' ./internal/query/
+
+## ci: full gate — vet, build, and race-detect the whole tree (incl. chaos tests)
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

@@ -138,11 +138,13 @@ func (s *System) Stats() []NodeStats {
 	return out
 }
 
-// Close shuts every storage server down.
+// Close shuts every storage server down (and the cluster's background
+// event-replay drainer, if it ever started).
 func (s *System) Close() {
 	if s.closed.Swap(true) {
 		return
 	}
+	s.cluster.Close()
 	for _, n := range s.nodes {
 		n.Stop()
 	}

@@ -38,6 +38,7 @@ var experiments = []experiment{
 	{"fused", "§4.7: fused batch plans vs naive shared scan", bench.FusedScanMicro},
 	{"steal", "§3.2: fixed assignment vs work-stealing scan", bench.WorkStealingScan},
 	{"cow", "§6: differential updates vs copy-on-write", bench.COWvsDelta},
+	{"chaos", "fault-tolerance drill: flaky/dead node, strict vs degraded RTA", bench.FaultTolerance},
 }
 
 func main() {

@@ -40,6 +40,10 @@ func main() {
 		preload  = flag.Bool("preload", true, "materialize every entity with one event first")
 		full     = flag.Bool("full", false, "full 546-indicator schema (must match servers)")
 		seed     = flag.Int64("seed", 42, "workload seed")
+
+		callTimeout = flag.Duration("call-timeout", netproto.DefaultCallTimeout, "per-RPC deadline (negative = none)")
+		retries     = flag.Int("retries", netproto.DefaultMaxRetries, "retry budget for idempotent RPCs")
+		degraded    = flag.Bool("degraded", false, "tolerate node failures: accept incomplete RTA results")
 	)
 	flag.Parse()
 
@@ -55,18 +59,22 @@ func main() {
 	}
 
 	var handles []core.Storage
+	var conns []*netproto.Client
+	ccfg := netproto.ClientConfig{CallTimeout: *callTimeout, MaxRetries: *retries}
 	for _, addr := range strings.Split(*servers, ",") {
-		cli, err := netproto.Dial(strings.TrimSpace(addr), sch)
+		cli, err := netproto.DialConfig(strings.TrimSpace(addr), sch, ccfg)
 		if err != nil {
 			log.Fatalf("aimload: dial %s: %v", addr, err)
 		}
 		defer cli.Close()
+		conns = append(conns, cli)
 		handles = append(handles, cli)
 	}
 	cl, err := cluster.New(handles)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer cl.Close()
 	router := esp.NewRouter(cl)
 
 	if *preload {
@@ -108,7 +116,11 @@ func main() {
 
 	var rtaStats rta.ClientStats
 	if *clients > 0 {
-		coord, err := rta.NewCoordinator(cl.Nodes())
+		rcfg := rta.Config{}
+		if *degraded {
+			rcfg.Policy = rta.PolicyDegraded
+		}
+		coord, err := rta.NewCoordinatorConfig(cl.Nodes(), rcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,5 +148,12 @@ func main() {
 			float64(rtaStats.P95Latency.Microseconds())/1000,
 			float64(rtaStats.MaxLatency.Microseconds())/1000,
 			rtaStats.Errors)
+	}
+	var reconnects uint64
+	for _, c := range conns {
+		reconnects += c.Reconnects()
+	}
+	if reconnects > 0 {
+		fmt.Printf("  net: %d reconnect(s) during the run\n", reconnects)
 	}
 }

@@ -39,6 +39,11 @@ func main() {
 		ruleIndex  = flag.Bool("ruleindex", false, "use the Fabret-style rule index")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
+
+		faultResetEvery = flag.Int("fault-reset-every", 0, "fault injection: reset every connection after N writes (0 = off)")
+		faultReadDelay  = flag.Duration("fault-read-delay", 0, "fault injection: delay before every read")
+		faultWriteDelay = flag.Duration("fault-write-delay", 0, "fault injection: delay before every write")
+		faultDrop       = flag.Bool("fault-drop", false, "fault injection: silently drop all writes")
 	)
 	flag.Parse()
 
@@ -78,7 +83,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("aimserver: %v", err)
 	}
-	srv, err := netproto.Serve(*addr, node, sch)
+	var scfg netproto.ServerConfig
+	if *faultResetEvery > 0 || *faultReadDelay > 0 || *faultWriteDelay > 0 || *faultDrop {
+		plan := netproto.NewFaultPlan()
+		plan.SetResetEvery(*faultResetEvery)
+		plan.SetReadDelay(*faultReadDelay)
+		plan.SetWriteDelay(*faultWriteDelay)
+		plan.SetDropWrites(*faultDrop)
+		scfg.ConnWrap = plan.Wrap
+		fmt.Println("aimserver: FAULT INJECTION ACTIVE on all accepted connections")
+	}
+	srv, err := netproto.ServeWithConfig(*addr, node, sch, scfg)
 	if err != nil {
 		log.Fatalf("aimserver: listen: %v", err)
 	}

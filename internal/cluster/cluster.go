@@ -3,11 +3,20 @@
 // servers via a global hash, each server further partitions it across its
 // RTA threads, and dimension tables plus rule sets are replicated at every
 // server.
+//
+// Beyond the paper (which assumes a lossless fabric and permanently live
+// servers), the cluster tracks per-node health with a consecutive-failure
+// circuit breaker: while a node's breaker is open, fire-and-forget events
+// spill into a bounded per-node retry queue replayed by a background
+// drainer, so a dead or flaky storage server neither blocks the ESP
+// pipeline nor silently loses the in-flight stream.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -18,16 +27,37 @@ import (
 // entity. Query scatter/gather lives in the RTA coordinator (internal/rta),
 // which talks to the same Storage handles.
 type Cluster struct {
-	nodes []core.Storage
+	nodes  []core.Storage
+	hcfg   HealthConfig
+	health []*nodeHealth
+
+	drainOnce sync.Once // drainer starts lazily on first spill
+	closeOnce sync.Once
+	quit      chan struct{}
+	wg        sync.WaitGroup
 }
 
 // New builds a cluster over the given storage handles (in-process nodes,
-// TCP clients, or a mix).
+// TCP clients, or a mix) with default health tracking.
 func New(nodes []core.Storage) (*Cluster, error) {
+	return NewWithHealth(nodes, HealthConfig{})
+}
+
+// NewWithHealth builds a cluster with an explicit health configuration.
+func NewWithHealth(nodes []core.Storage, hcfg HealthConfig) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: need at least one storage node")
 	}
-	return &Cluster{nodes: nodes}, nil
+	c := &Cluster{
+		nodes:  nodes,
+		hcfg:   hcfg.withDefaults(),
+		health: make([]*nodeHealth, len(nodes)),
+		quit:   make(chan struct{}),
+	}
+	for i := range c.health {
+		c.health[i] = &nodeHealth{}
+	}
+	return c, nil
 }
 
 // NewLocal starts n in-process storage nodes with the same configuration
@@ -56,52 +86,243 @@ func NewLocal(n int, cfg core.Config) (*Cluster, []*core.StorageNode, error) {
 	return c, nodes, nil
 }
 
+// Close stops the background replay drainer (if it ever started). It does
+// not close the storage handles, which the caller owns. Idempotent.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		close(c.quit)
+	})
+	c.wg.Wait()
+}
+
 // NumNodes returns the number of storage servers.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
 // Nodes returns the storage handles (for the RTA coordinator).
 func (c *Cluster) Nodes() []core.Storage { return c.nodes }
 
-// NodeFor returns the storage server owning the entity — the paper's global
-// hash function h. It deliberately uses a different mixer than the node's
-// internal partition hash h_i so the two levels decorrelate.
-func (c *Cluster) NodeFor(entityID uint64) core.Storage {
+// Health returns a snapshot of node i's breaker and spill-queue state.
+func (c *Cluster) Health(i int) NodeHealth { return c.health[i].snapshot() }
+
+// indexFor returns the index of the storage server owning the entity — the
+// paper's global hash function h. It deliberately uses a different mixer
+// than the node's internal partition hash h_i so the two levels
+// decorrelate.
+func (c *Cluster) indexFor(entityID uint64) int {
 	h := entityID * 0xD6E8FEB86659FD93
 	h ^= h >> 32
-	return c.nodes[h%uint64(len(c.nodes))]
+	return int(h % uint64(len(c.nodes)))
 }
 
-// ProcessEventAsync routes an event to its owning server.
+// NodeFor returns the storage server owning the entity.
+func (c *Cluster) NodeFor(entityID uint64) core.Storage {
+	return c.nodes[c.indexFor(entityID)]
+}
+
+// disabled reports whether health tracking is turned off.
+func (c *Cluster) disabled() bool { return c.hcfg.FailureThreshold < 0 }
+
+// ProcessEventAsync routes an event to its owning server. If the server's
+// breaker is open (or delivery fails), the event spills to the node's
+// bounded retry queue and nil is returned — the ESP pipeline keeps moving.
+// Only when spilling is impossible does it fail fast with a NodeDownError.
 func (c *Cluster) ProcessEventAsync(ev event.Event) error {
-	return c.NodeFor(ev.Caller).ProcessEventAsync(ev)
+	idx := c.indexFor(ev.Caller)
+	if c.disabled() {
+		return c.nodes[idx].ProcessEventAsync(ev)
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		return c.spillOrFail(idx, ev, nil)
+	}
+	err := c.nodes[idx].ProcessEventAsync(ev)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	if err == nil {
+		return nil
+	}
+	return c.spillOrFail(idx, ev, err)
+}
+
+func (c *Cluster) spillOrFail(idx int, ev event.Event, cause error) error {
+	h := c.health[idx]
+	if h.spill(ev, c.hcfg.RetryQueue) {
+		c.startDrainer()
+		return nil
+	}
+	if cause == nil {
+		h.mu.Lock()
+		cause = h.lastErr
+		h.mu.Unlock()
+	}
+	return &NodeDownError{Node: idx, Err: cause}
+}
+
+// startDrainer lazily launches the background goroutine that replays
+// spilled events once their node's breaker lets traffic through again.
+func (c *Cluster) startDrainer() {
+	c.drainOnce.Do(func() {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(c.hcfg.RetryInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.quit:
+					return
+				case <-tick.C:
+					for idx := range c.nodes {
+						c.drainNode(idx)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// drainNode replays queued events for one node until the queue empties or
+// a delivery fails (the event goes back to the front of the queue).
+func (c *Cluster) drainNode(idx int) {
+	h := c.health[idx]
+	for {
+		select {
+		case <-c.quit:
+			return
+		default:
+		}
+		if h.queued() == 0 {
+			return
+		}
+		if !h.allow(time.Now()) {
+			return
+		}
+		ev, ok := h.pop()
+		if !ok {
+			// Raced with another drain; give the probe token back.
+			h.releaseProbe()
+			return
+		}
+		err := c.nodes[idx].ProcessEventAsync(ev)
+		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+		if err != nil {
+			h.requeue(ev)
+			return
+		}
+		h.mu.Lock()
+		h.replayed++
+		h.mu.Unlock()
+	}
 }
 
 // ProcessEvent routes an event synchronously and returns its firing count.
+// Synchronous events cannot spill (the caller expects the firing count);
+// with an open breaker they fail fast instead of hammering a dead node.
 func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
-	return c.NodeFor(ev.Caller).ProcessEvent(ev)
+	idx := c.indexFor(ev.Caller)
+	if c.disabled() {
+		return c.nodes[idx].ProcessEvent(ev)
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		return 0, &NodeDownError{Node: idx, Err: c.lastErr(idx)}
+	}
+	n, err := c.nodes[idx].ProcessEvent(ev)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	return n, err
 }
 
-// FlushEvents flushes every server's ESP queues.
+// FlushEvents first synchronously replays every spilled event, then
+// flushes every server's ESP queues. If a node still refuses events its
+// queue is left intact and a NodeDownError is returned, so callers can
+// retry the flush after the node recovers without losing the stream.
 func (c *Cluster) FlushEvents() error {
-	for _, n := range c.nodes {
-		if err := n.FlushEvents(); err != nil {
-			return err
+	var firstErr error
+	for idx := range c.nodes {
+		if err := c.flushSpilled(idx); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	for idx, n := range c.nodes {
+		err := n.FlushEvents()
+		if !c.disabled() {
+			c.health[idx].record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushSpilled synchronously drains node idx's retry queue.
+func (c *Cluster) flushSpilled(idx int) error {
+	h := c.health[idx]
+	for {
+		ev, ok := h.pop()
+		if !ok {
+			return nil
+		}
+		err := c.nodes[idx].ProcessEventAsync(ev)
+		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+		if err != nil {
+			h.requeue(ev)
+			return &NodeDownError{Node: idx, Err: err}
+		}
+		h.mu.Lock()
+		h.replayed++
+		h.mu.Unlock()
+	}
 }
 
 // Get fetches the entity's record from its owning server.
 func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
-	return c.NodeFor(entityID).Get(entityID)
+	idx := c.indexFor(entityID)
+	if c.disabled() {
+		return c.nodes[idx].Get(entityID)
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		return nil, 0, false, &NodeDownError{Node: idx, Err: c.lastErr(idx)}
+	}
+	rec, v, ok, err := c.nodes[idx].Get(entityID)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	return rec, v, ok, err
 }
 
 // Put stores a record on its owning server.
 func (c *Cluster) Put(rec schema.Record) error {
-	return c.NodeFor(rec.EntityID()).Put(rec)
+	idx := c.indexFor(rec.EntityID())
+	if c.disabled() {
+		return c.nodes[idx].Put(rec)
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		return &NodeDownError{Node: idx, Err: c.lastErr(idx)}
+	}
+	err := c.nodes[idx].Put(rec)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	return err
 }
 
 // ConditionalPut conditionally stores a record on its owning server.
+// Version conflicts come from a live node and do not count against it.
 func (c *Cluster) ConditionalPut(rec schema.Record, expected uint64) error {
-	return c.NodeFor(rec.EntityID()).ConditionalPut(rec, expected)
+	idx := c.indexFor(rec.EntityID())
+	if c.disabled() {
+		return c.nodes[idx].ConditionalPut(rec, expected)
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		return &NodeDownError{Node: idx, Err: c.lastErr(idx)}
+	}
+	err := c.nodes[idx].ConditionalPut(rec, expected)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	return err
+}
+
+func (c *Cluster) lastErr(idx int) error {
+	h := c.health[idx]
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lastErr
 }

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -14,123 +14,374 @@ import (
 	"repro/internal/schema"
 )
 
+// ErrClosed is returned for operations against a Close()d client.
+var ErrClosed = errors.New("netproto: client closed")
+
+// ErrTimeout marks an RPC that exceeded ClientConfig.CallTimeout. The
+// request is abandoned; a late response is discarded by the read loop.
+var ErrTimeout = errors.New("netproto: call timed out")
+
 // Client is a TCP storage handle implementing core.Storage, so ESP routers
 // and RTA coordinators can drive remote storage servers exactly like
-// in-process ones.
+// in-process ones. Unless DisableReconnect is set it transparently redials
+// after connection loss (exponential backoff, full jitter) and retries
+// idempotent operations (Get, SubmitQuery, FlushEvents) up to MaxRetries
+// times; every call is bounded by CallTimeout.
 type Client struct {
-	conn net.Conn
+	addr string
 	sch  *schema.Schema
+	cfg  ClientConfig
 
-	writeMu sync.Mutex
-	mu      sync.Mutex
-	pending map[uint64]chan frame
-	nextID  uint64
-	readErr error
-	closed  bool
+	writeMu sync.Mutex // serializes frame writes on the live conn
+
+	redialMu sync.Mutex // single-flights reconnect attempts
+
+	mu        sync.Mutex
+	conn      net.Conn
+	gen       uint64 // connection generation, bumped per (re)dial
+	pending   map[uint64]*pendingCall
+	nextID    uint64
+	closed    bool
+	lastErr   error     // why the last conn died / last dial failed
+	dialFails int       // consecutive failed dials (backoff exponent)
+	redialAt  time.Time // earliest next dial attempt
+	reconnects uint64   // successful redials (observability)
+}
+
+// pendingCall is one in-flight request. Exactly one result is ever
+// delivered to ch (buffered), by whichever of readLoop / connLost / Close
+// removes the entry from the pending map first.
+type pendingCall struct {
+	ch  chan callResult
+	gen uint64
+}
+
+type callResult struct {
+	f   frame
+	err error
 }
 
 var _ core.Storage = (*Client)(nil)
 
-// Dial connects to a storage server. The client must use the same schema as
-// the server.
+// Dial connects to a storage server with the default fault-tolerance
+// configuration. The client must use the same schema as the server.
 func Dial(addr string, sch *schema.Schema) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, sch, ClientConfig{})
+}
+
+// DialConfig connects with an explicit ClientConfig. The initial dial is
+// eager: an unreachable server fails here, not on first use.
+func DialConfig(addr string, sch *schema.Schema, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := cfg.Dialer(addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{conn: conn, sch: sch, pending: make(map[uint64]chan frame)}
-	go c.readLoop()
+	c := &Client{
+		addr:    addr,
+		sch:     sch,
+		cfg:     cfg,
+		conn:    conn,
+		gen:     1,
+		pending: make(map[uint64]*pendingCall),
+	}
+	go c.readLoop(conn, 1)
 	return c, nil
 }
 
-// Close shuts the connection down; pending requests fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Reconnects reports how many times the client successfully redialed.
+func (c *Client) Reconnects() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
 
-func (c *Client) readLoop() {
+// Close shuts the client down: the connection is closed and every queued
+// or pending request fails with ErrClosed immediately and deterministically
+// (callers racing Close can no longer register afterwards).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	failed := c.takePendingLocked(c.gen)
+	c.mu.Unlock()
+	for _, pc := range failed {
+		pc.ch <- callResult{err: ErrClosed}
+	}
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// takePendingLocked removes and returns every pending call registered on
+// generation <= gen. Caller holds c.mu.
+func (c *Client) takePendingLocked(gen uint64) []*pendingCall {
+	var out []*pendingCall
+	for id, pc := range c.pending {
+		if pc.gen <= gen {
+			delete(c.pending, id)
+			out = append(out, pc)
+		}
+	}
+	return out
+}
+
+func (c *Client) readLoop(conn net.Conn, gen uint64) {
 	for {
-		f, err := readFrame(c.conn)
+		f, err := readFrame(conn)
 		if err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			c.closed = true
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			c.mu.Unlock()
+			c.connLost(conn, gen, err)
 			return
 		}
 		if f.typ != msgResp {
 			continue
 		}
 		c.mu.Lock()
-		ch := c.pending[f.reqID]
-		delete(c.pending, f.reqID)
+		pc := c.pending[f.reqID]
+		if pc != nil {
+			delete(c.pending, f.reqID)
+		}
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- f
+		if pc != nil {
+			pc.ch <- callResult{f: f}
 		}
 	}
 }
 
-// register allocates a request id and its response channel.
-func (c *Client) register() (uint64, chan frame, error) {
+// connLost tears down one connection generation: the conn is closed, and
+// every request pending on it fails now rather than blocking forever.
+func (c *Client) connLost(conn net.Conn, gen uint64, cause error) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn == conn {
+		c.conn = nil
+		c.lastErr = cause
+	}
+	failed := c.takePendingLocked(gen)
+	c.mu.Unlock()
+	err := fmt.Errorf("netproto: connection lost: %w", cause)
+	for _, pc := range failed {
+		pc.ch <- callResult{err: err}
+	}
+}
+
+// ensureConn returns the live connection, redialing (with single-flight
+// and jittered exponential backoff) if the previous one died.
+func (c *Client) ensureConn() (net.Conn, uint64, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if c.conn != nil {
+		conn, gen := c.conn, c.gen
+		c.mu.Unlock()
+		return conn, gen, nil
+	}
+	c.mu.Unlock()
+
+	c.redialMu.Lock()
+	defer c.redialMu.Unlock()
+	// Re-check: another caller may have redialed while we waited.
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, ErrClosed
+	}
+	if c.conn != nil {
+		conn, gen := c.conn, c.gen
+		c.mu.Unlock()
+		return conn, gen, nil
+	}
+	if c.cfg.DisableReconnect {
+		err := c.lastErr
+		c.mu.Unlock()
+		if err != nil {
+			return nil, 0, fmt.Errorf("netproto: connection closed: %w", err)
+		}
+		return nil, 0, errors.New("netproto: connection closed")
+	}
+	wait := time.Until(c.redialAt)
+	c.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+
+	conn, err := c.cfg.Dialer(c.addr, c.cfg.DialTimeout)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		return nil, 0, ErrClosed
+	}
+	if err != nil {
+		c.dialFails++
+		c.redialAt = time.Now().Add(c.cfg.backoffFor(c.dialFails))
+		c.lastErr = err
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("netproto: reconnect %s: %w", c.addr, err)
+	}
+	c.dialFails = 0
+	c.redialAt = time.Time{}
+	c.reconnects++
+	c.conn = conn
+	c.gen++
+	gen := c.gen
+	c.mu.Unlock()
+	go c.readLoop(conn, gen)
+	return conn, gen, nil
+}
+
+// register allocates a request id and its response slot on generation gen.
+func (c *Client) register(gen uint64) (uint64, *pendingCall, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return 0, nil, c.connErr()
+		return 0, nil, ErrClosed
+	}
+	if c.conn == nil || c.gen != gen {
+		return 0, nil, errors.New("netproto: connection lost during register")
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan frame, 1)
-	c.pending[id] = ch
-	return id, ch, nil
+	pc := &pendingCall{ch: make(chan callResult, 1), gen: gen}
+	c.pending[id] = pc
+	return id, pc, nil
 }
 
-func (c *Client) connErr() error {
-	if c.readErr != nil {
-		return fmt.Errorf("netproto: connection closed: %w", c.readErr)
-	}
-	return errors.New("netproto: connection closed")
+// unregister drops a request that never made it onto the wire.
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
 }
 
-func (c *Client) send(f frame) error {
+func (c *Client) send(conn net.Conn, f frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, f)
+	return writeFrame(conn, f)
 }
 
-// call sends a request and waits for its response payload.
-func (c *Client) call(typ uint8, body []byte) ([]byte, error) {
-	id, ch, err := c.register()
+// await blocks for the response to request id, bounded by CallTimeout.
+// On timeout the pending entry is removed so the slot cannot leak; if the
+// result was already in flight it is consumed instead.
+func (c *Client) await(id uint64, pc *pendingCall) (frame, error) {
+	var timeCh <-chan time.Time
+	if c.cfg.CallTimeout > 0 {
+		t := time.NewTimer(c.cfg.CallTimeout)
+		defer t.Stop()
+		timeCh = t.C
+	}
+	select {
+	case r := <-pc.ch:
+		return r.f, r.err
+	case <-timeCh:
+		c.mu.Lock()
+		_, still := c.pending[id]
+		if still {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if !still {
+			// A deliverer removed the entry first; its result is (or is
+			// about to be) in the buffered channel.
+			r := <-pc.ch
+			return r.f, r.err
+		}
+		return frame{}, fmt.Errorf("%w after %v", ErrTimeout, c.cfg.CallTimeout)
+	}
+}
+
+// callOnce performs one request/response attempt. Transport-level failures
+// (send error, connection loss, timeout) are retriable; RemoteErrors mean
+// the server is alive and are final.
+func (c *Client) callOnce(typ uint8, body []byte) ([]byte, error) {
+	conn, gen, err := c.ensureConn()
 	if err != nil {
 		return nil, err
 	}
-	if err := c.send(frame{typ: typ, reqID: id, body: body}); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+	id, pc, err := c.register(gen)
+	if err != nil {
 		return nil, err
 	}
-	f, ok := <-ch
-	if !ok {
-		return nil, c.connErr()
+	if err := c.send(conn, frame{typ: typ, reqID: id, body: body}); err != nil {
+		c.unregister(id)
+		// A failed write leaves the stream in an unknown state; tear the
+		// conn down NOW (not when the read loop notices) so a retry
+		// redials instead of burning attempts on a known-dead conn.
+		c.connLost(conn, gen, err)
+		return nil, err
+	}
+	f, err := c.await(id, pc)
+	if err != nil {
+		return nil, err
 	}
 	return splitResp(f.body)
 }
 
-// ProcessEventAsync ships an event fire-and-forget (the 64 B CDR frame).
-func (c *Client) ProcessEventAsync(ev event.Event) error {
-	var buf [event.WireSize]byte
-	ev.Encode(buf[:])
-	return c.send(frame{typ: msgEvent, body: buf[:]})
+// retriable reports whether err is a transport-level failure worth a fresh
+// attempt. Application errors (RemoteError) and ErrClosed are final.
+func retriable(err error) bool {
+	var re *RemoteError
+	return err != nil && !errors.As(err, &re) && !errors.Is(err, ErrClosed)
 }
 
-// ProcessEvent ships an event and waits for its firing count.
+// call runs an RPC; idempotent ops survive transport faults via reconnect
+// and bounded retries with backoff.
+func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
+	attempts := 1
+	if idempotent && !c.cfg.DisableReconnect {
+		attempts += c.cfg.MaxRetries
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(c.cfg.backoffFor(i))
+		}
+		payload, err := c.callOnce(typ, body)
+		if err == nil {
+			return payload, nil
+		}
+		if !retriable(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// ProcessEventAsync ships an event fire-and-forget (the 64 B CDR frame).
+// It is not transparently retried: delivery of a failed write is unknown,
+// so replay is left to the cluster layer's spill queue, which owns
+// at-least-once semantics for the ESP stream.
+func (c *Client) ProcessEventAsync(ev event.Event) error {
+	conn, gen, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+	var buf [event.WireSize]byte
+	ev.Encode(buf[:])
+	if err := c.send(conn, frame{typ: msgEvent, body: buf[:]}); err != nil {
+		c.connLost(conn, gen, err)
+		return err
+	}
+	return nil
+}
+
+// ProcessEvent ships an event and waits for its firing count. Not
+// idempotent (it mutates the matrix), hence no transparent retry.
 func (c *Client) ProcessEvent(ev event.Event) (int, error) {
 	var buf [event.WireSize]byte
 	ev.Encode(buf[:])
-	payload, err := c.call(msgEventSync, buf[:])
+	payload, err := c.call(msgEventSync, buf[:], false)
 	if err != nil {
 		return 0, err
 	}
@@ -142,17 +393,17 @@ func (c *Client) ProcessEvent(ev event.Event) (int, error) {
 
 // FlushEvents drains the server's ESP queues. Because frames on one
 // connection are processed in order, the flush also covers every event this
-// client sent before it.
+// client sent before it. Flushing is idempotent and retried.
 func (c *Client) FlushEvents() error {
-	_, err := c.call(msgFlush, nil)
+	_, err := c.call(msgFlush, nil, true)
 	return err
 }
 
-// Get fetches a record.
+// Get fetches a record; idempotent, so transport faults are retried.
 func (c *Client) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 	var body [8]byte
 	binary.LittleEndian.PutUint64(body[:], entityID)
-	payload, err := c.call(msgGet, body[:])
+	payload, err := c.call(msgGet, body[:], true)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -171,49 +422,62 @@ func (c *Client) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 	return rec, version, true, nil
 }
 
-// Put stores a record unconditionally.
+// Put stores a record unconditionally. A retry would bump the version
+// twice, so transport faults are surfaced to the caller.
 func (c *Client) Put(rec schema.Record) error {
 	body := make([]byte, schema.EncodedSize(len(rec)))
 	schema.EncodeRecord(rec, body)
-	_, err := c.call(msgPut, body)
+	_, err := c.call(msgPut, body, false)
 	return err
 }
 
 // ConditionalPut stores a record guarded by its version. Remote version
-// conflicts are surfaced as core.ErrVersionConflict so ESP retry loops work
-// across the wire.
+// conflicts arrive as typed error-code frames, so
+// errors.Is(err, core.ErrVersionConflict) holds across the wire and ESP
+// retry loops work unchanged.
 func (c *Client) ConditionalPut(rec schema.Record, expected uint64) error {
 	body := make([]byte, 8+schema.EncodedSize(len(rec)))
 	binary.LittleEndian.PutUint64(body, expected)
 	schema.EncodeRecord(rec, body[8:])
-	_, err := c.call(msgCondPut, body)
-	if err != nil && strings.Contains(err.Error(), core.ErrVersionConflict.Error()) {
-		return fmt.Errorf("%w: %v", core.ErrVersionConflict, err)
-	}
+	_, err := c.call(msgCondPut, body, false)
 	return err
 }
 
 // SubmitQueryAsync ships a query and returns a channel that delivers the
-// server-level partial when the remote shared scan completes.
+// server-level partial when the remote shared scan completes. The wait is
+// bounded by CallTimeout; on transport failure the query (idempotent) is
+// retried on a fresh connection before the error is delivered.
 func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
-	id, ch, err := c.register()
+	body := query.EncodeQuery(q)
+	conn, gen, err := c.ensureConn()
 	if err != nil {
 		return nil, err
 	}
-	if err := c.send(frame{typ: msgQuery, reqID: id, body: query.EncodeQuery(q)}); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
+	id, pc, err := c.register(gen)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(conn, frame{typ: msgQuery, reqID: id, body: body}); err != nil {
+		c.unregister(id)
+		c.connLost(conn, gen, err)
 		return nil, err
 	}
 	out := make(chan core.QueryResponse, 1)
 	go func() {
-		f, ok := <-ch
-		if !ok {
-			out <- core.QueryResponse{Err: c.connErr()}
-			return
+		var payload []byte
+		f, err := c.await(id, pc)
+		if err == nil {
+			payload, err = splitResp(f.body)
 		}
-		payload, err := splitResp(f.body)
+		if err != nil && retriable(err) && !c.cfg.DisableReconnect {
+			for i := 1; i <= c.cfg.MaxRetries; i++ {
+				time.Sleep(c.cfg.backoffFor(i))
+				payload, err = c.callOnce(msgQuery, body)
+				if err == nil || !retriable(err) {
+					break
+				}
+			}
+		}
 		if err != nil {
 			out <- core.QueryResponse{Err: err}
 			return

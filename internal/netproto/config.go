@@ -1,0 +1,96 @@
+package netproto
+
+import (
+	"math/rand/v2"
+	"net"
+	"time"
+)
+
+// Defaults for ClientConfig. The paper assumes a lossless Infiniband fabric
+// and never times anything out; these bounds are what a TCP deployment
+// needs so one stalled storage server cannot wedge an ESP router or RTA
+// coordinator forever.
+const (
+	// DefaultCallTimeout bounds one synchronous RPC round trip.
+	DefaultCallTimeout = 10 * time.Second
+	// DefaultDialTimeout bounds connection establishment (and redials).
+	DefaultDialTimeout = 3 * time.Second
+	// DefaultMaxRetries is the extra attempts idempotent ops get after a
+	// transport failure.
+	DefaultMaxRetries = 2
+	// DefaultBackoffBase seeds the exponential redial/retry backoff.
+	DefaultBackoffBase = 20 * time.Millisecond
+	// DefaultBackoffMax caps the backoff.
+	DefaultBackoffMax = 1 * time.Second
+)
+
+// ClientConfig tunes a Client's failure behavior. The zero value selects
+// the defaults above with reconnection enabled.
+type ClientConfig struct {
+	// CallTimeout bounds each RPC round trip (including asynchronous query
+	// responses). 0 selects DefaultCallTimeout; negative disables the
+	// timeout entirely.
+	CallTimeout time.Duration
+	// DialTimeout bounds the initial dial and every reconnect attempt.
+	// 0 selects DefaultDialTimeout.
+	DialTimeout time.Duration
+	// MaxRetries is how many additional attempts idempotent operations
+	// (Get, SubmitQuery, FlushEvents) make after a transport-level failure.
+	// 0 selects DefaultMaxRetries; negative disables retries.
+	MaxRetries int
+	// DisableReconnect keeps the original fail-stop behavior: once the
+	// connection drops, every subsequent call fails.
+	DisableReconnect bool
+	// BackoffBase / BackoffMax shape the exponential redial backoff
+	// (full jitter in [d/2, d)). 0 selects the defaults.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Dialer overrides the transport dialer; the fault-injection harness
+	// uses it to hand the client flaky connections. Nil means plain TCP.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.CallTimeout == 0 {
+		cfg.CallTimeout = DefaultCallTimeout
+	}
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = DefaultBackoffBase
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return cfg
+}
+
+// backoffFor returns the jittered exponential delay for the n-th
+// consecutive failure (n >= 1): full jitter in [d/2, d) with d capped at
+// BackoffMax.
+func (cfg ClientConfig) backoffFor(n int) time.Duration {
+	d := cfg.BackoffBase
+	for i := 1; i < n && d < cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffMax {
+		d = cfg.BackoffMax
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + rand.N(half)
+}

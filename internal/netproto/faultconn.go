@@ -1,0 +1,213 @@
+package netproto
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault marks a failure produced by a FaultPlan, so tests can
+// tell injected faults from real ones.
+var ErrInjectedFault = errors.New("netproto: injected fault")
+
+// FaultPlan is a shared, live-mutable fault-injection policy for network
+// connections: every conn wrapped by (or dialed through) the plan consults
+// it on each Read/Write, so a test can flip faults on and off mid-flight.
+// It simulates the failure modes a TCP storage fabric actually exhibits —
+// slow links (delays), dead servers (dial refusal), crashed connections
+// (resets), and half-written frames (partial writes) — against the real
+// client/server stack.
+//
+// The zero value injects nothing; all methods are safe for concurrent use.
+type FaultPlan struct {
+	mu            sync.Mutex
+	readDelay     time.Duration
+	writeDelay    time.Duration
+	dropWrites    bool
+	failDial      bool
+	resetEvery    int // close the conn on every Nth write (0 = off)
+	writesLeft    int
+	partialWrites bool // deliver a prefix of the frame, then reset
+	conns         map[*faultConn]struct{}
+	injected      uint64 // faults fired (observability)
+}
+
+// NewFaultPlan returns an empty (fault-free) plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{conns: make(map[*faultConn]struct{})}
+}
+
+// Wrap returns conn with the plan's faults applied to it.
+func (p *FaultPlan) Wrap(conn net.Conn) net.Conn {
+	fc := &faultConn{Conn: conn, plan: p}
+	p.mu.Lock()
+	if p.conns == nil {
+		p.conns = make(map[*faultConn]struct{})
+	}
+	p.conns[fc] = struct{}{}
+	p.mu.Unlock()
+	return fc
+}
+
+// Dialer returns a ClientConfig.Dialer that refuses to connect while
+// FailDial is set and wraps every successful connection in the plan.
+func (p *FaultPlan) Dialer() func(addr string, timeout time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		p.mu.Lock()
+		fail := p.failDial
+		if fail {
+			p.injected++
+		}
+		p.mu.Unlock()
+		if fail {
+			return nil, errors.New("netproto: injected fault: dial refused")
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return p.Wrap(conn), nil
+	}
+}
+
+// SetReadDelay stalls every Read by d (0 = off).
+func (p *FaultPlan) SetReadDelay(d time.Duration) { p.mu.Lock(); p.readDelay = d; p.mu.Unlock() }
+
+// SetWriteDelay stalls every Write by d (0 = off).
+func (p *FaultPlan) SetWriteDelay(d time.Duration) { p.mu.Lock(); p.writeDelay = d; p.mu.Unlock() }
+
+// SetDropWrites makes writes report success without sending anything —
+// a black-holed link.
+func (p *FaultPlan) SetDropWrites(v bool) { p.mu.Lock(); p.dropWrites = v; p.mu.Unlock() }
+
+// SetFailDial makes the plan's Dialer refuse connections — a dead server.
+func (p *FaultPlan) SetFailDial(v bool) { p.mu.Lock(); p.failDial = v; p.mu.Unlock() }
+
+// SetResetEvery closes the connection on every n-th write, before any
+// bytes of that write reach the wire (so frames are never torn and the
+// peer sees a clean EOF after the previously delivered frames). 0 disables.
+func (p *FaultPlan) SetResetEvery(n int) {
+	p.mu.Lock()
+	p.resetEvery = n
+	p.writesLeft = n
+	p.mu.Unlock()
+}
+
+// SetPartialWrites delivers only a prefix of each multi-byte write and then
+// resets the connection — a torn frame mid-flight.
+func (p *FaultPlan) SetPartialWrites(v bool) { p.mu.Lock(); p.partialWrites = v; p.mu.Unlock() }
+
+// ResetAll immediately closes every live connection under the plan.
+func (p *FaultPlan) ResetAll() {
+	p.mu.Lock()
+	conns := make([]*faultConn, 0, len(p.conns))
+	for fc := range p.conns {
+		conns = append(conns, fc)
+	}
+	p.injected += uint64(len(conns))
+	p.mu.Unlock()
+	for _, fc := range conns {
+		fc.Close()
+	}
+}
+
+// Heal clears every configured fault (live conns stay up).
+func (p *FaultPlan) Heal() {
+	p.mu.Lock()
+	p.readDelay, p.writeDelay = 0, 0
+	p.dropWrites, p.failDial, p.partialWrites = false, false, false
+	p.resetEvery, p.writesLeft = 0, 0
+	p.mu.Unlock()
+}
+
+// Injected returns how many faults fired so far.
+func (p *FaultPlan) Injected() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// LiveConns returns the number of open connections under the plan.
+func (p *FaultPlan) LiveConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.conns)
+}
+
+func (p *FaultPlan) remove(fc *faultConn) {
+	p.mu.Lock()
+	delete(p.conns, fc)
+	p.mu.Unlock()
+}
+
+// writeAction is the fault decision for one Write, snapshotted under the
+// plan lock so the IO itself runs unlocked.
+type writeAction struct {
+	delay   time.Duration
+	drop    bool
+	reset   bool
+	partial bool
+}
+
+func (p *FaultPlan) nextWrite() writeAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := writeAction{delay: p.writeDelay, drop: p.dropWrites, partial: p.partialWrites}
+	if p.resetEvery > 0 {
+		p.writesLeft--
+		if p.writesLeft <= 0 {
+			p.writesLeft = p.resetEvery
+			a.reset = true
+		}
+	}
+	if a.drop || a.reset || a.partial {
+		p.injected++
+	}
+	return a
+}
+
+// faultConn applies a FaultPlan to one net.Conn.
+type faultConn struct {
+	net.Conn
+	plan      *FaultPlan
+	closeOnce sync.Once
+}
+
+func (f *faultConn) Read(b []byte) (int, error) {
+	f.plan.mu.Lock()
+	d := f.plan.readDelay
+	f.plan.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return f.Conn.Read(b)
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	a := f.plan.nextWrite()
+	if a.delay > 0 {
+		time.Sleep(a.delay)
+	}
+	switch {
+	case a.reset:
+		// Close before writing: the peer sees every prior frame intact,
+		// then EOF — a clean crash between frames.
+		f.Close()
+		return 0, errors.Join(ErrInjectedFault, errors.New("connection reset"))
+	case a.partial && len(b) > 1:
+		n, _ := f.Conn.Write(b[:len(b)/2])
+		f.Close()
+		return n, errors.Join(ErrInjectedFault, errors.New("partial write"))
+	case a.drop:
+		return len(b), nil
+	}
+	return f.Conn.Write(b)
+}
+
+func (f *faultConn) Close() error {
+	f.plan.remove(f)
+	var err error
+	f.closeOnce.Do(func() { err = f.Conn.Close() })
+	return err
+}

@@ -11,14 +11,19 @@
 //	u64 reqID    // request correlation id (0 for fire-and-forget)
 //	...body      // type-specific payload
 //
-// Responses carry a status byte: 0 = ok (payload follows), 1 = error (UTF-8
-// message follows).
+// Responses carry a status byte: 0 = ok (payload follows), 1 = error (u8
+// error code, then UTF-8 message). Error codes let well-known storage
+// errors (version conflict, stopped node) survive the wire as typed errors
+// instead of string matches.
 package netproto
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/core"
 )
 
 // Message types.
@@ -42,6 +47,49 @@ const (
 	statusOK  = 0
 	statusErr = 1
 )
+
+// Wire error codes (the byte after statusErr). codeGeneric carries only the
+// message; the other codes map onto process-local sentinel errors on the
+// client side so errors.Is works across the wire.
+const (
+	codeGeneric         uint8 = 0
+	codeVersionConflict uint8 = 1
+	codeStopped         uint8 = 2
+)
+
+// RemoteError is an application-level error reported by the server. Its
+// presence means the node is alive and responded — as opposed to transport
+// errors (timeouts, resets), which the client may retry.
+type RemoteError struct {
+	// Code is the wire error code.
+	Code uint8
+	// Msg is the server-side error text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "netproto: remote: " + e.Msg }
+
+// Is maps well-known codes back onto their sentinel errors.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Code {
+	case codeVersionConflict:
+		return target == core.ErrVersionConflict
+	case codeStopped:
+		return target == core.ErrStopped
+	}
+	return false
+}
+
+// errCode classifies a server-side error for the wire.
+func errCode(err error) uint8 {
+	switch {
+	case errors.Is(err, core.ErrVersionConflict):
+		return codeVersionConflict
+	case errors.Is(err, core.ErrStopped):
+		return codeStopped
+	}
+	return codeGeneric
+}
 
 type frame struct {
 	typ   uint8
@@ -95,22 +143,26 @@ func okBody(payload []byte) []byte {
 	return out
 }
 
-// errBody encodes an error response.
+// errBody encodes an error response: status byte, error code, message.
 func errBody(err error) []byte {
 	msg := err.Error()
-	out := make([]byte, 1+len(msg))
+	out := make([]byte, 2+len(msg))
 	out[0] = statusErr
-	copy(out[1:], msg)
+	out[1] = errCode(err)
+	copy(out[2:], msg)
 	return out
 }
 
-// splitResp separates a response body into payload or error.
+// splitResp separates a response body into payload or a typed RemoteError.
 func splitResp(body []byte) ([]byte, error) {
 	if len(body) < 1 {
 		return nil, fmt.Errorf("netproto: empty response body")
 	}
 	if body[0] == statusErr {
-		return nil, fmt.Errorf("netproto: remote: %s", string(body[1:]))
+		if len(body) < 2 {
+			return nil, &RemoteError{Code: codeGeneric, Msg: "truncated error frame"}
+		}
+		return nil, &RemoteError{Code: body[1], Msg: string(body[2:])}
 	}
 	return body[1:], nil
 }

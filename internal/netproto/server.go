@@ -22,6 +22,7 @@ type Server struct {
 	node core.Storage
 	sch  *schema.Schema
 	ln   net.Listener
+	cfg  ServerConfig
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -29,8 +30,21 @@ type Server struct {
 	quit  chan struct{}
 }
 
+// ServerConfig tunes server behavior; the zero value is the default.
+type ServerConfig struct {
+	// ConnWrap, when set, wraps every accepted connection. The
+	// fault-injection harness uses it to make a server's links flaky
+	// (drops, delays, resets) without touching the protocol code.
+	ConnWrap func(net.Conn) net.Conn
+}
+
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by node.
 func Serve(addr string, node core.Storage, sch *schema.Schema) (*Server, error) {
+	return ServeWithConfig(addr, node, sch, ServerConfig{})
+}
+
+// ServeWithConfig starts a server with an explicit ServerConfig.
+func ServeWithConfig(addr string, node core.Storage, sch *schema.Schema, cfg ServerConfig) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -39,6 +53,7 @@ func Serve(addr string, node core.Storage, sch *schema.Schema) (*Server, error) 
 		node:  node,
 		sch:   sch,
 		ln:    ln,
+		cfg:   cfg,
 		conns: make(map[net.Conn]struct{}),
 		quit:  make(chan struct{}),
 	}
@@ -73,6 +88,9 @@ func (s *Server) acceptLoop() {
 			default:
 				return // listener failed; nothing more to accept
 			}
+		}
+		if s.cfg.ConnWrap != nil {
+			conn = s.cfg.ConnWrap(conn)
 		}
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}

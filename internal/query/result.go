@@ -133,6 +133,14 @@ type ResultRow struct {
 type Result struct {
 	QueryID uint64
 	Rows    []ResultRow
+	// Incomplete marks a degraded scatter/gather result: at least one
+	// storage node's partial is missing, so aggregates cover only part of
+	// the Analytics Matrix. Single-node results leave it false.
+	Incomplete bool
+	// CoveredNodes / TotalNodes report scatter coverage when the result
+	// came from a multi-node coordinator (both zero otherwise).
+	CoveredNodes int
+	TotalNodes   int
 }
 
 // Finalize converts the merged partial into ordered result rows, resolving

@@ -7,6 +7,7 @@ package rta
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -15,49 +16,140 @@ import (
 	"repro/internal/query"
 )
 
+// Policy selects how Execute treats storage-node failures.
+type Policy int
+
+const (
+	// PolicyStrict (the default) fails the whole query with a typed
+	// *NodeFailureError when any node's partial is missing after retries.
+	PolicyStrict Policy = iota
+	// PolicyDegraded returns the merged result of the surviving nodes,
+	// marked Result.Incomplete with CoveredNodes/TotalNodes set, as long
+	// as at least one node answered.
+	PolicyDegraded
+)
+
+// ErrNodeFailure is the sentinel matched by errors.Is against the
+// *NodeFailureError a strict coordinator returns.
+var ErrNodeFailure = errors.New("rta: storage node failure")
+
+// NodeFailureError reports a scatter/gather that lost one or more nodes.
+type NodeFailureError struct {
+	// Failed / Total count the storage servers that produced no partial
+	// vs. all servers the query was scattered to.
+	Failed, Total int
+	// Err is the first underlying node error.
+	Err error
+}
+
+func (e *NodeFailureError) Error() string {
+	return fmt.Sprintf("rta: %d/%d storage nodes failed: %v", e.Failed, e.Total, e.Err)
+}
+
+func (e *NodeFailureError) Unwrap() error        { return e.Err }
+func (e *NodeFailureError) Is(target error) bool { return target == ErrNodeFailure }
+
+// Config tunes a Coordinator's failure handling.
+type Config struct {
+	// Policy selects strict vs. degraded gather (default strict).
+	Policy Policy
+	// DisableRetry skips the single re-submission a failed partial
+	// normally gets before the policy applies.
+	DisableRetry bool
+}
+
 // Coordinator is one stateless RTA processing node. It holds handles to
 // every storage server; Execute fans a query out to all of them
 // asynchronously and merges the partials (the "merge partial results"
 // responsibility of Figure 4).
 type Coordinator struct {
 	backends []core.Storage
+	cfg      Config
 }
 
-// NewCoordinator returns a coordinator over the given storage servers.
+// NewCoordinator returns a strict coordinator over the given storage
+// servers.
 func NewCoordinator(backends []core.Storage) (*Coordinator, error) {
+	return NewCoordinatorConfig(backends, Config{})
+}
+
+// NewCoordinatorConfig returns a coordinator with explicit failure policy.
+func NewCoordinatorConfig(backends []core.Storage, cfg Config) (*Coordinator, error) {
 	if len(backends) == 0 {
 		return nil, errors.New("rta: coordinator needs at least one storage server")
 	}
-	return &Coordinator{backends: backends}, nil
+	return &Coordinator{backends: backends, cfg: cfg}, nil
 }
 
 // Execute scatters q to every storage server, gathers and merges the
-// partials, and finalizes the result.
+// partials, and finalizes the result. Every submitted channel is always
+// drained — even when another backend fails — so no response goroutine or
+// channel leaks. A failed partial is retried once with a fresh submission
+// (a reconnecting TCP handle redials under the hood); what the remaining
+// failures mean is the Policy's call: strict queries fail with a
+// *NodeFailureError, degraded queries return the surviving nodes' merge
+// marked Incomplete.
 func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
-	chans := make([]<-chan core.QueryResponse, len(c.backends))
+	total := len(c.backends)
+	chans := make([]<-chan core.QueryResponse, total)
+	errs := make([]error, total)
 	for i, b := range c.backends {
 		ch, err := b.SubmitQueryAsync(q)
 		if err != nil {
-			return nil, err
+			// Keep scattering: the other nodes' channels must still be
+			// submitted and drained.
+			errs[i] = err
+			continue
 		}
 		chans[i] = ch
 	}
 	merged := query.NewPartial(q)
-	var firstErr error
-	for _, ch := range chans {
+	covered := 0
+	for i, ch := range chans {
+		if ch == nil {
+			continue
+		}
 		r := <-ch
 		if r.Err != nil {
-			if firstErr == nil {
-				firstErr = r.Err
-			}
+			errs[i] = r.Err
 			continue
 		}
 		merged.Merge(r.Partial, q)
+		covered++
 	}
-	if firstErr != nil {
-		return nil, firstErr
+	if !c.cfg.DisableRetry {
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			p, rerr := c.backends[i].SubmitQuery(q)
+			if rerr != nil {
+				errs[i] = rerr
+				continue
+			}
+			errs[i] = nil
+			merged.Merge(p, q)
+			covered++
+		}
 	}
-	return merged.Finalize(q), nil
+	var firstErr error
+	failed := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		failed++
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if failed > 0 && (c.cfg.Policy == PolicyStrict || covered == 0) {
+		return nil, &NodeFailureError{Failed: failed, Total: total, Err: firstErr}
+	}
+	res := merged.Finalize(q)
+	res.CoveredNodes, res.TotalNodes = covered, total
+	res.Incomplete = covered < total
+	return res, nil
 }
 
 // QuerySource yields the queries a closed-loop client sends; the workload

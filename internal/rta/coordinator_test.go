@@ -1,6 +1,9 @@
 package rta
 
 import (
+	"errors"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -112,6 +115,168 @@ func TestCoordinatorPropagatesErrors(t *testing.T) {
 	}
 }
 
+// faultyBackend wraps a real storage node, failing query submission while
+// `down` is set. Everything else passes through.
+type faultyBackend struct {
+	core.Storage
+	down    atomic.Bool
+	queries atomic.Int64 // submissions attempted (incl. retries)
+}
+
+var errBackendDown = errors.New("test: backend down")
+
+func (b *faultyBackend) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	b.queries.Add(1)
+	if b.down.Load() {
+		return nil, errBackendDown
+	}
+	return b.Storage.SubmitQueryAsync(q)
+}
+
+func (b *faultyBackend) SubmitQuery(q *query.Query) (*query.Partial, error) {
+	b.queries.Add(1)
+	if b.down.Load() {
+		return nil, errBackendDown
+	}
+	return b.Storage.SubmitQuery(q)
+}
+
+// setupFaulty builds a 3-node cluster whose first backend can be failed.
+func setupFaulty(t *testing.T, cfg Config) (*Coordinator, *faultyBackend, *cluster.Cluster, *schema.Schema) {
+	t.Helper()
+	sch := rtaSchema(t)
+	c, ns, err := cluster.NewLocal(3, core.Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		for _, n := range ns {
+			n.Stop()
+		}
+	})
+	backends := append([]core.Storage(nil), c.Nodes()...)
+	faulty := &faultyBackend{Storage: backends[0]}
+	backends[0] = faulty
+	coord, err := NewCoordinatorConfig(backends, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, faulty, c, sch
+}
+
+func TestStrictPolicyReturnsTypedNodeFailure(t *testing.T) {
+	coord, faulty, c, sch := setupFaulty(t, Config{Policy: PolicyStrict})
+	feed(t, c, 300, 60)
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	waitSum(t, coord, q, 300)
+
+	faulty.down.Store(true)
+	before := faulty.queries.Load()
+	_, err := coord.Execute(q)
+	if !errors.Is(err, ErrNodeFailure) {
+		t.Fatalf("strict execute with down node = %v, want ErrNodeFailure", err)
+	}
+	var nfe *NodeFailureError
+	if !errors.As(err, &nfe) || nfe.Failed != 1 || nfe.Total != 3 {
+		t.Fatalf("NodeFailureError = %+v", err)
+	}
+	if !errors.Is(err, errBackendDown) {
+		t.Fatalf("underlying cause lost: %v", err)
+	}
+	// The failed partial was retried once before giving up.
+	if got := faulty.queries.Load() - before; got != 2 {
+		t.Fatalf("failed backend saw %d submissions, want 2 (initial + one retry)", got)
+	}
+}
+
+func TestDegradedPolicyReturnsIncompletePartial(t *testing.T) {
+	coord, faulty, c, sch := setupFaulty(t, Config{Policy: PolicyDegraded})
+	feed(t, c, 300, 60)
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	waitSum(t, coord, q, 300)
+
+	faulty.down.Store(true)
+	res, err := coord.Execute(q)
+	if err != nil {
+		t.Fatalf("degraded execute: %v", err)
+	}
+	if !res.Incomplete || res.CoveredNodes != 2 || res.TotalNodes != 3 {
+		t.Fatalf("degraded result coverage = %d/%d incomplete=%v",
+			res.CoveredNodes, res.TotalNodes, res.Incomplete)
+	}
+	if len(res.Rows) == 0 || res.Rows[0].Values[0] >= 300 || res.Rows[0].Values[0] <= 0 {
+		t.Fatalf("degraded sum should cover a strict subset, got %+v", res.Rows)
+	}
+
+	// Recovery: the next execute is complete again.
+	faulty.down.Store(false)
+	res, err = coord.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || res.CoveredNodes != 3 {
+		t.Fatalf("recovered result still degraded: %d/%d", res.CoveredNodes, res.TotalNodes)
+	}
+}
+
+func TestDegradedPolicyZeroCoverageIsAnError(t *testing.T) {
+	sch := rtaSchema(t)
+	c, ns, err := cluster.NewLocal(1, core.Config{
+		Schema: sch, Partitions: 1, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		ns[0].Stop()
+	})
+	faulty := &faultyBackend{Storage: c.Nodes()[0]}
+	faulty.down.Store(true)
+	coord, err := NewCoordinatorConfig([]core.Storage{faulty}, Config{Policy: PolicyDegraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	if _, err := coord.Execute(q); !errors.Is(err, ErrNodeFailure) {
+		t.Fatalf("zero-coverage degraded execute = %v, want ErrNodeFailure", err)
+	}
+}
+
+// TestExecuteDrainsChannelsOnSubmitFailure exercises the scatter path where
+// one backend refuses submission: every other channel must still be
+// gathered, leaving no stuck goroutines behind.
+func TestExecuteDrainsChannelsOnSubmitFailure(t *testing.T) {
+	coord, faulty, c, sch := setupFaulty(t, Config{Policy: PolicyStrict, DisableRetry: true})
+	feed(t, c, 100, 20)
+	calls := sch.MustAttrIndex("calls_today_count")
+	faulty.down.Store(true)
+
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		q := &query.Query{ID: uint64(i + 1), Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+		if _, err := coord.Execute(q); err == nil {
+			t.Fatal("execute with down backend succeeded")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 100 failed executes",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 type fixedSource struct{ q func() *query.Query }
 
 func (s fixedSource) Next() *query.Query { return s.q() }
@@ -120,10 +285,9 @@ func TestRunClosedLoop(t *testing.T) {
 	coord, c, sch := setup(t, 2)
 	feed(t, c, 200, 40)
 	calls := sch.MustAttrIndex("calls_today_count")
-	var id uint64
+	var id atomic.Uint64
 	src := fixedSource{q: func() *query.Query {
-		id++
-		return &query.Query{ID: id, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+		return &query.Query{ID: id.Add(1), Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
 	}}
 	sources := []QuerySource{src, src, src, src}
 	st := RunClosedLoop(coord, sources, 100*time.Millisecond)
