@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench ci
+.PHONY: build test race bench obs-guard ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -18,8 +18,13 @@ race:
 bench:
 	$(GO) test -bench BenchmarkSharedScanBatch -benchmem -run '^$$' ./internal/query/
 
-## ci: full gate — vet, build, and race-detect the whole tree (incl. chaos tests)
+## obs-guard: check the metrics layer keeps scan-round overhead within 3%
+obs-guard:
+	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v ./internal/query/
+
+## ci: full gate — vet, build, race-detect the whole tree, metrics overhead guard
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
 type experiment struct {
@@ -39,6 +41,7 @@ var experiments = []experiment{
 	{"steal", "§3.2: fixed assignment vs work-stealing scan", bench.WorkStealingScan},
 	{"cow", "§6: differential updates vs copy-on-write", bench.COWvsDelta},
 	{"chaos", "fault-tolerance drill: flaky/dead node, strict vs degraded RTA", bench.FaultTolerance},
+	{"mixed", "instrumented mixed load: freshness & latency histograms", bench.MixedWorkload},
 }
 
 func main() {
@@ -49,10 +52,17 @@ func main() {
 		duration = flag.Duration("duration", 0, "measurement window per point (overrides AIM_DURATION)")
 		servers  = flag.Int("servers", 0, "max servers for scale-out (overrides AIM_SERVERS)")
 		full     = flag.Bool("full", false, "use the full 546-indicator schema")
+
+		metricsDump = flag.String("metrics-dump", "", `write the Prometheus text exposition of everything the experiments measured to this file after the run ("-" = stdout)`)
 	)
 	flag.Parse()
 
 	p := bench.Defaults()
+	if *metricsDump != "" {
+		// One shared registry across all selected experiments; systems
+		// started and stopped in sequence accumulate into the same series.
+		p.Metrics = obs.NewRegistry()
+	}
 	if *entities > 0 {
 		p.Entities = *entities
 	}
@@ -105,6 +115,22 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("\ntotal: %d experiment(s) in %v\n", ran, time.Since(start).Round(time.Millisecond))
+
+	if *metricsDump != "" {
+		out := os.Stdout
+		if *metricsDump != "-" {
+			f, err := os.Create(*metricsDump)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aimbench: metrics dump: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		w := bufio.NewWriter(out)
+		obs.WriteMetrics(w, p.Metrics)
+		w.Flush()
+	}
 }
 
 func contains(list []string, s string) bool {

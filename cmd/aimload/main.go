@@ -13,9 +13,13 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +29,7 @@ import (
 	"repro/internal/esp"
 	"repro/internal/event"
 	"repro/internal/netproto"
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -44,6 +49,8 @@ func main() {
 		callTimeout = flag.Duration("call-timeout", netproto.DefaultCallTimeout, "per-RPC deadline (negative = none)")
 		retries     = flag.Int("retries", netproto.DefaultMaxRetries, "retry budget for idempotent RPCs")
 		degraded    = flag.Bool("degraded", false, "tolerate node failures: accept incomplete RTA results")
+
+		metricsDump = flag.String("metrics-dump", "", `after the run, dump metrics: "local" = this process's client-side registry (Prometheus text on stdout); anything else = a server -debug-addr to fetch /metrics from`)
 	)
 	flag.Parse()
 
@@ -58,9 +65,17 @@ func main() {
 		log.Fatalf("aimload: schema: %v", err)
 	}
 
+	// The load driver keeps its own registry for the client side of the
+	// wire: RPC latencies, retries, reconnects, breaker states and the
+	// coordinator's end-to-end query latency.
+	reg := obs.NewRegistry()
 	var handles []core.Storage
 	var conns []*netproto.Client
-	ccfg := netproto.ClientConfig{CallTimeout: *callTimeout, MaxRetries: *retries}
+	ccfg := netproto.ClientConfig{
+		CallTimeout: *callTimeout,
+		MaxRetries:  *retries,
+		Metrics:     netproto.NewClientMetrics(reg, nil),
+	}
 	for _, addr := range strings.Split(*servers, ",") {
 		cli, err := netproto.DialConfig(strings.TrimSpace(addr), sch, ccfg)
 		if err != nil {
@@ -75,6 +90,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	cl.Instrument(reg)
 	router := esp.NewRouter(cl)
 
 	if *preload {
@@ -116,7 +132,7 @@ func main() {
 
 	var rtaStats rta.ClientStats
 	if *clients > 0 {
-		rcfg := rta.Config{}
+		rcfg := rta.Config{Metrics: rta.NewMetrics(reg)}
 		if *degraded {
 			rcfg.Policy = rta.PolicyDegraded
 		}
@@ -155,5 +171,23 @@ func main() {
 	}
 	if reconnects > 0 {
 		fmt.Printf("  net: %d reconnect(s) during the run\n", reconnects)
+	}
+
+	switch *metricsDump {
+	case "":
+	case "local":
+		fmt.Println()
+		w := bufio.NewWriter(os.Stdout)
+		obs.WriteMetrics(w, reg)
+		w.Flush()
+	default:
+		url := "http://" + *metricsDump + "/metrics"
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatalf("aimload: metrics dump %s: %v", url, err)
+		}
+		fmt.Println()
+		io.Copy(os.Stdout, resp.Body)
+		resp.Body.Close()
 	}
 }

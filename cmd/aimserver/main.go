@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netproto"
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -39,6 +40,7 @@ func main() {
 		ruleIndex  = flag.Bool("ruleindex", false, "use the Fabret-style rule index")
 		seed       = flag.Int64("seed", 42, "workload generation seed")
 		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
+		debugAddr  = flag.String("debug-addr", "", "observability HTTP listen address for /metrics, /stats, /trace, /debug/pprof (\"\" = off)")
 
 		faultResetEvery = flag.Int("fault-reset-every", 0, "fault injection: reset every connection after N writes (0 = off)")
 		faultReadDelay  = flag.Duration("fault-read-delay", 0, "fault injection: delay before every read")
@@ -69,6 +71,8 @@ func main() {
 		}
 	}
 
+	reg := obs.NewRegistry()
+	tracer := obs.NewRingTracer(4096)
 	node, err := core.NewNode(core.Config{
 		Schema:       sch,
 		Dims:         dims.Store,
@@ -79,11 +83,13 @@ func main() {
 		MaxBatch:     *maxBatch,
 		Rules:        ruleSet,
 		UseRuleIndex: *ruleIndex,
+		Metrics:      reg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		log.Fatalf("aimserver: %v", err)
 	}
-	var scfg netproto.ServerConfig
+	scfg := netproto.ServerConfig{Metrics: netproto.NewServerMetrics(reg)}
 	if *faultResetEvery > 0 || *faultReadDelay > 0 || *faultWriteDelay > 0 || *faultDrop {
 		plan := netproto.NewFaultPlan()
 		plan.SetResetEvery(*faultResetEvery)
@@ -101,6 +107,15 @@ func main() {
 		srv.Addr(), workload.NumIndicators(sch), sch.RecordBytes(),
 		node.NumPartitions(), *espThreads, len(ruleSet))
 
+	var dbg *obs.DebugServer
+	if *debugAddr != "" {
+		dbg, err = obs.Serve(*debugAddr, reg, tracer)
+		if err != nil {
+			log.Fatalf("aimserver: debug listen: %v", err)
+		}
+		fmt.Printf("aimserver: debug endpoints on http://%s/{metrics,stats,trace,debug/pprof}\n", dbg.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	if *statsEvery > 0 {
@@ -108,18 +123,31 @@ func main() {
 			tick := time.NewTicker(*statsEvery)
 			defer tick.Stop()
 			var last core.NodeStats
+			lastAt := time.Now()
 			for range tick.C {
+				// One snapshot per tick; everything below is derived from it
+				// so the logged counters and rates are mutually consistent.
 				st := node.Stats()
-				fmt.Printf("aimserver: records=%d events=%d (+%d) queries=%d (+%d) firings=%d merges=%d\n",
-					st.Records, st.EventsProcessed, st.EventsProcessed-last.EventsProcessed,
-					st.QueriesServed, st.QueriesServed-last.QueriesServed,
+				now := time.Now()
+				dt := now.Sub(lastAt).Seconds()
+				if dt <= 0 {
+					dt = 1
+				}
+				evRate := float64(st.EventsProcessed-last.EventsProcessed) / dt
+				qRate := float64(st.QueriesServed-last.QueriesServed) / dt
+				fmt.Printf("aimserver: records=%d events=%d (%.0f/s) queries=%d (%.1f/s) firings=%d merges=%d\n",
+					st.Records, st.EventsProcessed, evRate,
+					st.QueriesServed, qRate,
 					st.RuleFirings, st.MergedRecords)
-				last = st
+				last, lastAt = st, now
 			}
 		}()
 	}
 	<-stop
 	fmt.Println("aimserver: shutting down")
+	if dbg != nil {
+		dbg.Close()
+	}
 	srv.Close()
 	node.Stop()
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/esp"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/workload"
 )
@@ -19,12 +20,19 @@ type System struct {
 	Nodes   []*core.StorageNode
 	Coord   *rta.Coordinator
 	Router  *esp.Router
-	wl      *Workload
+	// Registry is the shared observability registry (p.Metrics, or a
+	// private one when p.Metrics was nil) that every layer reports into.
+	Registry *obs.Registry
+	wl       *Workload
 }
 
 // StartSystem boots `servers` storage nodes configured from p/w and
 // preloads `entities` Entity Records by replaying one event per entity.
 func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, error) {
+	reg := p.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	cfg := core.Config{
 		Schema:     w.Schema,
 		Dims:       w.Dims.Store,
@@ -34,14 +42,16 @@ func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, 
 		Factory:    w.Dims.Factory(w.Schema),
 		MaxBatch:   p.MaxBatch,
 		Rules:      w.Rules,
+		Metrics:    reg,
 	}
 	cl, nodes, err := cluster.NewLocal(servers, cfg)
 	if err != nil {
 		return nil, err
 	}
-	s := &System{Cluster: cl, Nodes: nodes, wl: w}
+	cl.Instrument(reg)
+	s := &System{Cluster: cl, Nodes: nodes, Registry: reg, wl: w}
 	s.Router = esp.NewRouter(cl)
-	s.Coord, err = rta.NewCoordinator(cl.Nodes())
+	s.Coord, err = rta.NewCoordinatorConfig(cl.Nodes(), rta.Config{Metrics: rta.NewMetrics(reg)})
 	if err != nil {
 		s.Stop()
 		return nil, err

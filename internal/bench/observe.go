@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// histRow adds one histogram's count/mean/p50/p95/p99 (in ms) to t, looked
+// up by full metric name. Missing or empty histograms are skipped.
+func histRow(t *Table, reg *obs.Registry, label, name string) {
+	m, ok := reg.Find(name)
+	if !ok || m.Hist == nil || m.Hist.Count == 0 {
+		return
+	}
+	s := m.Hist
+	t.AddRow(label, s.Count,
+		ms(time.Duration(s.Mean())),
+		ms(s.QuantileDuration(0.50)),
+		ms(s.QuantileDuration(0.95)),
+		ms(s.QuantileDuration(0.99)))
+}
+
+// MixedWorkload runs the default mixed load (event stream + closed-loop
+// RTA clients) on one fully instrumented storage server and reports what
+// the observability layer measured: data freshness (age of the oldest
+// unmerged delta record at merge time, the paper's t_fresh from §2.1),
+// per-event apply latency, shared-scan round latency and end-to-end RTA
+// query latency.
+func MixedWorkload(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	pp := p
+	if pp.Metrics == nil {
+		pp.Metrics = obs.NewRegistry()
+	}
+	reg := pp.Metrics
+	sys, err := StartSystem(pp, w, 1, p.Entities)
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunMixed(sys, pp, p.Entities, p.EventRate, p.Clients)
+	sys.Stop()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Mixed workload, instrumented: latency & freshness histograms",
+		Header: []string{"metric", "count", "mean_ms", "p50_ms", "p95_ms", "p99_ms"},
+	}
+	histRow(t, reg, "freshness (t_fresh)", "aim_core_freshness_seconds")
+	histRow(t, reg, "event apply", "aim_core_event_apply_seconds")
+	histRow(t, reg, "rule eval", "aim_esp_rule_eval_seconds")
+	histRow(t, reg, "scan round", "aim_query_scan_round_seconds")
+	histRow(t, reg, "rta query (e2e)", "aim_rta_query_seconds")
+	histRow(t, reg, "delta switch wait", "aim_core_switch_wait_seconds")
+	histRow(t, reg, "esp park", "aim_core_esp_park_seconds")
+	t.Note("load: %.0f ev/s driven (%.0f achieved), %d RTA clients at %.0f q/s",
+		p.EventRate, res.ESP.AchievedRate, p.Clients, res.RTA.Throughput)
+	t.Note("freshness = age of a sealed delta's oldest record when the merge publishes it (§2.1 t_fresh)")
+	t.Note("event apply is 1-in-16 sampled; scan round is per shared-scan round over all partitions")
+	return t, nil
+}

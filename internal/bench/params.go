@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -50,6 +51,10 @@ type Params struct {
 	FullSchema bool
 	// Seed makes runs reproducible.
 	Seed int64
+	// Metrics, when set, is the shared observability registry every layer
+	// of the started system registers its instruments on (per-node series
+	// get {node="i"} labels). Nil keeps the system uninstrumented.
+	Metrics *obs.Registry
 }
 
 // Defaults returns laptop-scale parameters, honouring the AIM_* overrides.

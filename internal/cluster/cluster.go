@@ -15,6 +15,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -69,6 +70,11 @@ func NewLocal(n int, cfg core.Config) (*Cluster, []*core.StorageNode, error) {
 	nodes := make([]*core.StorageNode, 0, n)
 	handles := make([]core.Storage, 0, n)
 	for i := 0; i < n; i++ {
+		if cfg.Metrics != nil && n > 1 {
+			// Distinct {node="i"} labels keep the nodes' series apart on a
+			// shared registry.
+			cfg.MetricsLabel = strconv.Itoa(i)
+		}
 		node, err := core.NewNode(cfg)
 		if err != nil {
 			for _, prev := range nodes {

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// Instrument registers pull-based health metrics on reg: per-node breaker
+// state and spill-queue depth gauges plus spilled/replayed/dropped counters,
+// all read from the live nodeHealth state at collection time (no hot-path
+// cost).
+func (c *Cluster) Instrument(reg *obs.Registry) {
+	for i := range c.nodes {
+		h := c.health[i]
+		node := strconv.Itoa(i)
+		reg.GaugeFunc(obs.Label("aim_cluster_breaker_state", "target", node),
+			"Circuit-breaker state of the storage server: 0 closed, 1 open, 2 half-open.",
+			func() float64 {
+				s := h.snapshot()
+				return float64(s.State)
+			})
+		reg.GaugeFunc(obs.Label("aim_cluster_spill_queue", "target", node),
+			"Fire-and-forget events queued for replay while the server is down.",
+			func() float64 { return float64(h.queued()) })
+		reg.CounterFunc(obs.Label("aim_cluster_events_spilled_total", "target", node),
+			"Events ever diverted to the spill queue.",
+			func() float64 {
+				s := h.snapshot()
+				return float64(s.Spilled)
+			})
+		reg.CounterFunc(obs.Label("aim_cluster_events_replayed_total", "target", node),
+			"Spilled events successfully delivered by the drainer.",
+			func() float64 {
+				s := h.snapshot()
+				return float64(s.Replayed)
+			})
+		reg.CounterFunc(obs.Label("aim_cluster_events_dropped_total", "target", node),
+			"Events refused because the spill queue was full.",
+			func() float64 {
+				s := h.snapshot()
+				return float64(s.Dropped)
+			})
+	}
+}

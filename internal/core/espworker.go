@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/event"
 	"repro/internal/rules"
 	"repro/internal/schema"
@@ -46,7 +48,15 @@ type espWorker struct {
 	engine *rules.Engine // per-worker replica of the rule set; may be nil
 	stop   chan struct{}
 	done   chan struct{}
+	// nEvents is the worker-local event count used to sample per-event
+	// latency observation 1-in-16 — frequent enough for stable histograms,
+	// cheap enough to leave ingest throughput unchanged.
+	nEvents uint64
 }
+
+// latencySampleEvery is the event-latency sampling interval (a power of two
+// so the modulo folds to a mask).
+const latencySampleEvery = 16
 
 func newESPWorker(node *StorageNode, queue int) *espWorker {
 	return &espWorker{
@@ -110,19 +120,35 @@ func (w *espWorker) handle(req espRequest) {
 		// flag check already happened
 	case kindEvent:
 		p := w.node.partitionFor(req.ev.Caller)
+		sample := w.nEvents%latencySampleEvery == 0
+		w.nEvents++
+		var t0 time.Time
+		if sample {
+			t0 = time.Now()
+		}
 		rec := p.ApplyEvent(&req.ev)
+		if sample {
+			w.node.met.eventApply.ObserveSince(t0)
+		}
 		nf := 0
 		if w.engine != nil {
+			var r0 time.Time
+			if sample {
+				r0 = time.Now()
+			}
 			firings := w.engine.Evaluate(&req.ev, rec)
+			if sample {
+				w.node.met.ruleEval.ObserveSince(r0)
+			}
 			nf = len(firings)
 			if w.node.cfg.OnFiring != nil {
 				for _, f := range firings {
 					w.node.cfg.OnFiring(f)
 				}
 			}
-			w.node.firings.Add(uint64(nf))
+			w.node.met.firings.Add(uint64(nf))
 		}
-		w.node.eventsProcessed.Add(1)
+		w.node.met.events.Inc()
 		if req.resp != nil {
 			req.resp <- espResponse{firings: nf, found: true}
 		}

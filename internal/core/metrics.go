@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/query"
+)
+
+// nodeMetrics holds a StorageNode's registry-backed instruments. The node
+// always has one (backed by a private registry when Config.Metrics is nil),
+// so NodeStats is a view over the registry — one source of truth — and the
+// hot paths never test for "metrics enabled".
+type nodeMetrics struct {
+	events        *obs.Counter
+	firings       *obs.Counter
+	scanRounds    *obs.Counter
+	mergedRecords *obs.Counter
+	queriesServed *obs.Counter
+
+	eventApply *obs.Histogram // sampled UPDATE_MATRIX latency
+	ruleEval   *obs.Histogram // sampled business-rule evaluation latency
+
+	scan *query.ScanMetrics
+}
+
+// mname applies the node's constant label (Config.MetricsLabel) to a metric
+// name so several nodes can share one registry without colliding.
+func mname(label, name string) string {
+	if label == "" {
+		return name
+	}
+	return obs.Label(name, "node", label)
+}
+
+// newNodeMetrics registers the node's instruments on reg.
+func newNodeMetrics(reg *obs.Registry, label string) nodeMetrics {
+	return nodeMetrics{
+		events: reg.Counter(mname(label, "aim_core_events_total"),
+			"Events applied to the Analytics Matrix (UPDATE_MATRIX executions)."),
+		firings: reg.Counter(mname(label, "aim_esp_rule_firings_total"),
+			"Business-rule firings produced by event processing."),
+		scanRounds: reg.Counter(mname(label, "aim_core_scan_rounds_total"),
+			"Shared-scan rounds completed (including merge-only rounds)."),
+		mergedRecords: reg.Counter(mname(label, "aim_core_merged_records_total"),
+			"Delta records merged into ColumnMap mains."),
+		queriesServed: reg.Counter(mname(label, "aim_core_queries_served_total"),
+			"RTA queries answered by this node."),
+		eventApply: reg.LatencyHistogram(mname(label, "aim_core_event_apply_seconds"),
+			"Sampled latency of applying one event to its partition (Algorithm 1)."),
+		ruleEval: reg.LatencyHistogram(mname(label, "aim_esp_rule_eval_seconds"),
+			"Sampled latency of evaluating the rule set against one event."),
+		scan: query.NewScanMetrics(reg, func(name string) string { return mname(label, name) }),
+	}
+}
+
+// instrumentPartitions wires the shared per-node hooks plus per-partition
+// gauges into every partition, and registers the records gauge.
+func (n *StorageNode) instrumentPartitions(reg *obs.Registry, label string, tracer obs.Tracer) {
+	espPark := reg.LatencyHistogram(mname(label, "aim_core_esp_park_seconds"),
+		"Time the ESP thread spends parked per delta switch (Algorithm 7).")
+	switchWait := reg.LatencyHistogram(mname(label, "aim_core_switch_wait_seconds"),
+		"Time the RTA thread waits for the ESP park acknowledgement (Algorithm 6).")
+	spinSlow := reg.Counter(mname(label, "aim_core_spin_slow_total"),
+		"Delta-switch spin waits that fell through to the sleeping backoff phase.")
+	freshness := reg.LatencyHistogram(mname(label, "aim_core_freshness_seconds"),
+		"Data freshness t_fresh: age of the oldest unmerged delta record when its merge step lands (2.1).")
+	for i, p := range n.parts {
+		p.obs = partitionObs{
+			idx:        int64(i),
+			espPark:    espPark,
+			switchWait: switchWait,
+			spinSlow:   spinSlow,
+			freshness:  freshness,
+			deltaLen: reg.Gauge(
+				mname(label, obs.Label("aim_core_delta_len", "partition", strconv.Itoa(i))),
+				"Records in the partition's last sealed delta."),
+			tracer: tracer,
+		}
+	}
+	parts := n.parts
+	reg.GaugeFunc(mname(label, "aim_core_records"),
+		"Entity Records resident in the node's ColumnMap mains.",
+		func() float64 {
+			total := 0
+			for _, p := range parts {
+				total += p.Main().Len()
+			}
+			return float64(total)
+		})
+}

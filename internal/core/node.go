@@ -11,6 +11,7 @@ import (
 	"repro/internal/archive"
 	"repro/internal/dimension"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/schema"
@@ -52,6 +53,16 @@ type Config struct {
 	// Archive, when set, write-ahead-logs every ingested event and enables
 	// incremental checkpoints and crash recovery (see durability.go).
 	Archive *archive.Archive
+	// Metrics is the registry the node registers its instruments on. nil
+	// creates a private registry (reachable via Metrics()) so NodeStats —
+	// a view over the registry — always works.
+	Metrics *obs.Registry
+	// MetricsLabel, when non-empty, adds a node="<label>" constant label to
+	// every metric so several nodes can share one registry.
+	MetricsLabel string
+	// Tracer receives scan-round / merge-step / delta-switch spans; may be
+	// nil.
+	Tracer obs.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -127,11 +138,8 @@ type StorageNode struct {
 	wg       sync.WaitGroup
 	stopped  atomic.Bool
 
-	eventsProcessed atomic.Uint64
-	firings         atomic.Uint64
-	scanRounds      atomic.Uint64
-	mergedRecords   atomic.Uint64
-	queriesServed   atomic.Uint64
+	reg *obs.Registry
+	met nodeMetrics
 }
 
 // NewNode builds and starts a storage node.
@@ -144,6 +152,11 @@ func NewNode(cfg Config) (*StorageNode, error) {
 		submitCh: make(chan *submission, 4*cfg.MaxBatch),
 		stopCh:   make(chan struct{}),
 	}
+	n.reg = cfg.Metrics
+	if n.reg == nil {
+		n.reg = obs.NewRegistry()
+	}
+	n.met = newNodeMetrics(n.reg, cfg.MetricsLabel)
 	for i := 0; i < cfg.Partitions; i++ {
 		p := NewPartition(cfg.Schema, cfg.BucketSize, cfg.Factory)
 		if cfg.Archive != nil {
@@ -151,6 +164,7 @@ func NewNode(cfg Config) (*StorageNode, error) {
 		}
 		n.parts = append(n.parts, p)
 	}
+	n.instrumentPartitions(n.reg, cfg.MetricsLabel, cfg.Tracer)
 	for i := 0; i < cfg.ESPThreads; i++ {
 		w := newESPWorker(n, cfg.ESPQueueLen)
 		if len(cfg.Rules) > 0 {
@@ -368,6 +382,7 @@ func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
 // scan thread, gathers their per-partition partials, merges them and answers
 // the submitters.
 func (n *StorageNode) runRound(batch []*submission) {
+	t0 := time.Now()
 	queries := make([]*query.Query, len(batch))
 	for i, s := range batch {
 		queries[i] = s.q
@@ -410,13 +425,26 @@ func (n *StorageNode) runRound(batch []*submission) {
 			}
 		}
 	}
-	n.scanRounds.Add(1)
+	n.met.scanRounds.Inc()
+	if len(batch) > 0 {
+		d := time.Since(t0)
+		n.met.scan.ObserveRound(plan, d)
+		if n.cfg.Tracer != nil {
+			n.cfg.Tracer.Record(obs.Span{
+				Kind:  obs.SpanScanRound,
+				Start: t0,
+				Dur:   d,
+				A:     int64(len(batch)),
+				B:     int64(len(batch) - plan.NumDuplicates()),
+			})
+		}
+	}
 	for i, s := range batch {
 		if firstErr != nil {
 			s.resp <- QueryResponse{Err: firstErr}
 		} else {
 			s.resp <- QueryResponse{Partial: merged[i]}
-			n.queriesServed.Add(1)
+			n.met.queriesServed.Inc()
 		}
 	}
 }
@@ -468,7 +496,7 @@ func (n *StorageNode) scanLoop(idx int) {
 			}
 		}
 		merged := p.MergeStep()
-		n.mergedRecords.Add(uint64(merged))
+		n.met.mergedRecords.Add(uint64(merged))
 		if scanErr != nil {
 			sb.errCh <- scanErr
 			continue
@@ -477,21 +505,26 @@ func (n *StorageNode) scanLoop(idx int) {
 	}
 }
 
-// Stats returns a snapshot of the node's counters.
+// Stats returns a snapshot of the node's counters. It is a view over the
+// node's metrics registry, which holds the only copy of these counts.
 func (n *StorageNode) Stats() NodeStats {
 	records := 0
 	for _, p := range n.parts {
 		records += p.Main().Len()
 	}
 	return NodeStats{
-		EventsProcessed: n.eventsProcessed.Load(),
-		RuleFirings:     n.firings.Load(),
-		ScanRounds:      n.scanRounds.Load(),
-		MergedRecords:   n.mergedRecords.Load(),
-		QueriesServed:   n.queriesServed.Load(),
+		EventsProcessed: n.met.events.Value(),
+		RuleFirings:     n.met.firings.Value(),
+		ScanRounds:      n.met.scanRounds.Value(),
+		MergedRecords:   n.met.mergedRecords.Value(),
+		QueriesServed:   n.met.queriesServed.Value(),
 		Records:         records,
 	}
 }
+
+// Metrics returns the registry the node's instruments live on (the one from
+// Config.Metrics, or the node's private registry).
+func (n *StorageNode) Metrics() *obs.Registry { return n.reg }
 
 // NumPartitions returns n (the partition / RTA thread count).
 func (n *StorageNode) NumPartitions() int { return len(n.parts) }

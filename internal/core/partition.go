@@ -16,23 +16,27 @@ import (
 	"repro/internal/columnmap"
 	"repro/internal/delta"
 	"repro/internal/event"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
 // spinWait yields while cond stays false. The paper's Algorithms 6/7 use
 // pure spin loops on dedicated cores; on shared or single-core hosts a pure
 // Gosched spin can burn whole scheduler quanta, so after a short spin phase
-// the wait backs off to microsecond sleeps.
-func spinWait(cond func() bool) {
+// the wait backs off to microsecond sleeps. It reports whether the slow
+// (sleeping) phase was entered, so callers can count delta-switch stalls.
+func spinWait(cond func() bool) (slow bool) {
 	for i := 0; i < 64; i++ {
 		if cond() {
-			return
+			return false
 		}
 		runtime.Gosched()
 	}
 	for !cond() {
+		slow = true
 		time.Sleep(5 * time.Microsecond)
 	}
+	return slow
 }
 
 // ErrVersionConflict is returned by ConditionalPut when the record changed
@@ -83,6 +87,23 @@ type Partition struct {
 	// dirty tracks entities Put since the last incremental checkpoint
 	// (ESP-thread confined). nil when dirty tracking is disabled.
 	dirty map[uint64]struct{}
+
+	// obs holds the partition's observability hooks. All metric pointers
+	// are nil-safe, so an uninstrumented partition pays one predictable
+	// branch per hook.
+	obs partitionObs
+}
+
+// partitionObs bundles the metrics and trace hooks a StorageNode wires into
+// each of its partitions (see StorageNode.instrumentPartitions).
+type partitionObs struct {
+	idx        int64          // partition index within the node
+	espPark    *obs.Histogram // time the ESP thread spends parked per switch
+	switchWait *obs.Histogram // time the RTA thread waits for the ESP park ack
+	spinSlow   *obs.Counter   // spinWait calls that fell through to sleeping
+	freshness  *obs.Histogram // age of the oldest unmerged record at merge time
+	deltaLen   *obs.Gauge     // records in the last sealed delta
+	tracer     obs.Tracer     // may be nil
 }
 
 // NewPartition creates a partition. factory may be nil, in which case bare
@@ -256,9 +277,13 @@ func (p *Partition) CheckSwitch() {
 	if !p.rtaReady.Load() {
 		return
 	}
+	t0 := time.Now()
 	p.espWaiting.Store(true)
-	spinWait(func() bool { return !p.rtaReady.Load() })
+	if spinWait(func() bool { return !p.rtaReady.Load() }) {
+		p.obs.spinSlow.Inc()
+	}
 	p.espWaiting.Store(false)
+	p.obs.espPark.ObserveSince(t0)
 }
 
 // AttachESP marks an ESP service loop as running; kick (optional) is
@@ -280,19 +305,34 @@ func (p *Partition) DetachESP() {
 // pointer swaps and a reset of the spare — the paper's "blazingly fast"
 // new-delta allocation. Returns the sealed delta for merging.
 func (p *Partition) SwitchDeltas() *delta.Delta {
+	t0 := time.Now()
 	p.rtaReady.Store(true)
 	if p.espAttached.Load() {
 		if p.kick != nil {
 			p.kick()
 		}
-		spinWait(func() bool { return p.espWaiting.Load() || !p.espAttached.Load() })
+		if spinWait(func() bool { return p.espWaiting.Load() || !p.espAttached.Load() }) {
+			p.obs.spinSlow.Inc()
+		}
 	}
+	p.obs.switchWait.ObserveSince(t0)
 	p.old.Reset() // retire the previously merged delta; it becomes the spare
 	p.cur, p.old = p.old, p.cur
 	p.rtaReady.Store(false)
 	// Wait for the ESP thread to leave the spin loop before the next
 	// switch can possibly begin.
-	spinWait(func() bool { return !p.espWaiting.Load() })
+	if spinWait(func() bool { return !p.espWaiting.Load() }) {
+		p.obs.spinSlow.Inc()
+	}
+	if p.obs.tracer != nil {
+		p.obs.tracer.Record(obs.Span{
+			Kind:  obs.SpanDeltaSwitch,
+			Start: t0,
+			Dur:   time.Since(t0),
+			A:     p.obs.idx,
+			B:     int64(p.old.Len()),
+		})
+	}
 	return p.old
 }
 
@@ -303,6 +343,13 @@ func (p *Partition) SwitchDeltas() *delta.Delta {
 // stays identical to what the main converges to.
 func (p *Partition) MergeStep() int {
 	sealed := p.SwitchDeltas()
+	t0 := time.Now()
+	// Freshness (t_fresh, §2.1): by the end of this merge step the oldest
+	// record that was still invisible to scans has aged this much.
+	if first := sealed.FirstPutNanos(); first > 0 {
+		p.obs.freshness.ObserveDuration(time.Duration(t0.UnixNano() - first))
+	}
+	p.obs.deltaLen.Set(int64(sealed.Len()))
 	n := 0
 	sealed.Iterate(func(id uint64, rec []uint64) {
 		if err := p.main.Upsert(rec); err != nil {
@@ -312,6 +359,15 @@ func (p *Partition) MergeStep() int {
 		}
 		n++
 	})
+	if p.obs.tracer != nil {
+		p.obs.tracer.Record(obs.Span{
+			Kind:  obs.SpanMergeStep,
+			Start: t0,
+			Dur:   time.Since(t0),
+			A:     p.obs.idx,
+			B:     int64(n),
+		})
+	}
 	return n
 }
 

@@ -14,9 +14,17 @@
 // the paper notes favours skewed workloads.
 package delta
 
+import "time"
+
 // Delta is an in-memory, indexed store of pending record versions.
 type Delta struct {
 	m map[uint64][]uint64
+	// firstPut is the wall clock (unix nanos) of the first Put after the
+	// last Reset — the age of the oldest unmerged record, which is what the
+	// paper's data-freshness metric (t_fresh, §2.1) measures. Written only
+	// by the owning ESP thread; the RTA thread reads it after the delta is
+	// sealed, ordered by the delta-switch protocol's atomics.
+	firstPut int64
 }
 
 // New returns an empty delta with capacity for sizeHint entries.
@@ -57,6 +65,9 @@ func (d *Delta) Contains(entityID uint64) bool {
 // Put stores rec as the pending version for entityID, overwriting any prior
 // version in place (reusing its storage when the widths match).
 func (d *Delta) Put(entityID uint64, rec []uint64) {
+	if d.firstPut == 0 {
+		d.firstPut = time.Now().UnixNano()
+	}
 	if old, ok := d.m[entityID]; ok && len(old) == len(rec) {
 		copy(old, rec)
 		return
@@ -75,8 +86,13 @@ func (d *Delta) Iterate(fn func(entityID uint64, rec []uint64)) {
 	}
 }
 
+// FirstPutNanos returns the unix-nano timestamp of the oldest pending
+// record (0 when the delta is empty / freshly reset).
+func (d *Delta) FirstPutNanos() int64 { return d.firstPut }
+
 // Reset discards all pending records but keeps the allocated table so the
 // pre-allocated double-delta scheme stays cheap.
 func (d *Delta) Reset() {
 	clear(d.m)
+	d.firstPut = 0
 }

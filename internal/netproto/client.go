@@ -36,16 +36,16 @@ type Client struct {
 
 	redialMu sync.Mutex // single-flights reconnect attempts
 
-	mu        sync.Mutex
-	conn      net.Conn
-	gen       uint64 // connection generation, bumped per (re)dial
-	pending   map[uint64]*pendingCall
-	nextID    uint64
-	closed    bool
-	lastErr   error     // why the last conn died / last dial failed
-	dialFails int       // consecutive failed dials (backoff exponent)
-	redialAt  time.Time // earliest next dial attempt
-	reconnects uint64   // successful redials (observability)
+	mu         sync.Mutex
+	conn       net.Conn
+	gen        uint64 // connection generation, bumped per (re)dial
+	pending    map[uint64]*pendingCall
+	nextID     uint64
+	closed     bool
+	lastErr    error     // why the last conn died / last dial failed
+	dialFails  int       // consecutive failed dials (backoff exponent)
+	redialAt   time.Time // earliest next dial attempt
+	reconnects uint64    // successful redials (observability)
 }
 
 // pendingCall is one in-flight request. Exactly one result is ever
@@ -232,6 +232,7 @@ func (c *Client) ensureConn() (net.Conn, uint64, error) {
 	c.dialFails = 0
 	c.redialAt = time.Time{}
 	c.reconnects++
+	c.cfg.Metrics.reconnected()
 	c.conn = conn
 	c.gen++
 	gen := c.gen
@@ -337,6 +338,7 @@ func retriable(err error) bool {
 // call runs an RPC; idempotent ops survive transport faults via reconnect
 // and bounded retries with backoff.
 func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
+	t0 := time.Now()
 	attempts := 1
 	if idempotent && !c.cfg.DisableReconnect {
 		attempts += c.cfg.MaxRetries
@@ -344,17 +346,21 @@ func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			c.cfg.Metrics.retried()
 			time.Sleep(c.cfg.backoffFor(i))
 		}
 		payload, err := c.callOnce(typ, body)
 		if err == nil {
+			c.cfg.Metrics.observeCall(typ, t0, nil)
 			return payload, nil
 		}
 		if !retriable(err) {
+			c.cfg.Metrics.observeCall(typ, t0, err)
 			return nil, err
 		}
 		lastErr = err
 	}
+	c.cfg.Metrics.observeCall(typ, t0, lastErr)
 	return nil, lastErr
 }
 
@@ -373,6 +379,7 @@ func (c *Client) ProcessEventAsync(ev event.Event) error {
 		c.connLost(conn, gen, err)
 		return err
 	}
+	c.cfg.Metrics.eventSent()
 	return nil
 }
 
@@ -448,6 +455,7 @@ func (c *Client) ConditionalPut(rec schema.Record, expected uint64) error {
 // bounded by CallTimeout; on transport failure the query (idempotent) is
 // retried on a fresh connection before the error is delivered.
 func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	t0 := time.Now()
 	body := query.EncodeQuery(q)
 	conn, gen, err := c.ensureConn()
 	if err != nil {
@@ -471,6 +479,7 @@ func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, er
 		}
 		if err != nil && retriable(err) && !c.cfg.DisableReconnect {
 			for i := 1; i <= c.cfg.MaxRetries; i++ {
+				c.cfg.Metrics.retried()
 				time.Sleep(c.cfg.backoffFor(i))
 				payload, err = c.callOnce(msgQuery, body)
 				if err == nil || !retriable(err) {
@@ -478,6 +487,7 @@ func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, er
 				}
 			}
 		}
+		c.cfg.Metrics.observeCall(msgQuery, t0, err)
 		if err != nil {
 			out <- core.QueryResponse{Err: err}
 			return

@@ -48,6 +48,9 @@ type ClientConfig struct {
 	// Dialer overrides the transport dialer; the fault-injection harness
 	// uses it to hand the client flaky connections. Nil means plain TCP.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Metrics, when set, instruments the client's RPCs (see
+	// NewClientMetrics). Nil disables instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // withDefaults resolves zero fields to their defaults.

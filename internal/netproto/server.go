@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
@@ -36,6 +37,9 @@ type ServerConfig struct {
 	// fault-injection harness uses it to make a server's links flaky
 	// (drops, delays, resets) without touching the protocol code.
 	ConnWrap func(net.Conn) net.Conn
+	// Metrics, when set, instruments request handling (see
+	// NewServerMetrics). Nil disables instrumentation at zero cost.
+	Metrics *ServerMetrics
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by node.
@@ -124,6 +128,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		t0 := time.Now()
 		switch f.typ {
 		case msgEvent, msgEventSync:
 			var ev event.Event
@@ -134,6 +139,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			}
 			if f.typ == msgEvent {
+				s.cfg.Metrics.eventReceived()
 				if err := s.node.ProcessEventAsync(ev); err != nil {
 					// Fire-and-forget: the error surfaces via Flush.
 					continue
@@ -224,9 +230,17 @@ func (s *Server) handleConn(conn net.Conn) {
 					return
 				}
 				reply(reqID, okBody(query.EncodePartial(r.Partial)))
+				s.cfg.Metrics.observe(msgQuery, t0)
 			}(f.reqID, ch)
 		default:
 			reply(f.reqID, errBody(fmt.Errorf("unknown message type %d", f.typ)))
+		}
+		// Per-op handling latency for the synchronous request types; the
+		// event stream is counted (not timed) and queries are observed by
+		// their async responder above. Error paths `continue` past this.
+		switch f.typ {
+		case msgEventSync, msgFlush, msgGet, msgPut, msgCondPut:
+			s.cfg.Metrics.observe(f.typ, t0)
 		}
 	}
 }

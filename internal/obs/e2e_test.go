@@ -1,0 +1,162 @@
+package obs_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return string(body), nil
+}
+
+// TestMetricsEndToEnd drives a real storage node (events + queries), then
+// scrapes the debug server and checks the Prometheus exposition parses and
+// contains populated series from the storage and query layers — including
+// the freshness histogram, the metric the whole layer exists for.
+func TestMetricsEndToEnd(t *testing.T) {
+	sch, err := workload.BuildSmallSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := workload.BuildDimensions(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewRingTracer(256)
+	node, err := core.NewNode(core.Config{
+		Schema:     sch,
+		Dims:       dims.Store,
+		Partitions: 1,
+		ESPThreads: 1,
+		BucketSize: 256,
+		Factory:    dims.Factory(sch),
+		MaxBatch:   4,
+		Metrics:    reg,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	const entities = 200
+	gen := event.NewGenerator(entities, 7)
+	var ev event.Event
+	for e := uint64(1); e <= entities; e++ {
+		gen.NextFor(&ev, e)
+		if _, err := node.ProcessEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qgen, err := workload.NewQueryGen(sch, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := node.SubmitQuery(qgen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The freshness histogram fills when a merge step publishes a sealed
+	// delta; keep trickling events until one lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m, ok := reg.Find("aim_core_freshness_seconds"); ok && m.Hist != nil && m.Hist.Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no freshness observation within 5s")
+		}
+		gen.Next(&ev)
+		if _, err := node.ProcessEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv, err := obs.Serve("127.0.0.1:0", reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	body, err := httpGet("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every non-comment line must be `name[{labels}] value` with a valid
+	// float value.
+	series := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line: %q", line)
+		}
+		name := line[:sp]
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		series[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	mustPositive := []string{
+		"aim_core_events_total",
+		"aim_core_freshness_seconds_count",
+		"aim_core_merged_records_total",
+		"aim_core_scan_rounds_total",
+		"aim_core_queries_served_total",
+		"aim_query_rounds_total",
+		"aim_query_scan_round_seconds_count",
+		"aim_core_event_apply_seconds_count",
+	}
+	for _, name := range mustPositive {
+		if series[name] <= 0 {
+			t.Errorf("series %s missing or zero (got %v)", name, series[name])
+		}
+	}
+	// Histogram invariants on the freshness series: the +Inf bucket equals
+	// the count and the sum is positive.
+	inf := series[`aim_core_freshness_seconds_bucket{le="+Inf"}`]
+	if inf != series["aim_core_freshness_seconds_count"] {
+		t.Errorf("freshness +Inf bucket %v != count %v", inf, series["aim_core_freshness_seconds_count"])
+	}
+	if series["aim_core_freshness_seconds_sum"] <= 0 {
+		t.Errorf("freshness sum not positive: %v", series["aim_core_freshness_seconds_sum"])
+	}
+	if tracer.Len() == 0 {
+		t.Error("tracer recorded no spans during the workload")
+	}
+}

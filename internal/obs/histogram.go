@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Buckets are
+// log2-spaced: bucket i counts observations v with bits.Len64(v) == i, i.e.
+// 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). For latency histograms the
+// raw unit is nanoseconds, so the range spans 1ns .. ~9 minutes before the
+// top bucket saturates — ample for every latency this system produces.
+const NumBuckets = 40
+
+// Histogram is a fixed-bucket log-scale histogram. Observe is lock-free,
+// allocation-free and O(1); Snapshot returns a consistent-enough copy for
+// quantile estimation. The zero value is NOT usable — histograms come from
+// Registry.Histogram / Registry.LatencyHistogram.
+type Histogram struct {
+	name, help string
+	isTime     bool // raw unit is nanoseconds; expose as seconds
+	count      atomic.Uint64
+	sum        atomic.Uint64
+	buckets    [NumBuckets]atomic.Uint64
+}
+
+// bucketFor maps a raw value to its bucket index.
+func bucketFor(v uint64) int {
+	i := bits.Len64(v)
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	return i
+}
+
+// bucketUpper is the exclusive upper bound of bucket i in raw units.
+func bucketUpper(i int) uint64 {
+	if i >= 63 {
+		return math.MaxUint64
+	}
+	return uint64(1) << i
+}
+
+// Observe records one raw-unit observation. Nil-safe.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration (for latency histograms). Nil-safe.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveSince records the time elapsed since t0. Nil-safe.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.ObserveDuration(time.Since(t0))
+	}
+}
+
+// Count returns the number of observations. Nil-safe (0).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot copies the histogram state. Buckets are read individually
+// atomically; a snapshot taken mid-Observe may be off by the in-flight
+// observation, which quantile estimation tolerates.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.IsTime = h.isTime
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets [NumBuckets]uint64
+	IsTime  bool
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in raw units, with linear
+// interpolation inside the containing log2 bucket. Returns 0 for an empty
+// snapshot.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(uint64(1) << (i - 1))
+			}
+			hi := float64(bucketUpper(i))
+			frac := (rank - prev) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return uint64(lo + frac*(hi-lo))
+		}
+	}
+	return bucketUpper(NumBuckets - 1)
+}
+
+// QuantileDuration is Quantile for latency histograms.
+func (s *HistSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q))
+}
+
+// Mean returns the average observation in raw units (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

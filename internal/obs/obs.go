@@ -1,0 +1,271 @@
+// Package obs is the zero-dependency observability substrate shared by every
+// layer of the AIM reproduction: a metrics registry of atomic counters,
+// gauges and fixed-bucket log-scale latency histograms, lightweight trace
+// hooks with a ring-buffer span recorder, and a debug HTTP server exposing
+// Prometheus text format, JSON stats, recent spans and net/http/pprof.
+//
+// Design constraints (these are load-bearing for the paper's hot paths):
+//
+//   - Recording is allocation-free: counters and histograms are fixed arrays
+//     of atomics; Observe/Add never take a lock and never allocate.
+//   - Every mutating method is nil-receiver safe, so instrumented code paths
+//     cost a single predictable branch when observability is disabled.
+//   - Registration is idempotent by full metric name, so several components
+//     (or several storage nodes sharing one registry under distinct node
+//     labels) can wire themselves up independently.
+//
+// Metric names follow the Prometheus convention aim_<layer>_<name>_<unit>
+// and may carry constant labels inline: `aim_rpc_seconds{op="get"}`. The
+// exposition writer understands the inline-label form and merges histogram
+// `le` labels into it.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v          atomic.Uint64
+	name, help string
+}
+
+// Inc adds one. Nil-safe.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. Nil-safe (0).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v          atomic.Int64
+	name, help string
+}
+
+// Set stores v. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d. Nil-safe.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value. Nil-safe (0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// funcMetric is a pull-based metric: its value is the sum of the registered
+// callbacks, evaluated at collection time. Registering the same name again
+// appends another callback, which is how per-node gauges aggregate when
+// several storage nodes share one registry.
+type funcMetric struct {
+	name, help string
+	counter    bool // exposition TYPE: counter vs gauge
+	mu         sync.Mutex
+	fns        []func() float64
+}
+
+func (f *funcMetric) value() float64 {
+	f.mu.Lock()
+	fns := f.fns
+	f.mu.Unlock()
+	var sum float64
+	for _, fn := range fns {
+		sum += fn()
+	}
+	return sum
+}
+
+// Registry holds named metrics. All methods are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any // *Counter | *Gauge | *Histogram | *funcMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// register returns the existing metric under name (which must be assignable
+// to the caller's expectation) or stores and returns fresh.
+func (r *Registry) register(name string, fresh any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	r.metrics[name] = fresh
+	r.order = append(r.order, name)
+	sort.Strings(r.order)
+	return fresh
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, &Counter{name: name, help: help})
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not counter", name, m))
+	}
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, &Gauge{name: name, help: help})
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not gauge", name, m))
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-based gauge. Registering the same name again
+// adds fn to the set; the exposed value is the sum of all registered
+// callbacks (so per-node callbacks aggregate on a shared registry).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.addFunc(name, help, false, fn)
+}
+
+// CounterFunc is GaugeFunc with counter exposition semantics, for monotonic
+// values owned by another subsystem (e.g. spill-queue totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.addFunc(name, help, true, fn)
+}
+
+func (r *Registry) addFunc(name, help string, counter bool, fn func() float64) {
+	m := r.register(name, &funcMetric{name: name, help: help, counter: counter})
+	f, ok := m.(*funcMetric)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not func", name, m))
+	}
+	f.mu.Lock()
+	f.fns = append(f.fns, fn)
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns the existing) raw-unit histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.histogram(name, help, false)
+}
+
+// LatencyHistogram registers a histogram that records time.Durations
+// (stored as nanoseconds, exposed in seconds). Name it *_seconds.
+func (r *Registry) LatencyHistogram(name, help string) *Histogram {
+	return r.histogram(name, help, true)
+}
+
+func (r *Registry) histogram(name, help string, isTime bool) *Histogram {
+	m := r.register(name, &Histogram{name: name, help: help, isTime: isTime})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T, not histogram", name, m))
+	}
+	return h
+}
+
+// MetricSnapshot is one metric's state at Snapshot time.
+type MetricSnapshot struct {
+	Name string
+	Kind string // "counter" | "gauge" | "histogram"
+	// Value is the scalar for counters/gauges/funcs; for histograms it is
+	// the observation count.
+	Value float64
+	// Hist is set for histograms only.
+	Hist *HistSnapshot
+}
+
+// Snapshot returns a point-in-time view of every metric, sorted by name.
+// Individual metrics are read atomically; the set as a whole is not a
+// transaction (concurrent writers keep writing), which is fine for the
+// monitoring uses this registry serves.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricSnapshot, 0, len(names))
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: float64(m.Value())})
+		case *Gauge:
+			out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: float64(m.Value())})
+		case *funcMetric:
+			kind := "gauge"
+			if m.counter {
+				kind = "counter"
+			}
+			out = append(out, MetricSnapshot{Name: name, Kind: kind, Value: m.value()})
+		case *Histogram:
+			s := m.Snapshot()
+			out = append(out, MetricSnapshot{Name: name, Kind: "histogram", Value: float64(s.Count), Hist: &s})
+		}
+	}
+	return out
+}
+
+// Find returns the snapshot of one metric by full name.
+func (r *Registry) Find(name string) (MetricSnapshot, bool) {
+	for _, s := range r.Snapshot() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return MetricSnapshot{}, false
+}
+
+// Label appends a constant label to a metric name, composing with labels
+// already present: Label(`x{a="1"}`, "node", "0") = `x{a="1",node="0"}`.
+func Label(name, key, value string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + `,` + key + `="` + value + `"}`
+	}
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// splitName separates a full metric name into its base name and the inner
+// label text (without braces), e.g. `x{a="1"}` -> ("x", `a="1"`).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}

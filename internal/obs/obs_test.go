@@ -1,0 +1,380 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("aim_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if c2 := r.Counter("aim_test_total", "again"); c2 != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("aim_test_gauge", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *RingTracer
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.ObserveSince(time.Now())
+	tr.Record(Span{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Len() != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+}
+
+func TestRegisterTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aim_x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("aim_x", "")
+}
+
+func TestFuncMetricAggregates(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("aim_depth", "", func() float64 { return 2 })
+	r.GaugeFunc("aim_depth", "", func() float64 { return 3 })
+	s, ok := r.Find("aim_depth")
+	if !ok || s.Value != 5 {
+		t.Fatalf("func metric = %+v, want sum 5", s)
+	}
+	if s.Kind != "gauge" {
+		t.Fatalf("kind = %q, want gauge", s.Kind)
+	}
+	r.CounterFunc("aim_spilled_total", "", func() float64 { return 9 })
+	s, _ = r.Find("aim_spilled_total")
+	if s.Kind != "counter" || s.Value != 9 {
+		t.Fatalf("counter func = %+v", s)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 38, NumBuckets - 1},
+		{math.MaxUint64, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Boundary invariant: every v lands in a bucket whose bounds contain it.
+	for i := 1; i < NumBuckets-1; i++ {
+		lo := uint64(1) << (i - 1)
+		hi := bucketUpper(i)
+		for _, v := range []uint64{lo, hi - 1} {
+			if b := bucketFor(v); b != i {
+				t.Errorf("v=%d: bucket %d, want %d (bounds [%d,%d))", v, b, i, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("aim_vals", "")
+	// 1000 observations of 100 -> every quantile inside [64,128).
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		v := s.Quantile(q)
+		if v < 64 || v >= 128 {
+			t.Errorf("Quantile(%v) = %d, want within [64,128)", q, v)
+		}
+	}
+	if s.Mean() != 100 {
+		t.Errorf("Mean = %v, want 100", s.Mean())
+	}
+
+	// Bimodal: 90 fast (≈8), 10 slow (≈1<<20). p50 must sit in the fast
+	// bucket, p99 in the slow bucket.
+	h2 := r.Histogram("aim_bimodal", "")
+	for i := 0; i < 90; i++ {
+		h2.Observe(8)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(1 << 20)
+	}
+	s2 := h2.Snapshot()
+	if p50 := s2.Quantile(0.50); p50 >= 16 {
+		t.Errorf("p50 = %d, want < 16", p50)
+	}
+	if p99 := s2.Quantile(0.99); p99 < 1<<19 {
+		t.Errorf("p99 = %d, want >= %d", p99, 1<<19)
+	}
+	if s2.Quantile(1.0) < s2.Quantile(0.5) {
+		t.Error("quantiles must be monotone")
+	}
+}
+
+func TestLatencyHistogramDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.LatencyHistogram("aim_lat_seconds", "")
+	h.ObserveDuration(3 * time.Millisecond)
+	h.ObserveDuration(-time.Second) // clamps to 0
+	s := h.Snapshot()
+	if !s.IsTime {
+		t.Fatal("latency histogram must mark IsTime")
+	}
+	if s.Count != 2 {
+		t.Fatalf("count = %d, want 2", s.Count)
+	}
+	if d := s.QuantileDuration(0.99); d < time.Millisecond || d > 8*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~3ms (log2 bucket)", d)
+	}
+}
+
+func TestLabelAndSplitName(t *testing.T) {
+	if got := Label("aim_x", "node", "0"); got != `aim_x{node="0"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	composed := Label(`aim_x{op="get"}`, "node", "1")
+	if composed != `aim_x{op="get",node="1"}` {
+		t.Fatalf("Label composed = %q", composed)
+	}
+	base, labels := splitName(composed)
+	if base != "aim_x" || labels != `op="get",node="1"` {
+		t.Fatalf("splitName = %q / %q", base, labels)
+	}
+	base, labels = splitName("aim_plain")
+	if base != "aim_plain" || labels != "" {
+		t.Fatalf("splitName plain = %q / %q", base, labels)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from parallel writers while
+// readers snapshot; run under -race this is the registry stress test.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+
+	// Snapshot readers: a bounded number of full snapshot + exposition
+	// passes, yielding between passes so writers make progress even on a
+	// single-CPU box under the race detector.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				for _, s := range r.Snapshot() {
+					_ = s.Value
+				}
+				var sb strings.Builder
+				WriteMetrics(bufio.NewWriter(&sb), r)
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("aim_stress_total", "")
+			g := r.Gauge("aim_stress_gauge", "")
+			h := r.LatencyHistogram("aim_stress_seconds", "")
+			r.GaugeFunc("aim_stress_fn", "", func() float64 { return 1 })
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	s, ok := r.Find("aim_stress_total")
+	if !ok || s.Value != writers*perWriter {
+		t.Fatalf("counter = %v, want %d", s.Value, writers*perWriter)
+	}
+	hs, _ := r.Find("aim_stress_seconds")
+	if hs.Hist == nil || hs.Hist.Count != writers*perWriter {
+		t.Fatalf("histogram count = %+v, want %d", hs.Hist, writers*perWriter)
+	}
+}
+
+func TestRingTracer(t *testing.T) {
+	tr := NewRingTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(Span{Kind: SpanMergeStep, A: int64(i)})
+	}
+	if tr.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", tr.Len())
+	}
+	if tr.Total() != 40 {
+		t.Fatalf("Total = %d, want 40", tr.Total())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 16 {
+		t.Fatalf("snapshot len = %d", len(spans))
+	}
+	for i, s := range spans {
+		if s.A != int64(24+i) {
+			t.Fatalf("span %d has A=%d, want %d (oldest-first)", i, s.A, 24+i)
+		}
+	}
+	// Concurrent Record is safe.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Record(Span{Kind: SpanRPC})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWriteMetricsExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aim_events_total", "events applied").Add(3)
+	r.Gauge(`aim_delta_len{node="0"}`, "delta length").Set(12)
+	h := r.LatencyHistogram(`aim_scan_seconds{node="0"}`, "scan latency")
+	h.ObserveDuration(2 * time.Millisecond)
+	h.ObserveDuration(2 * time.Millisecond)
+
+	var sb strings.Builder
+	bw := bufio.NewWriter(&sb)
+	WriteMetrics(bw, r)
+	bw.Flush()
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE aim_events_total counter",
+		"aim_events_total 3",
+		"# TYPE aim_delta_len gauge",
+		`aim_delta_len{node="0"} 12`,
+		"# TYPE aim_scan_seconds histogram",
+		`aim_scan_seconds_bucket{node="0",le="+Inf"} 2`,
+		`aim_scan_seconds_count{node="0"} 2`,
+		"# HELP aim_events_total events applied",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Sum converted ns -> seconds.
+	if !strings.Contains(out, `aim_scan_seconds_sum{node="0"} 0.004`) {
+		t.Errorf("sum not in seconds:\n%s", out)
+	}
+	// Every non-comment line must be name{labels} value.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestStatsJSONShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aim_c", "").Add(2)
+	h := r.LatencyHistogram("aim_h_seconds", "")
+	h.ObserveDuration(time.Millisecond)
+	m := StatsJSON(r)
+	if m["aim_c"] != float64(2) {
+		t.Fatalf("aim_c = %v", m["aim_c"])
+	}
+	hj, ok := m["aim_h_seconds"].(HistJSON)
+	if !ok || hj.Count != 1 {
+		t.Fatalf("aim_h_seconds = %#v", m["aim_h_seconds"])
+	}
+	if hj.P99 <= 0 || hj.P99 > 0.01 {
+		t.Fatalf("p99 = %v, want ~1ms in seconds", hj.P99)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aim_served_total", "").Inc()
+	tr := NewRingTracer(16)
+	tr.Record(Span{Kind: SpanScanRound, Start: time.Now(), Dur: time.Millisecond, A: 4, B: 4})
+
+	d, err := Serve("127.0.0.1:0", r, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := httpGet("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	if body := get("/metrics"); !strings.Contains(body, "aim_served_total 1") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/stats"); !strings.Contains(body, `"aim_served_total":1`) {
+		t.Errorf("/stats missing counter:\n%s", body)
+	}
+	if body := get("/trace"); !strings.Contains(body, `"scan_round"`) {
+		t.Errorf("/trace missing span:\n%s", body)
+	}
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

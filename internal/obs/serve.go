@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugServer is the debug HTTP endpoint of one process: Prometheus text
+// exposition at /metrics, a JSON summary at /stats, recent trace spans at
+// /trace, and the standard net/http/pprof handlers under /debug/pprof/.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the debug endpoint on addr (e.g. "127.0.0.1:0"). tracer may
+// be nil (the /trace endpoint then reports an empty span list).
+func Serve(addr string, reg *Registry, tracer *RingTracer) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		bw := bufio.NewWriter(w)
+		WriteMetrics(bw, reg)
+		bw.Flush()
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(StatsJSON(reg))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(traceJSON(tracer))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go d.srv.Serve(ln)
+	return d, nil
+}
+
+// Addr returns the bound listen address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// WriteMetrics writes the registry in Prometheus text exposition format.
+func WriteMetrics(w *bufio.Writer, reg *Registry) {
+	lastFamily := ""
+	for _, m := range reg.Snapshot() {
+		base, labels := splitName(m.Name)
+		if base != lastFamily {
+			help := helpFor(reg, m.Name)
+			if help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+			}
+			typ := m.Kind
+			if typ == "histogram" {
+				// exposed as the three derived series of a histogram family
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			lastFamily = base
+		}
+		if m.Hist == nil {
+			fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value))
+			continue
+		}
+		writeHistogram(w, base, labels, m.Hist)
+	}
+}
+
+// writeHistogram emits the cumulative _bucket/_sum/_count series for one
+// histogram, converting nanosecond bounds to seconds for latency histograms.
+// Empty leading/trailing buckets are elided (cumulative counts stay valid).
+func writeHistogram(w *bufio.Writer, base, labels string, s *HistSnapshot) {
+	highest := -1
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			highest = i
+			break
+		}
+	}
+	var cum uint64
+	for i := 0; i <= highest; i++ {
+		cum += s.Buckets[i]
+		if s.Buckets[i] == 0 {
+			continue
+		}
+		le := boundLabel(bucketUpper(i), s.IsTime)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, labelPrefix(labels), le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labelPrefix(labels), s.Count)
+	sum := float64(s.Sum)
+	if s.IsTime {
+		sum /= 1e9
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", base, labelSuffix(labels), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", base, labelSuffix(labels), s.Count)
+}
+
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func boundLabel(upper uint64, isTime bool) string {
+	if !isTime {
+		return strconv.FormatUint(upper, 10)
+	}
+	return strconv.FormatFloat(float64(upper)/1e9, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func helpFor(reg *Registry, name string) string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	switch m := reg.metrics[name].(type) {
+	case *Counter:
+		return m.help
+	case *Gauge:
+		return m.help
+	case *Histogram:
+		return m.help
+	case *funcMetric:
+		return m.help
+	}
+	return ""
+}
+
+// HistJSON is the JSON shape of one histogram in /stats.
+type HistJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// StatsJSON renders the registry as a flat name -> value JSON map; scalars
+// map to numbers, histograms to HistJSON objects (latency values in
+// seconds).
+func StatsJSON(reg *Registry) map[string]any {
+	out := make(map[string]any)
+	for _, m := range reg.Snapshot() {
+		if m.Hist == nil {
+			out[m.Name] = m.Value
+			continue
+		}
+		scale := 1.0
+		if m.Hist.IsTime {
+			scale = 1e-9
+		}
+		out[m.Name] = HistJSON{
+			Count: m.Hist.Count,
+			Sum:   float64(m.Hist.Sum) * scale,
+			Mean:  m.Hist.Mean() * scale,
+			P50:   float64(m.Hist.Quantile(0.50)) * scale,
+			P95:   float64(m.Hist.Quantile(0.95)) * scale,
+			P99:   float64(m.Hist.Quantile(0.99)) * scale,
+		}
+	}
+	return out
+}
+
+// spanJSON is the JSON shape of one span in /trace.
+type spanJSON struct {
+	Kind  string  `json:"kind"`
+	Start string  `json:"start"`
+	DurUS float64 `json:"dur_us"`
+	A     int64   `json:"a"`
+	B     int64   `json:"b"`
+}
+
+func traceJSON(t *RingTracer) []spanJSON {
+	spans := t.Snapshot()
+	out := make([]spanJSON, len(spans))
+	for i, s := range spans {
+		out[i] = spanJSON{
+			Kind:  s.Kind.String(),
+			Start: s.Start.Format(time.RFC3339Nano),
+			DurUS: float64(s.Dur.Nanoseconds()) / 1e3,
+			A:     s.A,
+			B:     s.B,
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanKind classifies a recorded span.
+type SpanKind uint8
+
+const (
+	// SpanScanRound is one shared-scan round (coordinator dispatch through
+	// partial gathering). A = batch size, B = queries answered.
+	SpanScanRound SpanKind = iota
+	// SpanMergeStep is one partition merge step. A = partition index,
+	// B = records merged.
+	SpanMergeStep
+	// SpanDeltaSwitch is the delta-switch handshake (Appendix A's two-flag
+	// protocol). A = partition index, B = sealed delta length.
+	SpanDeltaSwitch
+	// SpanRPC is one client RPC attempt. A = wire message type, B = 0 on
+	// success / 1 on error.
+	SpanRPC
+	// SpanRuleEval is one (sampled) business-rule evaluation. A = firings.
+	SpanRuleEval
+)
+
+// String implements fmt.Stringer.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanScanRound:
+		return "scan_round"
+	case SpanMergeStep:
+		return "merge_step"
+	case SpanDeltaSwitch:
+		return "delta_switch"
+	case SpanRPC:
+		return "rpc"
+	case SpanRuleEval:
+		return "rule_eval"
+	}
+	return "unknown"
+}
+
+// Span is one completed trace span. Spans are recorded post-hoc (start +
+// duration) so the hot path pays two clock reads and one ring write, never
+// an allocation.
+type Span struct {
+	Kind  SpanKind
+	Start time.Time
+	Dur   time.Duration
+	// A and B are kind-specific payloads (see the SpanKind docs).
+	A, B int64
+}
+
+// Tracer receives completed spans. Implementations must be cheap and safe
+// for concurrent use; the hot paths call Record inline.
+type Tracer interface {
+	Record(s Span)
+}
+
+// RingTracer keeps the most recent spans in a fixed ring buffer. It is the
+// default Tracer wired behind the /trace debug endpoint.
+type RingTracer struct {
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total spans ever recorded; next%len(buf) is the write slot
+}
+
+// NewRingTracer returns a tracer retaining the last capacity spans
+// (minimum 16).
+func NewRingTracer(capacity int) *RingTracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &RingTracer{buf: make([]Span, capacity)}
+}
+
+// Record stores s, evicting the oldest span once the ring is full. Nil-safe.
+func (t *RingTracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next%uint64(len(t.buf))] = s
+	t.next++
+	t.mu.Unlock()
+}
+
+// Len reports how many spans are currently retained.
+func (t *RingTracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Total reports how many spans were ever recorded (including evicted ones).
+func (t *RingTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next
+}
+
+// Snapshot returns the retained spans oldest-first.
+func (t *RingTracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.buf))
+	if t.next <= n {
+		out := make([]Span, t.next)
+		copy(out, t.buf[:t.next])
+		return out
+	}
+	out := make([]Span, 0, n)
+	start := t.next % n
+	out = append(out, t.buf[start:]...)
+	out = append(out, t.buf[:start]...)
+	return out
+}

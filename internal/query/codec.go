@@ -97,6 +97,7 @@ func (r *rbuf) str() string {
 func EncodeQuery(q *Query) []byte {
 	var w wbuf
 	w.u64(q.ID)
+	w.u8(q.Template)
 	w.u16(uint16(len(q.Where)))
 	for _, c := range q.Where {
 		w.u16(uint16(len(c)))
@@ -137,7 +138,7 @@ func EncodeQuery(q *Query) []byte {
 // DecodeQuery parses a query encoded by EncodeQuery.
 func DecodeQuery(b []byte) (*Query, error) {
 	r := rbuf{b: b}
-	q := &Query{ID: r.u64()}
+	q := &Query{ID: r.u64(), Template: r.u8()}
 	nc := int(r.u16())
 	for i := 0; i < nc; i++ {
 		np := int(r.u16())

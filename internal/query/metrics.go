@@ -1,0 +1,80 @@
+package query
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ScanMetrics instruments shared-scan rounds at round granularity: the
+// executor's per-bucket hot path stays untouched, so enabling metrics costs
+// one ObserveRound call per round, not per record. A nil *ScanMetrics is a
+// no-op, which is what the metrics-overhead guard benchmarks against.
+type ScanMetrics struct {
+	rounds       *obs.Counter
+	batchSize    *obs.Histogram
+	roundLatency *obs.Histogram
+	predsEval    *obs.Counter
+	predsSaved   *obs.Counter
+	dupQueries   *obs.Counter
+	// byTemplate[t] holds the round latency of rounds containing a query of
+	// workload template t (Q1..Q7); index 0 is unused.
+	byTemplate [8]*obs.Histogram
+}
+
+// NewScanMetrics registers the scan instruments on reg. name rewrites each
+// metric name (callers inject constant labels, e.g. node="0"); pass nil for
+// identity.
+func NewScanMetrics(reg *obs.Registry, name func(string) string) *ScanMetrics {
+	if name == nil {
+		name = func(s string) string { return s }
+	}
+	m := &ScanMetrics{
+		rounds: reg.Counter(name("aim_query_rounds_total"),
+			"Shared-scan rounds that answered at least one query."),
+		batchSize: reg.Histogram(name("aim_query_batch_size"),
+			"Queries fused into one shared-scan round."),
+		roundLatency: reg.LatencyHistogram(name("aim_query_scan_round_seconds"),
+			"Latency of one shared-scan round (dispatch to all partials gathered)."),
+		predsEval: reg.Counter(name("aim_query_predicates_evaluated_total"),
+			"Distinct predicates evaluated against columns across all rounds."),
+		predsSaved: reg.Counter(name("aim_query_predicates_saved_total"),
+			"Predicate evaluations avoided by cross-query dedup and complement sharing."),
+		dupQueries: reg.Counter(name("aim_query_folded_duplicates_total"),
+			"Queries answered by copying an identical twin's partial instead of scanning."),
+	}
+	for t := 1; t < len(m.byTemplate); t++ {
+		m.byTemplate[t] = reg.LatencyHistogram(
+			name(obs.Label("aim_query_template_seconds", "template", fmt.Sprintf("q%d", t))),
+			"Shared-scan round latency attributed to rounds containing this workload template.")
+	}
+	return m
+}
+
+// ObserveRound records one completed shared-scan round executed under plan.
+// Nil-safe.
+func (m *ScanMetrics) ObserveRound(plan *BatchPlan, d time.Duration) {
+	if m == nil {
+		return
+	}
+	queries := plan.Queries()
+	m.rounds.Inc()
+	m.batchSize.Observe(uint64(len(queries)))
+	m.roundLatency.ObserveDuration(d)
+	occurrences := 0
+	for _, q := range queries {
+		for _, c := range q.Where {
+			occurrences += len(c)
+		}
+		if t := int(q.Template); t >= 1 && t < len(m.byTemplate) {
+			m.byTemplate[t].ObserveDuration(d)
+		}
+	}
+	evaluated := plan.NumEvaluated()
+	m.predsEval.Add(uint64(evaluated))
+	if saved := occurrences - evaluated; saved > 0 {
+		m.predsSaved.Add(uint64(saved))
+	}
+	m.dupQueries.Add(uint64(plan.NumDuplicates()))
+}

@@ -144,6 +144,10 @@ type Ratio struct {
 type Query struct {
 	// ID identifies the query within a batch/wire exchange.
 	ID uint64
+	// Template tags the workload template the query instantiates (1..7 for
+	// the paper's Q1..Q7; 0 = untemplated). It only feeds per-template
+	// latency metrics and never affects execution.
+	Template uint8
 	// Where is a DNF filter: OR over conjuncts, AND within. Empty matches
 	// every record.
 	Where []Conjunct

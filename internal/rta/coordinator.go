@@ -56,6 +56,9 @@ type Config struct {
 	// DisableRetry skips the single re-submission a failed partial
 	// normally gets before the policy applies.
 	DisableRetry bool
+	// Metrics, when set, instruments Execute (see NewMetrics). Nil
+	// disables instrumentation at zero cost.
+	Metrics *Metrics
 }
 
 // Coordinator is one stateless RTA processing node. It holds handles to
@@ -90,6 +93,12 @@ func NewCoordinatorConfig(backends []core.Storage, cfg Config) (*Coordinator, er
 // *NodeFailureError, degraded queries return the surviving nodes' merge
 // marked Incomplete.
 func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
+	m := c.cfg.Metrics
+	if m != nil {
+		t0 := time.Now()
+		defer m.latency.ObserveSince(t0)
+		m.queries.Inc()
+	}
 	total := len(c.backends)
 	chans := make([]<-chan core.QueryResponse, total)
 	errs := make([]error, total)
@@ -122,6 +131,9 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 			if err == nil {
 				continue
 			}
+			if m != nil {
+				m.retries.Inc()
+			}
 			p, rerr := c.backends[i].SubmitQuery(q)
 			if rerr != nil {
 				errs[i] = rerr
@@ -143,12 +155,21 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 			firstErr = err
 		}
 	}
+	if m != nil {
+		m.nodeErrs.Add(uint64(failed))
+	}
 	if failed > 0 && (c.cfg.Policy == PolicyStrict || covered == 0) {
+		if m != nil {
+			m.failures.Inc()
+		}
 		return nil, &NodeFailureError{Failed: failed, Total: total, Err: firstErr}
 	}
 	res := merged.Finalize(q)
 	res.CoveredNodes, res.TotalNodes = covered, total
 	res.Incomplete = covered < total
+	if res.Incomplete && m != nil {
+		m.degraded.Inc()
+	}
 	return res, nil
 }
 

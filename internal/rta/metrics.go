@@ -1,0 +1,34 @@
+package rta
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics instruments a Coordinator's scatter/gather path. A nil *Metrics
+// is a no-op, so coordinators built without observability pay nothing.
+type Metrics struct {
+	latency  *obs.Histogram
+	queries  *obs.Counter
+	failures *obs.Counter
+	degraded *obs.Counter
+	retries  *obs.Counter
+	nodeErrs *obs.Counter
+}
+
+// NewMetrics registers the coordinator instruments on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		latency: reg.LatencyHistogram("aim_rta_query_seconds",
+			"End-to-end coordinator query latency: scatter, gather, merge, finalize."),
+		queries: reg.Counter("aim_rta_queries_total",
+			"Queries executed by the coordinator (including failed ones)."),
+		failures: reg.Counter("aim_rta_query_failures_total",
+			"Queries that failed outright (strict policy or zero coverage)."),
+		degraded: reg.Counter("aim_rta_degraded_results_total",
+			"Queries answered from a subset of storage nodes (Result.Incomplete)."),
+		retries: reg.Counter("aim_rta_partial_retries_total",
+			"Per-node partials re-submitted after a first failure."),
+		nodeErrs: reg.Counter("aim_rta_node_errors_total",
+			"Per-node scatter/gather failures after retry."),
+	}
+}

@@ -105,10 +105,11 @@ func (g *QueryGen) Next() *query.Query {
 // WHERE number_of_local_calls_this_week > α.
 func (g *QueryGen) Q1(alpha int64) *query.Query {
 	return &query.Query{
-		ID:      g.nextID(),
-		Where:   []query.Conjunct{{query.PredInt(g.callsLocalWeek, vec.Gt, alpha)}},
-		Aggs:    []query.AggExpr{{Op: query.OpAvg, Attr: g.durAnyWeekSum}},
-		GroupBy: -1,
+		ID:       g.nextID(),
+		Template: 1,
+		Where:    []query.Conjunct{{query.PredInt(g.callsLocalWeek, vec.Gt, alpha)}},
+		Aggs:     []query.AggExpr{{Op: query.OpAvg, Attr: g.durAnyWeekSum}},
+		GroupBy:  -1,
 	}
 }
 
@@ -116,10 +117,11 @@ func (g *QueryGen) Q1(alpha int64) *query.Query {
 // WHERE total_number_of_calls_this_week > β.
 func (g *QueryGen) Q2(beta int64) *query.Query {
 	return &query.Query{
-		ID:      g.nextID(),
-		Where:   []query.Conjunct{{query.PredInt(g.callsAnyWeek, vec.Gt, beta)}},
-		Aggs:    []query.AggExpr{{Op: query.OpMax, Attr: g.costAnyWeekMax}},
-		GroupBy: -1,
+		ID:       g.nextID(),
+		Template: 2,
+		Where:    []query.Conjunct{{query.PredInt(g.callsAnyWeek, vec.Gt, beta)}},
+		Aggs:     []query.AggExpr{{Op: query.OpMax, Attr: g.costAnyWeekMax}},
+		GroupBy:  -1,
 	}
 }
 
@@ -128,7 +130,8 @@ func (g *QueryGen) Q2(beta int64) *query.Query {
 // LIMIT 100.
 func (g *QueryGen) Q3() *query.Query {
 	return &query.Query{
-		ID: g.nextID(),
+		ID:       g.nextID(),
+		Template: 3,
 		Aggs: []query.AggExpr{
 			{Op: query.OpSum, Attr: g.costAnyWeek},
 			{Op: query.OpSum, Attr: g.durAnyWeekSum},
@@ -145,7 +148,8 @@ func (g *QueryGen) Q3() *query.Query {
 // GROUP BY city.
 func (g *QueryGen) Q4(gamma, delta int64) *query.Query {
 	return &query.Query{
-		ID: g.nextID(),
+		ID:       g.nextID(),
+		Template: 4,
 		Where: []query.Conjunct{{
 			query.PredInt(g.callsLocalWeek, vec.Gt, gamma),
 			query.PredInt(g.durLocalWeek, vec.Gt, delta),
@@ -164,7 +168,8 @@ func (g *QueryGen) Q4(gamma, delta int64) *query.Query {
 // category = cat GROUP BY region.
 func (g *QueryGen) Q5(t, cat int64) *query.Query {
 	return &query.Query{
-		ID: g.nextID(),
+		ID:       g.nextID(),
+		Template: 5,
 		Where: []query.Conjunct{{
 			query.PredInt(g.subType, vec.Eq, t),
 			query.PredInt(g.category, vec.Eq, cat),
@@ -182,8 +187,9 @@ func (g *QueryGen) Q5(t, cat int64) *query.Query {
 // and this week for local and long-distance calls, for a specific country.
 func (g *QueryGen) Q6(country int64) *query.Query {
 	return &query.Query{
-		ID:    g.nextID(),
-		Where: []query.Conjunct{{query.PredInt(g.countryID, vec.Eq, country)}},
+		ID:       g.nextID(),
+		Template: 6,
+		Where:    []query.Conjunct{{query.PredInt(g.countryID, vec.Eq, country)}},
 		Aggs: []query.AggExpr{
 			{Op: query.OpArgMax, Attr: g.durLocalDayMax},
 			{Op: query.OpArgMax, Attr: g.durLocalWkMax},
@@ -199,8 +205,9 @@ func (g *QueryGen) Q6(country int64) *query.Query {
 // value type.
 func (g *QueryGen) Q7(valueType int64) *query.Query {
 	return &query.Query{
-		ID:    g.nextID(),
-		Where: []query.Conjunct{{query.PredInt(g.valueType, vec.Eq, valueType)}},
+		ID:       g.nextID(),
+		Template: 7,
+		Where:    []query.Conjunct{{query.PredInt(g.valueType, vec.Eq, valueType)}},
 		Aggs: []query.AggExpr{
 			{Op: query.OpArgMinRatio, Attr: g.costAnyWeek, Attr2: g.durAnyWeekSum},
 		},
