@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench obs-guard ci
+.PHONY: build test race bench obs-guard crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -22,9 +22,21 @@ bench:
 obs-guard:
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v ./internal/query/
 
-## ci: full gate — vet, build, race-detect the whole tree, metrics overhead guard
+## crash: crash-injection campaign — kill aimserver at 100 random points, verify every recovery
+crash:
+	AIM_CRASH_KILLS=100 $(GO) test -run TestCrashRecoveryRandomKillPoints -v -timeout 30m ./internal/crashharness/
+
+## fuzz-smoke: 10s of fuzzing per durability decoder (archive frames, checkpoint files, event codec)
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzOpenSegment -fuzztime 10s ./internal/archive/
+	$(GO) test -run '^$$' -fuzz FuzzReadFile -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/event/
+
+## ci: full gate — vet, build, race-detect the whole tree, metrics overhead guard, crash + fuzz smoke
 ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/
+	$(MAKE) fuzz-smoke
+	$(MAKE) crash

@@ -7,26 +7,105 @@
 //
 //	aimserver -addr :7070
 //	aimserver -addr :7070 -partitions 5 -esp 1 -bucket 3072 -full -rules 300
+//	aimserver -addr :7070 -data-dir /var/lib/aim -checkpoint-every 10s -recover auto
 //
-// All aimservers in a cluster must use identical schema flags.
+// All aimservers in a cluster must use identical schema flags. With
+// -data-dir, every ingested event is write-ahead-logged to the archive,
+// fuzzy checkpoints run in the background, and on start the node recovers
+// from checkpoint + archive-tail replay (see -recover for the corruption
+// policy).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/archive"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/crashpoint"
 	"repro/internal/netproto"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/schema"
 	"repro/internal/workload"
 )
+
+// openDurable recovers the archive + checkpoint state under dataDir and
+// builds the node from it, honoring the -recover policy: strict and salvage
+// force one mode; auto tries strict first and falls back to salvage when —
+// and only when — validation found corruption.
+func openDurable(dataDir, mode string, fsync bool, cfg core.Config, reg *obs.Registry) (*core.StorageNode, *archive.Archive, *checkpoint.Manager, error) {
+	walDir := filepath.Join(dataDir, "wal")
+	ckptDir := filepath.Join(dataDir, "ckpt")
+	openArch := func(rm archive.RecoveryMode) (*archive.Archive, error) {
+		return archive.Open(walDir, archive.Options{
+			SyncOnWrite: fsync, Recovery: rm, Metrics: reg,
+		})
+	}
+	var arch *archive.Archive
+	var err error
+	switch mode {
+	case "strict":
+		arch, err = openArch(archive.Strict)
+	case "salvage":
+		arch, err = openArch(archive.Salvage)
+	case "auto":
+		arch, err = openArch(archive.Strict)
+		if err != nil && errors.Is(err, archive.ErrCorrupt) {
+			log.Printf("aimserver: archive corrupt (%v); retrying in salvage mode", err)
+			arch, err = openArch(archive.Salvage)
+		}
+	default:
+		return nil, nil, nil, fmt.Errorf("bad -recover mode %q (want auto, strict, or salvage)", mode)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if rep := arch.Report(); !rep.Clean() {
+		log.Printf("aimserver: archive salvage dropped %d frames (%d B truncated, %d segments quarantined)",
+			rep.FramesDropped, rep.BytesTruncated, len(rep.QuarantinedFiles))
+	}
+	mgr, err := checkpoint.NewManager(ckptDir)
+	if err != nil {
+		arch.Close()
+		return nil, nil, nil, err
+	}
+	cfg.Archive = arch
+	restore := func(lm checkpoint.LoadMode) (*core.StorageNode, *core.RecoveryReport, error) {
+		return core.RestoreWithReport(cfg, mgr, lm)
+	}
+	var node *core.StorageNode
+	var rep *core.RecoveryReport
+	switch mode {
+	case "salvage":
+		node, rep, err = restore(checkpoint.Salvage)
+	default:
+		node, rep, err = restore(checkpoint.Strict)
+		if err != nil && mode == "auto" && errors.Is(err, checkpoint.ErrCorrupt) {
+			log.Printf("aimserver: checkpoint chain corrupt (%v); retrying in salvage mode", err)
+			node, rep, err = restore(checkpoint.Salvage)
+		}
+	}
+	if err != nil {
+		arch.Close()
+		return nil, nil, nil, err
+	}
+	fmt.Printf("aimserver: recovered %d records from %d checkpoint file(s), replayed %d archived events past LSN %d in %v\n",
+		rep.Records, len(rep.Checkpoint.FilesLoaded), rep.TailEvents, rep.Watermark, rep.Duration.Round(time.Millisecond))
+	if !rep.Checkpoint.Clean() {
+		log.Printf("aimserver: checkpoint salvage quarantined %d file(s): %v",
+			len(rep.Checkpoint.QuarantinedFiles), rep.Checkpoint.QuarantinedFiles)
+	}
+	return node, arch, mgr, nil
+}
 
 func main() {
 	var (
@@ -42,12 +121,23 @@ func main() {
 		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
 		debugAddr  = flag.String("debug-addr", "", "observability HTTP listen address for /metrics, /stats, /trace, /debug/pprof (\"\" = off)")
 
+		dataDir   = flag.String("data-dir", "", "durability directory (event archive + checkpoints; \"\" = in-memory only)")
+		ckptEvery = flag.Duration("checkpoint-every", 10*time.Second, "background fuzzy-checkpoint interval (0 = no background checkpoints)")
+		baseEvery = flag.Int("base-every", 8, "every Nth checkpoint is a full base (drives retention GC)")
+		fsync     = flag.Bool("fsync", false, "fsync the archive after every append (durable per event, slower)")
+		ckptGC    = flag.Bool("checkpoint-gc", true, "delete superseded checkpoints and truncate the archive below each base")
+		recovery  = flag.String("recover", "auto", "recovery mode with -data-dir: auto, strict, or salvage")
+
 		faultResetEvery = flag.Int("fault-reset-every", 0, "fault injection: reset every connection after N writes (0 = off)")
 		faultReadDelay  = flag.Duration("fault-read-delay", 0, "fault injection: delay before every read")
 		faultWriteDelay = flag.Duration("fault-write-delay", 0, "fault injection: delay before every write")
 		faultDrop       = flag.Bool("fault-drop", false, "fault injection: silently drop all writes")
 	)
 	flag.Parse()
+
+	if err := crashpoint.ArmFromEnv(); err != nil {
+		log.Fatalf("aimserver: %s: %v", crashpoint.EnvVar, err)
+	}
 
 	var sch *schema.Schema
 	var err error
@@ -73,7 +163,7 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewRingTracer(4096)
-	node, err := core.NewNode(core.Config{
+	cfg := core.Config{
 		Schema:       sch,
 		Dims:         dims.Store,
 		Partitions:   *partitions,
@@ -85,9 +175,29 @@ func main() {
 		UseRuleIndex: *ruleIndex,
 		Metrics:      reg,
 		Tracer:       tracer,
-	})
-	if err != nil {
-		log.Fatalf("aimserver: %v", err)
+	}
+	var node *core.StorageNode
+	var arch *archive.Archive
+	var mgr *checkpoint.Manager
+	var ckptr *core.Checkpointer
+	if *dataDir != "" {
+		node, arch, mgr, err = openDurable(*dataDir, *recovery, *fsync, cfg, reg)
+		if err != nil {
+			log.Fatalf("aimserver: recovery: %v", err)
+		}
+		if *ckptEvery > 0 {
+			ckptr = node.StartCheckpointer(mgr, core.CheckpointerOptions{
+				Interval:  *ckptEvery,
+				BaseEvery: *baseEvery,
+				GC:        *ckptGC,
+				OnError:   func(err error) { log.Printf("aimserver: checkpoint: %v", err) },
+			})
+		}
+	} else {
+		node, err = core.NewNode(cfg)
+		if err != nil {
+			log.Fatalf("aimserver: %v", err)
+		}
 	}
 	scfg := netproto.ServerConfig{Metrics: netproto.NewServerMetrics(reg)}
 	if *faultResetEvery > 0 || *faultReadDelay > 0 || *faultWriteDelay > 0 || *faultDrop {
@@ -144,10 +254,31 @@ func main() {
 		}()
 	}
 	<-stop
+	// Graceful shutdown: stop accepting traffic, drain the ESP pipeline,
+	// then make everything durable (final checkpoint + archive sync) before
+	// the process exits — dying mid-write is what the crash harness tests,
+	// not what an operator-initiated shutdown should do.
 	fmt.Println("aimserver: shutting down")
 	if dbg != nil {
 		dbg.Close()
 	}
 	srv.Close()
+	if ckptr != nil {
+		ckptr.Stop()
+	}
+	if mgr != nil {
+		if err := node.FlushEvents(); err != nil {
+			log.Printf("aimserver: drain: %v", err)
+		}
+		if err := node.Checkpoint(mgr, false); err != nil {
+			log.Printf("aimserver: final checkpoint: %v", err)
+		}
+	}
 	node.Stop()
+	if arch != nil {
+		if err := arch.Close(); err != nil {
+			log.Printf("aimserver: archive close: %v", err)
+		}
+	}
+	fmt.Println("aimserver: shutdown complete")
 }

@@ -10,24 +10,97 @@
 // watermark. Each segment carries an in-memory per-entity index (rebuilt on
 // open) so per-entity history scans — the exact-sliding-window path — do
 // not read unrelated events.
+//
+// On-disk format revisions:
+//
+//	v1 (legacy): no header; frames of [lsn u64 | 64 B event].
+//	v2:          16 B header [magic "AIMSEG2\0" | firstLSN u64], then
+//	             frames of [lsn u64 | 64 B event | crc32c u32], the CRC
+//	             covering the preceding 72 bytes.
+//
+// The reader accepts both; the writer only produces v2. Recovery runs in
+// one of two modes: Strict fails on any inconsistency, Salvage truncates a
+// torn tail at the last valid frame, quarantines unreachable segments, and
+// reports exactly what it dropped.
 package archive
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/crashpoint"
 	"repro/internal/event"
+	"repro/internal/obs"
 )
 
-// frameSize is the on-disk record: the 64 B event frame plus its LSN.
-const frameSize = event.WireSize + 8
+const (
+	// frameSizeV1 is the legacy on-disk record: 64 B event frame plus LSN.
+	frameSizeV1 = event.WireSize + 8
+	// frameSizeV2 adds a CRC32C over the LSN+payload.
+	frameSizeV2 = event.WireSize + 12
+	// headerSizeV2 is the v2 segment header: magic + firstLSN.
+	headerSizeV2 = 16
+	// crcOffset is where the frame CRC lives within a v2 frame.
+	crcOffset = event.WireSize + 8
+)
+
+var segMagic = [8]byte{'A', 'I', 'M', 'S', 'E', 'G', '2', 0}
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // DefaultSegmentEvents is the default segment capacity.
 const DefaultSegmentEvents = 1 << 16
+
+// RecoveryMode selects how Open treats on-disk inconsistencies.
+type RecoveryMode int
+
+const (
+	// Strict fails on any checksum mismatch, torn tail, or LSN gap. A
+	// cleanly shut down archive always opens in Strict.
+	Strict RecoveryMode = iota
+	// Salvage truncates a torn tail at the last valid frame, quarantines
+	// segments beyond the valid prefix (renamed *.quarantine, never
+	// deleted), and records what it dropped in the RecoveryReport.
+	Salvage
+)
+
+func (m RecoveryMode) String() string {
+	if m == Salvage {
+		return "salvage"
+	}
+	return "strict"
+}
+
+// ErrCorrupt is wrapped by every corruption error Strict recovery returns,
+// so callers can decide to retry with Salvage.
+var ErrCorrupt = errors.New("archive: corrupt")
+
+// RecoveryReport says what Open found and (in Salvage mode) dropped.
+type RecoveryReport struct {
+	Mode RecoveryMode
+	// Segments is the number of live segments after recovery.
+	Segments int
+	// FramesDropped counts frames lost to tail truncation (whole or torn).
+	FramesDropped int
+	// BytesTruncated is how many bytes Salvage cut from torn segments.
+	BytesTruncated int64
+	// QuarantinedFiles are segments renamed aside (unreachable after a
+	// mid-log truncation or unreadable headers).
+	QuarantinedFiles []string
+}
+
+// Clean reports whether recovery found nothing to repair.
+func (r RecoveryReport) Clean() bool {
+	return r.FramesDropped == 0 && r.BytesTruncated == 0 && len(r.QuarantinedFiles) == 0
+}
 
 // Archive is an append-only, segmented event log.
 type Archive struct {
@@ -38,6 +111,9 @@ type Archive struct {
 	active      *segment
 	nextLSN     uint64
 	syncOnWrite bool
+	report      RecoveryReport
+
+	met archiveMetrics
 }
 
 type segment struct {
@@ -45,8 +121,34 @@ type segment struct {
 	firstLSN uint64
 	n        int
 	file     *os.File // nil when sealed
+	v1       bool     // legacy frame layout (no header, no CRC)
 	// byEntity maps caller entity -> frame ordinals within the segment.
 	byEntity map[uint64][]int32
+}
+
+func (s *segment) frameSize() int {
+	if s.v1 {
+		return frameSizeV1
+	}
+	return frameSizeV2
+}
+
+func (s *segment) dataOff() int {
+	if s.v1 {
+		return 0
+	}
+	return headerSizeV2
+}
+
+// archiveMetrics are the archive's obs instruments; all fields are nil (and
+// therefore free) when Options.Metrics is nil.
+type archiveMetrics struct {
+	fsync       *obs.Histogram
+	segments    *obs.Gauge
+	salvFrames  *obs.Counter
+	salvSegs    *obs.Counter
+	gcSegments  *obs.Counter
+	appendBytes *obs.Counter
 }
 
 // Options configures an Archive.
@@ -57,6 +159,21 @@ type Options struct {
 	// false, durability is bounded by Sync/rotation (the paper's
 	// "zero-copy logging" trades the same bound).
 	SyncOnWrite bool
+	// Recovery selects Strict (default) or Salvage handling of on-disk
+	// inconsistencies at Open.
+	Recovery RecoveryMode
+	// Metrics, when set, registers the archive's instruments (fsync
+	// latency, segment count, salvage drops) on the registry.
+	Metrics *obs.Registry
+	// MetricsLabel adds a node="<label>" constant label to every metric.
+	MetricsLabel string
+}
+
+func label(l, name string) string {
+	if l == "" {
+		return name
+	}
+	return obs.Label(name, "node", l)
 }
 
 // Open creates or recovers an archive in dir.
@@ -67,55 +184,234 @@ func Open(dir string, opts Options) (*Archive, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
-	a := &Archive{dir: dir, segmentCap: opts.SegmentEvents, syncOnWrite: opts.SyncOnWrite}
+	a := &Archive{
+		dir:         dir,
+		segmentCap:  opts.SegmentEvents,
+		syncOnWrite: opts.SyncOnWrite,
+		report:      RecoveryReport{Mode: opts.Recovery},
+	}
+	if reg := opts.Metrics; reg != nil {
+		a.met = archiveMetrics{
+			fsync: reg.LatencyHistogram(label(opts.MetricsLabel, "aim_archive_fsync_seconds"),
+				"Latency of archive segment fsyncs."),
+			segments: reg.Gauge(label(opts.MetricsLabel, "aim_archive_segments"),
+				"Live archive segment files."),
+			salvFrames: reg.Counter(label(opts.MetricsLabel, "aim_archive_salvage_frames_dropped_total"),
+				"Frames dropped by Salvage recovery (torn tails and quarantined segments)."),
+			salvSegs: reg.Counter(label(opts.MetricsLabel, "aim_archive_salvage_segments_dropped_total"),
+				"Whole segments quarantined by Salvage recovery."),
+			gcSegments: reg.Counter(label(opts.MetricsLabel, "aim_archive_segments_gc_total"),
+				"Segments removed by checkpoint-driven archive truncation."),
+			appendBytes: reg.Counter(label(opts.MetricsLabel, "aim_archive_append_bytes_total"),
+				"Bytes appended to the archive."),
+		}
+	}
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
 	}
 	sort.Strings(names)
+	// Drop zero-length segments in any mode: a crash between segment
+	// creation and the header write leaves an empty file that holds no
+	// committed frames, would read as a bogus LSN gap, and whose name
+	// collides with the next rotation.
+	live := names[:0]
 	for _, name := range names {
-		seg, err := openSegment(name)
-		if err != nil {
-			return nil, err
+		if segBytes(name) == 0 {
+			if err := os.Remove(name); err != nil {
+				return nil, fmt.Errorf("archive: remove empty segment: %w", err)
+			}
+			continue
 		}
-		a.segments = append(a.segments, seg)
-		a.nextLSN = seg.firstLSN + uint64(seg.n)
+		live = append(live, name)
 	}
-	// Reopen the last segment for appends if it has room.
-	if n := len(a.segments); n > 0 && a.segments[n-1].n < a.segmentCap {
+	names = live
+	if err := a.recoverSegments(names, opts.Recovery); err != nil {
+		return nil, err
+	}
+	// Reopen the last segment for appends if it is v2 and has room. A
+	// trailing v1 segment stays sealed; the next append rotates into a
+	// fresh v2 segment so formats never mix within one file.
+	if n := len(a.segments); n > 0 {
 		last := a.segments[n-1]
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("archive: reopen %s: %w", last.path, err)
+		if !last.v1 && last.n < a.segmentCap {
+			f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("archive: reopen %s: %w", last.path, err)
+			}
+			last.file = f
+			a.active = last
 		}
-		last.file = f
-		a.active = last
 	}
+	a.met.segments.Set(int64(len(a.segments)))
 	return a, nil
 }
 
-// openSegment reads a sealed segment and rebuilds its entity index.
-func openSegment(path string) (*segment, error) {
+// recoverSegments validates the segment chain in order, enforcing frame
+// checksums and LSN contiguity, repairing (Salvage) or rejecting (Strict)
+// anything inconsistent.
+func (a *Archive) recoverSegments(names []string, mode RecoveryMode) error {
+	var expect uint64
+	haveExpect := false
+	for i, name := range names {
+		seg, truncAt, dropped, err := parseSegment(name)
+		bad := err != nil
+		if !bad && haveExpect && seg.firstLSN != expect {
+			err = fmt.Errorf("%w: %s: LSN gap (starts at %d, want %d)", ErrCorrupt, name, seg.firstLSN, expect)
+			bad = true
+		}
+		if bad {
+			if mode == Strict {
+				return err
+			}
+			// Salvage: the valid log ends here. Quarantine this segment
+			// and every later one.
+			return a.quarantineFrom(names[i:], dropped+countFrames(names[i+1:]))
+		}
+		if truncAt >= 0 {
+			// Torn tail within this segment.
+			if mode == Strict {
+				return fmt.Errorf("%w: %s: torn tail (%d trailing bytes)", ErrCorrupt, name, segBytes(name)-truncAt)
+			}
+			cut := segBytes(name) - truncAt
+			if truncAt == 0 {
+				// The whole file is a torn tail (a headerless fragment):
+				// keeping a zero-length shell would collide with the next
+				// rotation, so remove it outright.
+				if err := os.Remove(name); err != nil {
+					return fmt.Errorf("archive: salvage remove %s: %w", name, err)
+				}
+			} else {
+				if err := os.Truncate(name, truncAt); err != nil {
+					return fmt.Errorf("archive: salvage truncate %s: %w", name, err)
+				}
+				a.segments = append(a.segments, seg)
+				a.nextLSN = seg.firstLSN + uint64(seg.n)
+			}
+			a.report.BytesTruncated += cut
+			a.report.FramesDropped += dropped
+			a.met.salvFrames.Add(uint64(dropped))
+			a.report.Segments = len(a.segments)
+			// Segments beyond a truncated one are past the end of the log.
+			return a.quarantineFrom(names[i+1:], countFrames(names[i+1:]))
+		}
+		a.segments = append(a.segments, seg)
+		a.nextLSN = seg.firstLSN + uint64(seg.n)
+		expect, haveExpect = a.nextLSN, true
+	}
+	a.report.Segments = len(a.segments)
+	return nil
+}
+
+// quarantineFrom renames the given segment files aside and accounts them in
+// the recovery report. Files are renamed, never deleted, so an operator can
+// inspect what Salvage dropped.
+func (a *Archive) quarantineFrom(names []string, frames int) error {
+	for _, name := range names {
+		q := name + ".quarantine"
+		if err := os.Rename(name, q); err != nil {
+			return fmt.Errorf("archive: quarantine %s: %w", name, err)
+		}
+		a.report.QuarantinedFiles = append(a.report.QuarantinedFiles, q)
+		a.met.salvSegs.Inc()
+	}
+	a.report.FramesDropped += frames
+	a.met.salvFrames.Add(uint64(frames))
+	a.report.Segments = len(a.segments)
+	return syncDir(a.dir)
+}
+
+// countFrames estimates (upper bound) how many frames live in the given
+// segment files, for salvage drop reporting.
+func countFrames(names []string) int {
+	total := 0
+	for _, name := range names {
+		sz := segBytes(name)
+		if sz > headerSizeV2 {
+			total += int((sz - headerSizeV2 + frameSizeV2 - 1) / frameSizeV2)
+		}
+	}
+	return total
+}
+
+func segBytes(name string) int64 {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// parseSegment reads one segment and rebuilds its entity index. It returns
+// truncAt >= 0 (a byte offset) when the file has a torn but salvageable
+// tail, with dropped = the number of frames beyond the valid prefix. A
+// non-nil error means the segment is unusable from the start.
+func parseSegment(path string) (seg *segment, truncAt int64, dropped int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("archive: %w", err)
+		return nil, -1, 0, fmt.Errorf("archive: %w", err)
 	}
-	if len(data)%frameSize != 0 {
-		// A torn tail write: keep the complete prefix (crash recovery).
-		data = data[:len(data)/frameSize*frameSize]
+	seg = &segment{path: path, byEntity: make(map[uint64][]int32)}
+	if len(data) >= 8 && [8]byte(data[:8]) == segMagic {
+		return parseV2(seg, data)
 	}
-	seg := &segment{path: path, byEntity: make(map[uint64][]int32)}
-	for i := 0; i*frameSize < len(data); i++ {
-		off := i * frameSize
-		lsn := binary.LittleEndian.Uint64(data[off:])
-		if i == 0 {
-			seg.firstLSN = lsn
+	return parseV1(seg, data)
+}
+
+func parseV2(seg *segment, data []byte) (*segment, int64, int, error) {
+	if len(data) < headerSizeV2 {
+		return nil, -1, 0, fmt.Errorf("%w: %s: short header", ErrCorrupt, seg.path)
+	}
+	seg.firstLSN = binary.LittleEndian.Uint64(data[8:])
+	body := data[headerSizeV2:]
+	total := (len(body) + frameSizeV2 - 1) / frameSizeV2 // frames incl. a torn tail
+	for i := 0; (i+1)*frameSizeV2 <= len(body); i++ {
+		f := body[i*frameSizeV2:]
+		want := binary.LittleEndian.Uint32(f[crcOffset:])
+		if crc32.Checksum(f[:crcOffset], castagnoli) != want {
+			return seg, int64(headerSizeV2 + i*frameSizeV2), total - i, nil
 		}
-		caller := binary.LittleEndian.Uint64(data[off+8:]) // Event.Caller is frame word 0
+		lsn := binary.LittleEndian.Uint64(f)
+		if lsn != seg.firstLSN+uint64(i) {
+			return seg, int64(headerSizeV2 + i*frameSizeV2), total - i, nil
+		}
+		caller := binary.LittleEndian.Uint64(f[8:]) // Event.Caller is frame word 0
 		seg.byEntity[caller] = append(seg.byEntity[caller], int32(i))
 		seg.n++
 	}
-	return seg, nil
+	if seg.n*frameSizeV2 != len(body) {
+		// Torn partial frame at the tail (all complete frames were valid).
+		return seg, int64(headerSizeV2 + seg.n*frameSizeV2), total - seg.n, nil
+	}
+	return seg, -1, 0, nil
+}
+
+func parseV1(seg *segment, data []byte) (*segment, int64, int, error) {
+	seg.v1 = true
+	for i := 0; (i+1)*frameSizeV1 <= len(data); i++ {
+		off := i * frameSizeV1
+		lsn := binary.LittleEndian.Uint64(data[off:])
+		if i == 0 {
+			seg.firstLSN = lsn
+		} else if lsn != seg.firstLSN+uint64(i) {
+			// v1 has no checksums; a broken LSN chain is the only tell.
+			return seg, int64(off), (len(data)-off+frameSizeV1-1)/frameSizeV1, nil
+		}
+		caller := binary.LittleEndian.Uint64(data[off+8:])
+		seg.byEntity[caller] = append(seg.byEntity[caller], int32(i))
+		seg.n++
+	}
+	if seg.n*frameSizeV1 != len(data) {
+		return seg, int64(seg.n * frameSizeV1), 1, nil
+	}
+	return seg, -1, 0, nil
+}
+
+// Report returns what recovery found (and repaired) at Open.
+func (a *Archive) Report() RecoveryReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.report
 }
 
 // Append logs one event and returns its LSN.
@@ -128,14 +424,17 @@ func (a *Archive) Append(ev *event.Event) (uint64, error) {
 		}
 	}
 	lsn := a.nextLSN
-	var buf [frameSize]byte
+	var buf [frameSizeV2]byte
 	binary.LittleEndian.PutUint64(buf[:], lsn)
 	ev.Encode(buf[8:])
-	if _, err := a.active.file.Write(buf[:]); err != nil {
+	binary.LittleEndian.PutUint32(buf[crcOffset:], crc32.Checksum(buf[:crcOffset], castagnoli))
+	if err := a.writeFrame(buf[:]); err != nil {
 		return 0, fmt.Errorf("archive: append: %w", err)
 	}
+	a.met.appendBytes.Add(frameSizeV2)
 	if a.syncOnWrite {
-		if err := a.active.file.Sync(); err != nil {
+		crashpoint.Hit(crashpoint.ArchiveAppendBeforeSync)
+		if err := a.syncFile(a.active.file); err != nil {
 			return 0, fmt.Errorf("archive: sync: %w", err)
 		}
 	}
@@ -145,10 +444,28 @@ func (a *Archive) Append(ev *event.Event) (uint64, error) {
 	return lsn, nil
 }
 
+// writeFrame writes one frame. With crashpoints armed the frame goes out in
+// two halves with a kill point between them, so the harness can manufacture
+// genuinely torn tails; otherwise it is a single write.
+func (a *Archive) writeFrame(buf []byte) error {
+	crashpoint.Hit(crashpoint.ArchiveAppendBeforeWrite)
+	if crashpoint.Enabled() {
+		half := len(buf) / 2
+		if _, err := a.active.file.Write(buf[:half]); err != nil {
+			return err
+		}
+		crashpoint.Hit(crashpoint.ArchiveAppendTorn)
+		_, err := a.active.file.Write(buf[half:])
+		return err
+	}
+	_, err := a.active.file.Write(buf)
+	return err
+}
+
 // rotateLocked seals the active segment and starts a new one.
 func (a *Archive) rotateLocked() error {
 	if a.active != nil {
-		if err := a.active.file.Sync(); err != nil {
+		if err := a.syncFile(a.active.file); err != nil {
 			return fmt.Errorf("archive: seal sync: %w", err)
 		}
 		if err := a.active.file.Close(); err != nil {
@@ -161,9 +478,47 @@ func (a *Archive) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("archive: rotate: %w", err)
 	}
+	crashpoint.Hit(crashpoint.ArchiveRotateAfterCreate)
+	var hdr [headerSizeV2]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint64(hdr[8:], a.nextLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: rotate header: %w", err)
+	}
+	if err := syncDir(a.dir); err != nil {
+		f.Close()
+		return err
+	}
 	seg := &segment{path: path, firstLSN: a.nextLSN, file: f, byEntity: make(map[uint64][]int32)}
 	a.segments = append(a.segments, seg)
 	a.active = seg
+	a.met.segments.Set(int64(len(a.segments)))
+	return nil
+}
+
+// syncFile fsyncs f, feeding the fsync-latency histogram.
+func (a *Archive) syncFile(f *os.File) error {
+	var t0 time.Time
+	if a.met.fsync != nil {
+		t0 = time.Now()
+	}
+	err := f.Sync()
+	a.met.fsync.ObserveSince(t0)
+	return err
+}
+
+// syncDir makes directory-entry changes (creates, renames, removes)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("archive: sync dir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("archive: sync dir: %w", err)
+	}
 	return nil
 }
 
@@ -172,7 +527,7 @@ func (a *Archive) Sync() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active != nil && a.active.file != nil {
-		return a.active.file.Sync()
+		return a.syncFile(a.active.file)
 	}
 	return nil
 }
@@ -182,7 +537,7 @@ func (a *Archive) Close() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.active != nil && a.active.file != nil {
-		if err := a.active.file.Sync(); err != nil {
+		if err := a.syncFile(a.active.file); err != nil {
 			return err
 		}
 		if err := a.active.file.Close(); err != nil {
@@ -212,6 +567,48 @@ func (a *Archive) Len() int {
 	return n
 }
 
+// FirstLSN returns the LSN of the oldest retained event (0 when empty).
+func (a *Archive) FirstLSN() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.segments) == 0 {
+		return a.nextLSN
+	}
+	return a.segments[0].firstLSN
+}
+
+// TruncateBelow removes whole sealed segments every frame of which has
+// LSN < lsn — the checkpoint-retention GC: once a base checkpoint holds
+// state through its watermark, the archive below it is dead weight. The
+// newest segment is always kept (even if fully below the watermark) so the
+// archive's next-LSN survives restarts. Returns the number of segments
+// removed.
+func (a *Archive) TruncateBelow(lsn uint64) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	removed := 0
+	for len(a.segments) > 1 {
+		s := a.segments[0]
+		if s.file != nil || s.firstLSN+uint64(s.n) > lsn {
+			break
+		}
+		if err := os.Remove(s.path); err != nil {
+			return removed, fmt.Errorf("archive: truncate: %w", err)
+		}
+		a.segments = a.segments[1:]
+		removed++
+		a.met.gcSegments.Inc()
+		crashpoint.Hit(crashpoint.ArchiveTruncateMid)
+	}
+	a.met.segments.Set(int64(len(a.segments)))
+	if removed > 0 {
+		if err := syncDir(a.dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
 // readFrame reads one frame of a segment (from disk; segments are the
 // durable copy, no payload cache is kept).
 func (s *segment) readFrame(ordinal int) (uint64, event.Event, error) {
@@ -220,11 +617,17 @@ func (s *segment) readFrame(ordinal int) (uint64, event.Event, error) {
 		return 0, event.Event{}, err
 	}
 	defer f.Close()
-	var buf [frameSize]byte
-	if _, err := f.ReadAt(buf[:], int64(ordinal)*frameSize); err != nil {
+	buf := make([]byte, s.frameSize())
+	if _, err := f.ReadAt(buf, int64(s.dataOff()+ordinal*s.frameSize())); err != nil {
 		return 0, event.Event{}, err
 	}
-	lsn := binary.LittleEndian.Uint64(buf[:])
+	if !s.v1 {
+		want := binary.LittleEndian.Uint32(buf[crcOffset:])
+		if crc32.Checksum(buf[:crcOffset], castagnoli) != want {
+			return 0, event.Event{}, fmt.Errorf("%w: %s: frame %d checksum", ErrCorrupt, s.path, ordinal)
+		}
+	}
+	lsn := binary.LittleEndian.Uint64(buf)
 	var ev event.Event
 	if err := ev.Decode(buf[8:]); err != nil {
 		return 0, ev, err
@@ -233,7 +636,8 @@ func (s *segment) readFrame(ordinal int) (uint64, event.Event, error) {
 }
 
 // Replay invokes fn for every archived event with LSN >= fromLSN, in LSN
-// order. This is the recovery tail-replay path.
+// order. This is the recovery tail-replay path. Frame checksums are
+// re-verified (the file may have rotted since Open).
 func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) error) error {
 	a.mu.Lock()
 	segs := append([]*segment(nil), a.segments...)
@@ -246,17 +650,24 @@ func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) err
 		if err != nil {
 			return fmt.Errorf("archive: replay %s: %w", s.path, err)
 		}
-		if len(data) > s.n*frameSize {
-			data = data[:s.n*frameSize]
+		fs, off := s.frameSize(), s.dataOff()
+		if len(data) > off+s.n*fs {
+			data = data[:off+s.n*fs]
 		}
-		for i := 0; i*frameSize < len(data); i++ {
-			off := i * frameSize
-			lsn := binary.LittleEndian.Uint64(data[off:])
+		for i := 0; off+(i+1)*fs <= len(data); i++ {
+			f := data[off+i*fs:]
+			if !s.v1 {
+				want := binary.LittleEndian.Uint32(f[crcOffset:])
+				if crc32.Checksum(f[:crcOffset], castagnoli) != want {
+					return fmt.Errorf("%w: %s: frame %d checksum during replay", ErrCorrupt, s.path, i)
+				}
+			}
+			lsn := binary.LittleEndian.Uint64(f)
 			if lsn < fromLSN {
 				continue
 			}
 			var ev event.Event
-			if err := ev.Decode(data[off+8:]); err != nil {
+			if err := ev.Decode(f[8:]); err != nil {
 				return err
 			}
 			if err := fn(lsn, ev); err != nil {

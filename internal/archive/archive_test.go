@@ -1,6 +1,7 @@
 package archive
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -103,7 +104,7 @@ func TestReopenRecoversStateAndKeepsAppending(t *testing.T) {
 	}
 }
 
-func TestTornTailDiscarded(t *testing.T) {
+func TestTornTailStrictVsSalvage(t *testing.T) {
 	dir := t.TempDir()
 	a, err := Open(dir, Options{})
 	if err != nil {
@@ -125,13 +126,22 @@ func TestTornTailDiscarded(t *testing.T) {
 	if err := os.Truncate(segs[0], fi.Size()-10); err != nil {
 		t.Fatal(err)
 	}
-	b, err := Open(dir, Options{})
+	// Strict refuses the torn tail.
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict open of torn tail: err = %v, want ErrCorrupt", err)
+	}
+	// Salvage truncates it at the last valid frame and reports the drop.
+	b, err := Open(dir, Options{Recovery: Salvage})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer b.Close()
 	if b.Len() != 4 {
 		t.Fatalf("after torn tail Len = %d, want 4", b.Len())
+	}
+	rep := b.Report()
+	if rep.FramesDropped != 1 || rep.BytesTruncated == 0 || rep.Clean() {
+		t.Fatalf("salvage report = %+v", rep)
 	}
 	// The archive accepts new appends and LSNs stay dense.
 	ev := mkEvent(2, 9, 10, 1, false)
@@ -141,6 +151,216 @@ func TestTornTailDiscarded(t *testing.T) {
 	}
 	if lsn != 4 {
 		t.Fatalf("post-recovery lsn = %d", lsn)
+	}
+	b.Close()
+	// The repaired archive reopens cleanly under Strict.
+	c, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Len() != 5 || !c.Report().Clean() {
+		t.Fatalf("after repair Len=%d report=%+v", c.Len(), c.Report())
+	}
+}
+
+func TestBitFlipDetectedByFrameCRC(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ev := mkEvent(uint64(i)+1, int64(i), 10, 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	// Flip one payload byte in frame 5 (past the header + 5 frames).
+	f, err := os.OpenFile(segs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(headerSizeV2 + 5*frameSizeV2 + 20)
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict open of bit-flipped frame: %v", err)
+	}
+	s, err := Open(dir, Options{Recovery: Salvage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 5 {
+		t.Fatalf("salvaged Len = %d, want 5 (frames 0..4)", s.Len())
+	}
+	if rep := s.Report(); rep.FramesDropped != 3 {
+		t.Fatalf("report = %+v, want 3 frames dropped", rep)
+	}
+}
+
+func TestSalvageQuarantinesUnreachableSegments(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{SegmentEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ { // 3 segments
+		ev := mkEvent(1, int64(i), int64(i), 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 3 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Corrupt the MIDDLE segment's first frame: everything after it is
+	// unreachable (the LSN chain is broken).
+	f, _ := os.OpenFile(segs[1], os.O_RDWR, 0)
+	f.WriteAt([]byte{0xAA}, headerSizeV2+3)
+	f.Close()
+	s, err := Open(dir, Options{Recovery: Salvage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 8 {
+		t.Fatalf("salvaged Len = %d, want 8 (first segment only)", s.Len())
+	}
+	rep := s.Report()
+	if len(rep.QuarantinedFiles) != 1 || rep.FramesDropped != 16 {
+		t.Fatalf("report = %+v", rep)
+	}
+	q, _ := filepath.Glob(filepath.Join(dir, "*.quarantine"))
+	if len(q) != 1 {
+		t.Fatalf("quarantined files on disk: %v", q)
+	}
+	// Replay covers exactly the surviving prefix and appends continue at 8.
+	n := 0
+	if err := s.Replay(0, func(uint64, event.Event) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("replayed %d", n)
+	}
+	ev := mkEvent(1, 99, 1, 1, false)
+	if lsn, err := s.Append(&ev); err != nil || lsn != 8 {
+		t.Fatalf("append after salvage: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestLegacyV1SegmentsStillReadable(t *testing.T) {
+	dir := t.TempDir()
+	// Hand-write a v1 segment: headerless 72 B frames.
+	var buf []byte
+	for i := 0; i < 6; i++ {
+		frame := make([]byte, frameSizeV1)
+		ev := mkEvent(uint64(i%2)+1, int64(i*100), int64(i), 1, false)
+		putUint64(frame, uint64(i))
+		ev.Encode(frame[8:])
+		buf = append(buf, frame...)
+	}
+	path := filepath.Join(dir, "seg-0000000000000000.log")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Len() != 6 || a.NextLSN() != 6 {
+		t.Fatalf("v1 reopen Len=%d NextLSN=%d", a.Len(), a.NextLSN())
+	}
+	// Appending does NOT extend the v1 file: a fresh v2 segment is rotated
+	// in so formats never mix within one file.
+	ev := mkEvent(5, 1000, 9, 1, false)
+	lsn, err := a.Append(&ev)
+	if err != nil || lsn != 6 {
+		t.Fatalf("append after v1: lsn=%d err=%v", lsn, err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 2 {
+		t.Fatalf("segments after v1 append: %v", segs)
+	}
+	n := 0
+	if err := a.Replay(0, func(uint64, event.Event) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("replayed %d across v1+v2", n)
+	}
+	// Entity history spans both formats.
+	evs, err := a.EntityHistory(1, 0, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("entity 1 history = %d events", len(evs))
+	}
+}
+
+func TestTruncateBelowKeepsTailAndLSNs(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{SegmentEvents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ { // 5 segments
+		ev := mkEvent(1, int64(i), int64(i), 1, false)
+		if _, err := a.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := a.TruncateBelow(20) // segments [0,8) and [8,16) die
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("removed %d segments", removed)
+	}
+	if a.FirstLSN() != 16 || a.NextLSN() != 40 {
+		t.Fatalf("FirstLSN=%d NextLSN=%d", a.FirstLSN(), a.NextLSN())
+	}
+	// Replay from the watermark still works.
+	n := 0
+	if err := a.Replay(20, func(uint64, event.Event) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 20 {
+		t.Fatalf("replayed %d", n)
+	}
+	// Truncating everything keeps the newest segment so next-LSN survives
+	// a reopen even when all its frames are below the watermark.
+	if _, err := a.TruncateBelow(1 << 60); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	b, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.NextLSN() != 40 {
+		t.Fatalf("NextLSN after full truncate + reopen = %d", b.NextLSN())
+	}
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
 	}
 }
 

@@ -1,0 +1,88 @@
+package archive
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// fuzzSeedSegment builds a real segment on disk and returns its bytes, so
+// the corpus starts from well-formed input the mutator can corrupt.
+func fuzzSeedSegment(f *testing.F, events int) []byte {
+	f.Helper()
+	dir := f.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < events; i++ {
+		ev := event.Event{Caller: uint64(i + 1), Timestamp: int64(i), Cost: 0.5}
+		if _, err := a.Append(&ev); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := a.Close(); err != nil {
+		f.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(names) == 0 {
+		f.Fatalf("no segment produced: %v", err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzOpenSegment feeds arbitrary bytes to the segment parser through both
+// recovery modes. Opening must never panic; whatever Salvage accepts must
+// replay cleanly end to end.
+func FuzzOpenSegment(f *testing.F) {
+	f.Add(fuzzSeedSegment(f, 5))
+	f.Add([]byte("AIMSEG2\x00\x00\x00\x00\x00\x00\x00\x00\x00")) // empty v2
+	f.Add(make([]byte, frameSizeV1*2))                           // headerless v1
+	f.Add([]byte{})
+	f.Add([]byte("AIMSEG2"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []RecoveryMode{Strict, Salvage} {
+			dir := t.TempDir()
+			seg := filepath.Join(dir, "seg-0000000000000000.log")
+			if err := os.WriteFile(seg, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			a, err := Open(dir, Options{Recovery: mode})
+			if err != nil {
+				if mode == Salvage {
+					t.Fatalf("salvage open must repair anything: %v", err)
+				}
+				continue
+			}
+			// Everything the parser accepted must be readable: Replay
+			// re-verifies frame CRCs, so corruption the parser let through
+			// would surface here.
+			n := 0
+			err = a.Replay(0, func(_ uint64, _ event.Event) error { n++; return nil })
+			if err != nil {
+				t.Fatalf("mode %v accepted a segment it cannot replay: %v", mode, err)
+			}
+			if n != a.Len() {
+				t.Fatalf("mode %v: Len()=%d but replay yielded %d", mode, a.Len(), n)
+			}
+			if _, err := a.EntityHistory(1, 0, 1<<60); err != nil {
+				t.Fatalf("entity history: %v", err)
+			}
+			// The archive must stay appendable after any recovery outcome.
+			ev := event.Event{Caller: 99}
+			if _, err := a.Append(&ev); err != nil {
+				t.Fatalf("append after %v recovery: %v", mode, err)
+			}
+			if err := a.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

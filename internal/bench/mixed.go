@@ -71,8 +71,13 @@ func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, 
 		s.Stop()
 		return nil, err
 	}
-	// Let a merge round publish the preload into every main.
-	time.Sleep(5 * time.Millisecond)
+	// Let merge rounds publish the preload into every main; scheduling on a
+	// loaded box can take more than one round, so poll rather than sleep a
+	// fixed beat.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Records < int(entities) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
 	return s, nil
 }
 

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/archive"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// RecoveryTime measures crash-recovery time as a function of the archive
+// tail length past the newest checkpoint: the same total event history is
+// laid down each time, with a full fuzzy checkpoint taken earlier or later
+// in the stream (or never). Recovery cost = load checkpoint records + replay
+// the tail, so the sweep isolates how checkpoint cadence buys down restart
+// time — the operational knob behind aimserver's -checkpoint-every.
+func RecoveryTime(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	total := int(p.Entities)
+	if total > 200_000 {
+		total = 200_000
+	}
+	if total < 20_000 {
+		total = 20_000
+	}
+	t := &Table{
+		Title:  "Recovery time vs archive tail length (total history fixed)",
+		Header: []string{"history_ev", "ckpt_records", "tail_ev", "recover_ms", "replay_ev/s"},
+	}
+	// Tail fractions of the total history; 1.0 = no checkpoint at all
+	// (cold replay of the whole archive).
+	for _, frac := range []float64{0, 0.05, 0.25, 0.5, 1.0} {
+		tail := int(float64(total) * frac)
+		rep, err := runRecoveryPoint(p, w, total, tail)
+		if err != nil {
+			return nil, fmt.Errorf("bench: recover (tail %d): %w", tail, err)
+		}
+		evPerSec := float64(0)
+		if rep.TailEvents > 0 && rep.Duration > 0 {
+			evPerSec = float64(rep.TailEvents) / rep.Duration.Seconds()
+		}
+		t.AddRow(total, rep.Records, rep.TailEvents, ms(rep.Duration),
+			fmt.Sprintf("%.0f", evPerSec))
+	}
+	t.Note("recover_ms = checkpoint load + archive tail replay (RestoreWithReport)")
+	t.Note("tail 100%% = no checkpoint: cold replay bounds the worst-case restart")
+	return t, nil
+}
+
+// runRecoveryPoint ingests `total` durable events with a full checkpoint
+// taken after total-tail of them, shuts the node down, then measures a
+// strict restore.
+func runRecoveryPoint(p Params, w *Workload, total, tail int) (*core.RecoveryReport, error) {
+	dir, err := os.MkdirTemp("", "aim-recover-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	arch, err := archive.Open(filepath.Join(dir, "wal"), archive.Options{})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Schema:     w.Schema,
+		Dims:       w.Dims.Store,
+		Factory:    w.Dims.Factory(w.Schema),
+		Partitions: p.Partitions,
+		ESPThreads: p.ESPThreads,
+		BucketSize: p.BucketSize,
+		Archive:    arch,
+	}
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	gen := event.NewGenerator(p.Entities, p.Seed)
+	feed := func(n int) error {
+		var ev event.Event
+		for i := 0; i < n; i++ {
+			gen.Next(&ev)
+			if err := node.ProcessEventAsync(ev); err != nil {
+				return err
+			}
+		}
+		return node.FlushEvents()
+	}
+	if err := feed(total - tail); err != nil {
+		return nil, err
+	}
+	if tail < total {
+		if _, err := node.FuzzyCheckpoint(mgr, true); err != nil {
+			return nil, err
+		}
+	}
+	if err := feed(tail); err != nil {
+		return nil, err
+	}
+	node.Stop()
+	if err := arch.Close(); err != nil {
+		return nil, err
+	}
+
+	// Reopen and measure the restore, exactly the aimserver startup path.
+	arch2, err := archive.Open(filepath.Join(dir, "wal"), archive.Options{Recovery: archive.Strict})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Archive = arch2
+	node2, rep, err := core.RestoreWithReport(cfg, mgr, checkpoint.Strict)
+	if err != nil {
+		return nil, err
+	}
+	node2.Stop()
+	if err := arch2.Close(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

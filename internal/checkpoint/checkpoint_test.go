@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -147,6 +149,167 @@ func TestManagerIncrementalLoadLatestWins(t *testing.T) {
 	}
 	if recs[1][1] != 1 || recs[9][1] != 1 {
 		t.Fatal("base/new entities wrong")
+	}
+}
+
+func TestNewManagerRemovesOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	// A crash mid-checkpoint leaves the temp file behind.
+	orphan := filepath.Join(dir, "000003-incr.ckpt.tmp")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewManager(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphaned tmp survived Open: %v", err)
+	}
+}
+
+func TestNextSeqSurvivesGCHoles(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		w, _ := m.Create(2, uint64(i), i == 2) // last one is the base
+		w.Add([]uint64{1, uint64(i)})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed, wm, err := m.GC(); err != nil || removed != 2 || wm != 2 {
+		t.Fatalf("GC: removed=%d wm=%d err=%v", removed, wm, err)
+	}
+	// The next file must sort AFTER the surviving base, not collide with
+	// the freed low sequence numbers.
+	w, _ := m.Create(2, 9, false)
+	w.Add([]uint64{1, 99})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := m.files()
+	if len(files) != 2 || seqOf(files[1]) != 4 {
+		t.Fatalf("files after GC+create: %v", files)
+	}
+	recs, wm, err := m.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 9 || recs[1][1] != 99 {
+		t.Fatalf("latest-wins broken after GC: wm=%d recs=%v", wm, recs)
+	}
+}
+
+func TestRecordCRCDetectsBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	w, _ := NewWriter(path, 3, 7)
+	for e := uint64(1); e <= 4; e++ {
+		w.Add(mkRec(e, e))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	data[headerSize+10] ^= 0x01 // flip a bit in record 0's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path, func([]uint64) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip not detected: %v", err)
+	}
+}
+
+func TestUnsealedFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	w, _ := NewWriter(path, 2, 1)
+	w.Add([]uint64{1, 2})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the trailer off: simulates a rename racing a missing fsync.
+	fi, _ := os.Stat(path)
+	os.Truncate(path, fi.Size()-trailerSize)
+	if _, err := ReadFile(path, func([]uint64) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsealed file accepted: %v", err)
+	}
+}
+
+func TestSalvageDropsCorruptSuffix(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base(wm=100) + incr(wm=200) + incr(wm=300)
+	for i, wm := range []uint64{100, 200, 300} {
+		w, _ := m.Create(3, wm, i == 0)
+		w.Add(mkRec(uint64(i+1), wm))
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, _ := m.files()
+	// Corrupt the middle increment.
+	data, _ := os.ReadFile(files[1])
+	data[headerSize+3] ^= 0xFF
+	os.WriteFile(files[1], data, 0o644)
+
+	// Strict refuses.
+	if _, _, err := m.Load(3); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict load of corrupt chain: %v", err)
+	}
+	// Salvage keeps the base, quarantines the corrupt increment AND the
+	// later valid one (it cannot be applied over a hole).
+	recs, wm, rep, err := m.LoadWithReport(3, Salvage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 100 || len(recs) != 1 || recs[1] == nil {
+		t.Fatalf("salvage: wm=%d recs=%v", wm, recs)
+	}
+	if len(rep.QuarantinedFiles) != 2 || rep.Clean() {
+		t.Fatalf("report = %+v", rep)
+	}
+	q, _ := filepath.Glob(filepath.Join(m.Dir(), "*.quarantine"))
+	if len(q) != 2 {
+		t.Fatalf("quarantined on disk: %v", q)
+	}
+	// A later load sees only the surviving prefix.
+	recs2, wm2, err := m.Load(3)
+	if err != nil || wm2 != 100 || len(recs2) != 1 {
+		t.Fatalf("reload after salvage: wm=%d recs=%d err=%v", wm2, len(recs2), err)
+	}
+}
+
+func TestReadV1LegacyFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "legacy.ckpt")
+	// Hand-craft a v1 file: magic, slots=2, wm=77, count=2, records.
+	buf := make([]byte, headerSizeV1+2*2*8)
+	copy(buf, magicV1[:])
+	binary.LittleEndian.PutUint32(buf[8:], 2)
+	binary.LittleEndian.PutUint64(buf[12:], 77)
+	binary.LittleEndian.PutUint64(buf[countOffsetV1:], 2)
+	binary.LittleEndian.PutUint64(buf[headerSizeV1:], 5)
+	binary.LittleEndian.PutUint64(buf[headerSizeV1+8:], 50)
+	binary.LittleEndian.PutUint64(buf[headerSizeV1+16:], 6)
+	binary.LittleEndian.PutUint64(buf[headerSizeV1+24:], 60)
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]uint64
+	wm, err := ReadFile(path, func(rec []uint64) error {
+		got = append(got, append([]uint64(nil), rec...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm != 77 || len(got) != 2 || got[1][0] != 6 || got[1][1] != 60 {
+		t.Fatalf("v1 read: wm=%d got=%v", wm, got)
 	}
 }
 

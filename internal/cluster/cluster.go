@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -28,7 +29,11 @@ import (
 // entity. Query scatter/gather lives in the RTA coordinator (internal/rta),
 // which talks to the same Storage handles.
 type Cluster struct {
-	nodes  []core.Storage
+	// nodes holds one atomically swappable handle per storage server, so
+	// ReplaceNode can swap a restarted node in while the hot paths keep
+	// reading lock-free. (Pointer-to-interface, not atomic.Value: handles
+	// of different concrete types must be interchangeable.)
+	nodes  []atomic.Pointer[core.Storage]
 	hcfg   HealthConfig
 	health []*nodeHealth
 
@@ -50,15 +55,45 @@ func NewWithHealth(nodes []core.Storage, hcfg HealthConfig) (*Cluster, error) {
 		return nil, errors.New("cluster: need at least one storage node")
 	}
 	c := &Cluster{
-		nodes:  nodes,
+		nodes:  make([]atomic.Pointer[core.Storage], len(nodes)),
 		hcfg:   hcfg.withDefaults(),
 		health: make([]*nodeHealth, len(nodes)),
 		quit:   make(chan struct{}),
 	}
-	for i := range c.health {
+	for i := range nodes {
+		if nodes[i] == nil {
+			return nil, fmt.Errorf("cluster: node %d is nil", i)
+		}
+		n := nodes[i]
+		c.nodes[i].Store(&n)
 		c.health[i] = &nodeHealth{}
 	}
 	return c, nil
+}
+
+// node returns the current handle for storage server idx.
+func (c *Cluster) node(idx int) core.Storage { return *c.nodes[idx].Load() }
+
+// ReplaceNode atomically swaps the handle of storage server idx — the
+// restart path: after a crashed node recovers (checkpoint + archive-tail
+// replay), the new handle takes over and the node's circuit breaker is
+// reset so the spill queue accumulated during the outage replays onto the
+// recovered state.
+func (c *Cluster) ReplaceNode(idx int, n core.Storage) error {
+	if idx < 0 || idx >= len(c.nodes) {
+		return fmt.Errorf("cluster: no node %d", idx)
+	}
+	if n == nil {
+		return errors.New("cluster: ReplaceNode needs a handle")
+	}
+	c.nodes[idx].Store(&n)
+	if !c.disabled() {
+		c.health[idx].reset()
+		if c.health[idx].queued() > 0 {
+			c.startDrainer()
+		}
+	}
+	return nil
 }
 
 // NewLocal starts n in-process storage nodes with the same configuration
@@ -104,8 +139,14 @@ func (c *Cluster) Close() {
 // NumNodes returns the number of storage servers.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
-// Nodes returns the storage handles (for the RTA coordinator).
-func (c *Cluster) Nodes() []core.Storage { return c.nodes }
+// Nodes returns the current storage handles (for the RTA coordinator).
+func (c *Cluster) Nodes() []core.Storage {
+	out := make([]core.Storage, len(c.nodes))
+	for i := range c.nodes {
+		out[i] = c.node(i)
+	}
+	return out
+}
 
 // Health returns a snapshot of node i's breaker and spill-queue state.
 func (c *Cluster) Health(i int) NodeHealth { return c.health[i].snapshot() }
@@ -122,7 +163,7 @@ func (c *Cluster) indexFor(entityID uint64) int {
 
 // NodeFor returns the storage server owning the entity.
 func (c *Cluster) NodeFor(entityID uint64) core.Storage {
-	return c.nodes[c.indexFor(entityID)]
+	return c.node(c.indexFor(entityID))
 }
 
 // disabled reports whether health tracking is turned off.
@@ -135,13 +176,13 @@ func (c *Cluster) disabled() bool { return c.hcfg.FailureThreshold < 0 }
 func (c *Cluster) ProcessEventAsync(ev event.Event) error {
 	idx := c.indexFor(ev.Caller)
 	if c.disabled() {
-		return c.nodes[idx].ProcessEventAsync(ev)
+		return c.node(idx).ProcessEventAsync(ev)
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
 		return c.spillOrFail(idx, ev, nil)
 	}
-	err := c.nodes[idx].ProcessEventAsync(ev)
+	err := c.node(idx).ProcessEventAsync(ev)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	if err == nil {
 		return nil
@@ -208,7 +249,7 @@ func (c *Cluster) drainNode(idx int) {
 			h.releaseProbe()
 			return
 		}
-		err := c.nodes[idx].ProcessEventAsync(ev)
+		err := c.node(idx).ProcessEventAsync(ev)
 		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 		if err != nil {
 			h.requeue(ev)
@@ -226,13 +267,13 @@ func (c *Cluster) drainNode(idx int) {
 func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
 	idx := c.indexFor(ev.Caller)
 	if c.disabled() {
-		return c.nodes[idx].ProcessEvent(ev)
+		return c.node(idx).ProcessEvent(ev)
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
 		return 0, &NodeDownError{Node: idx, Err: c.lastErr(idx)}
 	}
-	n, err := c.nodes[idx].ProcessEvent(ev)
+	n, err := c.node(idx).ProcessEvent(ev)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	return n, err
 }
@@ -248,8 +289,8 @@ func (c *Cluster) FlushEvents() error {
 			firstErr = err
 		}
 	}
-	for idx, n := range c.nodes {
-		err := n.FlushEvents()
+	for idx := range c.nodes {
+		err := c.node(idx).FlushEvents()
 		if !c.disabled() {
 			c.health[idx].record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 		}
@@ -268,7 +309,7 @@ func (c *Cluster) flushSpilled(idx int) error {
 		if !ok {
 			return nil
 		}
-		err := c.nodes[idx].ProcessEventAsync(ev)
+		err := c.node(idx).ProcessEventAsync(ev)
 		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 		if err != nil {
 			h.requeue(ev)
@@ -284,13 +325,13 @@ func (c *Cluster) flushSpilled(idx int) error {
 func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 	idx := c.indexFor(entityID)
 	if c.disabled() {
-		return c.nodes[idx].Get(entityID)
+		return c.node(idx).Get(entityID)
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
 		return nil, 0, false, &NodeDownError{Node: idx, Err: c.lastErr(idx)}
 	}
-	rec, v, ok, err := c.nodes[idx].Get(entityID)
+	rec, v, ok, err := c.node(idx).Get(entityID)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	return rec, v, ok, err
 }
@@ -299,13 +340,13 @@ func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 func (c *Cluster) Put(rec schema.Record) error {
 	idx := c.indexFor(rec.EntityID())
 	if c.disabled() {
-		return c.nodes[idx].Put(rec)
+		return c.node(idx).Put(rec)
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
 		return &NodeDownError{Node: idx, Err: c.lastErr(idx)}
 	}
-	err := c.nodes[idx].Put(rec)
+	err := c.node(idx).Put(rec)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	return err
 }
@@ -315,13 +356,13 @@ func (c *Cluster) Put(rec schema.Record) error {
 func (c *Cluster) ConditionalPut(rec schema.Record, expected uint64) error {
 	idx := c.indexFor(rec.EntityID())
 	if c.disabled() {
-		return c.nodes[idx].ConditionalPut(rec, expected)
+		return c.node(idx).ConditionalPut(rec, expected)
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
 		return &NodeDownError{Node: idx, Err: c.lastErr(idx)}
 	}
-	err := c.nodes[idx].ConditionalPut(rec, expected)
+	err := c.node(idx).ConditionalPut(rec, expected)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	return err
 }

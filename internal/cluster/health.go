@@ -162,6 +162,18 @@ func (h *nodeHealth) record(err error, threshold int, probeInterval time.Duratio
 	}
 }
 
+// reset closes the breaker after the node's handle was replaced (restart
+// recovery). The spill queue and its counters are preserved: the events
+// queued during the outage still need to replay onto the recovered node.
+func (h *nodeHealth) reset() {
+	h.mu.Lock()
+	h.state = BreakerClosed
+	h.fails = 0
+	h.lastErr = nil
+	h.probing = false
+	h.mu.Unlock()
+}
+
 // releaseProbe returns an unused half-open probe token (the caller decided
 // not to send anything after all).
 func (h *nodeHealth) releaseProbe() {

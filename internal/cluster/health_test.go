@@ -251,3 +251,57 @@ func schemaRecord(t *testing.T, id uint64) schema.Record {
 	t.Helper()
 	return clusterSchema(t).NewRecord(id)
 }
+
+// TestReplaceNodeReplaysSpillOntoRecoveredNode models a node restart: the
+// old handle dies, events spill, then the restarted node's handle is
+// swapped in and the drainer replays the entire outage backlog onto it.
+func TestReplaceNodeReplaysSpillOntoRecoveredNode(t *testing.T) {
+	c, fs := flakyCluster(t, HealthConfig{
+		FailureThreshold: 2, ProbeInterval: time.Hour, // breaker stays open
+		RetryQueue: 1000, RetryInterval: time.Millisecond,
+	})
+	fs.down.Store(true)
+	const events = 40
+	for i := 0; i < events; i++ {
+		ev := event.Event{Caller: uint64(i + 1), Timestamp: int64(i + 1)}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatalf("event %d not absorbed: %v", i, err)
+		}
+	}
+	if h := c.Health(0); h.QueuedEvents == 0 {
+		t.Fatalf("nothing queued: %+v", h)
+	}
+	// The "restarted" node comes back with a fresh handle.
+	recovered := &flakyStorage{}
+	if err := c.ReplaceNode(0, recovered); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.Health(0); h.State != BreakerClosed {
+		t.Fatalf("breaker after replace = %v", h.State)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for recovered.deliveredCount() < events {
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed %d/%d onto recovered node (health %+v)",
+				recovered.deliveredCount(), events, c.Health(0))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if h := c.Health(0); h.QueuedEvents != 0 || h.Replayed < events {
+		t.Fatalf("queue not drained: %+v", h)
+	}
+	// New traffic reaches the new handle, not the old one.
+	before := fs.deliveredCount()
+	if err := c.ProcessEventAsync(event.Event{Caller: 7, Timestamp: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.deliveredCount() != before {
+		t.Fatal("event reached the dead handle")
+	}
+	if err := c.ReplaceNode(5, recovered); err == nil {
+		t.Fatal("out-of-range replace accepted")
+	}
+	if err := c.ReplaceNode(0, nil); err == nil {
+		t.Fatal("nil handle accepted")
+	}
+}

@@ -209,6 +209,26 @@ func (cm *ColumnMap) Snapshot() []Bucket {
 	return out
 }
 
+// IndexEntry is one entity-id → record-id mapping from IndexSnapshot.
+type IndexEntry struct {
+	Entity uint64
+	RID    uint32
+}
+
+// IndexSnapshot returns every (entity id, record id) pair as of the call.
+// It lets a reader decide per record — before touching any payload words —
+// whether the Algorithm 3 invariant makes a lock-free Gather safe, or the
+// record must be read from a delta instead.
+func (cm *ColumnMap) IndexSnapshot() []IndexEntry {
+	cm.mu.RLock()
+	defer cm.mu.RUnlock()
+	out := make([]IndexEntry, 0, len(cm.index))
+	for id, rid := range cm.index {
+		out = append(out, IndexEntry{Entity: id, RID: rid})
+	}
+	return out
+}
+
 // MemoryBytes reports the approximate payload memory in use.
 func (cm *ColumnMap) MemoryBytes() int64 {
 	cm.mu.RLock()

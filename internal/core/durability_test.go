@@ -1,7 +1,9 @@
 package core
 
 import (
+	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -172,6 +174,295 @@ func TestRestoreEmptyDirIsEmptyNode(t *testing.T) {
 	}
 	if _, err := Restore(Config{}, mgr); err == nil {
 		t.Fatal("Restore without schema accepted")
+	}
+}
+
+// TestFuzzyCheckpointUnderConcurrentIngest hammers the node with events
+// from several producers WHILE checkpoints are being taken, then restores
+// from checkpoint + tail and verifies not one event was lost or double
+// counted. This is the §7 online-checkpoint guarantee: each checkpoint is
+// consistent with an exact archive watermark even though ingest never
+// pauses.
+func TestFuzzyCheckpointUnderConcurrentIngest(t *testing.T) {
+	dir := t.TempDir()
+	n, arch, sch := durableNode(t, dir)
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers = 4
+	const perProducer = 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				ev := mkEvent(uint64((p*perProducer+i)%37)+1, int64(i))
+				if err := n.ProcessEventAsync(ev); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	// Checkpoints race the producers: a base then increments.
+	for c := 0; c < 6; c++ {
+		if _, err := n.FuzzyCheckpoint(mgr, c == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	// One more increment so the chain plus tail covers everything so far.
+	st, err := n.FuzzyCheckpoint(mgr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Watermark != producers*perProducer {
+		t.Fatalf("final watermark = %d, want %d", st.Watermark, producers*perProducer)
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	want := totalCalls(t, n, sch, 37)
+	if want != producers*perProducer {
+		t.Fatalf("pre-crash total = %d", want)
+	}
+	n.Stop()
+
+	restored, rep, err := RestoreWithReport(Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	}, mgr, checkpoint.Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if got := totalCalls(t, restored, sch, 37); got != want {
+		t.Fatalf("restored total = %d, want %d (report %+v)", got, want, rep)
+	}
+	if rep.TailEvents != 0 {
+		t.Fatalf("tail after final watermark-complete checkpoint = %d events", rep.TailEvents)
+	}
+}
+
+// TestCheckpointerRetentionGC runs the background checkpointer with GC on
+// and verifies superseded checkpoint files and dead archive segments are
+// reclaimed while the node stays recoverable.
+func TestCheckpointerRetentionGC(t *testing.T) {
+	dir := t.TempDir()
+	sch := testSchema(t)
+	arch, err := archive.Open(filepath.Join(dir, "wal"), archive.Options{SegmentEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	n, err := NewNode(Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := n.StartCheckpointer(mgr, CheckpointerOptions{
+		Interval:  time.Hour, // driven manually via RunOnce
+		BaseEvery: 2,
+		GC:        true,
+		OnError:   func(err error) { t.Error(err) },
+	})
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 100; i++ {
+			if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(round*100+i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ckpt.RunOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ckpt.Stop()
+	// GC must have reclaimed: at most the newest base + one increment
+	// remain, and archive segments below the newest base are gone.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt", "*.ckpt"))
+	if len(files) > 2 {
+		t.Fatalf("retention left %v", files)
+	}
+	if arch.FirstLSN() == 0 {
+		t.Fatal("archive was never truncated")
+	}
+	want := totalCalls(t, n, sch, 10)
+	n.Stop()
+	restored, err := Restore(Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	}, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if got := totalCalls(t, restored, sch, 10); got != want || got != 600 {
+		t.Fatalf("restored total = %d, want %d", got, want)
+	}
+}
+
+// TestFailedIncrementForcesFullNext verifies the dirty-set safety net: an
+// incremental checkpoint that fails AFTER its capture barrier (which clears
+// the dirty sets) forces the next checkpoint to be full, so no entity is
+// silently dropped from the chain.
+func TestFailedIncrementForcesFullNext(t *testing.T) {
+	dir := t.TempDir()
+	n, _, sch := durableNode(t, dir)
+	defer n.Stop()
+	ckptDir := filepath.Join(dir, "ckpt")
+	mgr, err := checkpoint.NewManager(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ProcessEvent(mkEvent(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the directory: the capture barrier runs (clearing dirty
+	// sets), then publishing the file fails.
+	if err := os.RemoveAll(ckptDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Checkpoint(mgr, false); err == nil {
+		t.Fatal("checkpoint into removed directory succeeded")
+	}
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// The next "incremental" must silently promote to full.
+	st, err := n.FuzzyCheckpoint(mgr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Full || st.Records != 10 {
+		t.Fatalf("post-failure checkpoint: full=%v records=%d, want full with 10", st.Full, st.Records)
+	}
+	recs, _, err := mgr.Load(sch.Slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := sch.MustAttrIndex("calls_today_count")
+	if got := int64(recs[1][calls]); got != 11 {
+		t.Fatalf("entity 1 calls = %d, want 11 (update not lost)", got)
+	}
+}
+
+// TestRestoreSalvagesCorruptIncrement: a bit-flipped increment makes Strict
+// restore fail; Salvage falls back to the base with a longer archive replay
+// and rebuilds the exact same matrix.
+func TestRestoreSalvagesCorruptIncrement(t *testing.T) {
+	dir := t.TempDir()
+	n, arch, sch := durableNode(t, dir)
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 100; i < 150; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Checkpoint(mgr, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	want := totalCalls(t, n, sch, 10)
+	n.Stop()
+	// Flip a byte in the increment.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt", "*-incr.ckpt"))
+	if len(files) != 1 {
+		t.Fatalf("increments: %v", files)
+	}
+	data, _ := os.ReadFile(files[0])
+	data[30] ^= 0x40
+	if err := os.WriteFile(files[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Schema: sch, Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	}
+	if _, _, err := RestoreWithReport(cfg, mgr, checkpoint.Strict); err == nil {
+		t.Fatal("strict restore of corrupt increment succeeded")
+	}
+	restored, rep, err := RestoreWithReport(cfg, mgr, checkpoint.Salvage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Stop()
+	if got := totalCalls(t, restored, sch, 10); got != want || got != 150 {
+		t.Fatalf("salvaged total = %d, want %d", got, want)
+	}
+	if rep.Watermark != 100 || rep.TailEvents != 50 || len(rep.Checkpoint.QuarantinedFiles) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestRestoreRefusesMissingTail: if the archive has been truncated above
+// the watermark recovery fell back to, Restore must fail loudly instead of
+// silently losing events.
+func TestRestoreRefusesMissingTail(t *testing.T) {
+	dir := t.TempDir()
+	sch := testSchema(t)
+	arch, err := archive.Open(filepath.Join(dir, "wal"), archive.Options{SegmentEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+	n, err := NewNode(Config{Schema: sch, Partitions: 1, BucketSize: 32, Archive: arch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := checkpoint.NewManager(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%10)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Checkpoint(mgr, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arch.TruncateBelow(100); err != nil {
+		t.Fatal(err)
+	}
+	n.Stop()
+	// Destroy the base: Salvage now falls back to "no checkpoint at all"
+	// (watermark 0), but the archive's early segments are gone.
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt", "*-base.ckpt"))
+	data, _ := os.ReadFile(files[0])
+	data[12] ^= 0xFF
+	os.WriteFile(files[0], data, 0o644)
+	cfg := Config{Schema: sch, Partitions: 1, BucketSize: 32, Archive: arch}
+	if _, _, err := RestoreWithReport(cfg, mgr, checkpoint.Salvage); err == nil {
+		t.Fatal("restore with a GC'd replay tail succeeded")
 	}
 }
 

@@ -21,6 +21,13 @@ type nodeMetrics struct {
 	eventApply *obs.Histogram // sampled UPDATE_MATRIX latency
 	ruleEval   *obs.Histogram // sampled business-rule evaluation latency
 
+	ckptTotal    *obs.Counter
+	ckptFailures *obs.Counter
+	ckptRecords  *obs.Counter
+	ckptBytes    *obs.Counter
+	ckptDuration *obs.Histogram
+	recovery     *obs.Histogram
+
 	scan *query.ScanMetrics
 }
 
@@ -50,6 +57,18 @@ func newNodeMetrics(reg *obs.Registry, label string) nodeMetrics {
 			"Sampled latency of applying one event to its partition (Algorithm 1)."),
 		ruleEval: reg.LatencyHistogram(mname(label, "aim_esp_rule_eval_seconds"),
 			"Sampled latency of evaluating the rule set against one event."),
+		ckptTotal: reg.Counter(mname(label, "aim_ckpt_total"),
+			"Checkpoints completed (base + incremental)."),
+		ckptFailures: reg.Counter(mname(label, "aim_ckpt_failures_total"),
+			"Checkpoints that failed after starting."),
+		ckptRecords: reg.Counter(mname(label, "aim_ckpt_records_total"),
+			"Entity Records written across all checkpoints."),
+		ckptBytes: reg.Counter(mname(label, "aim_ckpt_bytes_total"),
+			"Bytes written across all checkpoint files."),
+		ckptDuration: reg.LatencyHistogram(mname(label, "aim_ckpt_duration_seconds"),
+			"End-to-end duration of one fuzzy checkpoint (barrier + stream + seal)."),
+		recovery: reg.LatencyHistogram(mname(label, "aim_recovery_seconds"),
+			"Wall-clock time of node recovery (checkpoint load + archive tail replay)."),
 		scan: query.NewScanMetrics(reg, func(name string) string { return mname(label, name) }),
 	}
 }

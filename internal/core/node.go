@@ -138,6 +138,19 @@ type StorageNode struct {
 	wg       sync.WaitGroup
 	stopped  atomic.Bool
 
+	// ingestMu orders event ingest against the fuzzy-checkpoint barrier:
+	// producers hold the read side across archive-append + worker-enqueue
+	// (making the pair atomic), the checkpointer takes the write side to pin
+	// a watermark W with every event below W already queued ahead of the
+	// capture barrier and no event at/above W queued behind it.
+	ingestMu sync.RWMutex
+	// ckptMu serializes checkpoints (one fuzzy snapshot at a time).
+	ckptMu sync.Mutex
+	// forceFull is set when an incremental checkpoint fails after the
+	// capture barrier cleared the dirty sets; the next checkpoint must be
+	// full or it would miss those entities.
+	forceFull atomic.Bool
+
 	reg *obs.Registry
 	met nodeMetrics
 }
@@ -227,11 +240,7 @@ func (n *StorageNode) ProcessEventAsync(ev event.Event) error {
 	if n.stopped.Load() {
 		return ErrStopped
 	}
-	if err := n.archiveEvent(&ev); err != nil {
-		return err
-	}
-	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev}
-	return nil
+	return n.submitEvent(ev, nil)
 }
 
 // ProcessEvent processes an event synchronously and returns the number of
@@ -240,13 +249,29 @@ func (n *StorageNode) ProcessEvent(ev event.Event) (int, error) {
 	if n.stopped.Load() {
 		return 0, ErrStopped
 	}
-	if err := n.archiveEvent(&ev); err != nil {
+	resp := make(chan espResponse, 1)
+	if err := n.submitEvent(ev, resp); err != nil {
 		return 0, err
 	}
-	resp := make(chan espResponse, 1)
-	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
 	r := <-resp
 	return r.firings, r.err
+}
+
+// submitEvent archives (when configured) and enqueues one event. With an
+// archive, append + enqueue happen under ingestMu's read side so the pair
+// is atomic with respect to the fuzzy-checkpoint watermark pin.
+func (n *StorageNode) submitEvent(ev event.Event, resp chan espResponse) error {
+	if n.cfg.Archive == nil {
+		n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
+		return nil
+	}
+	n.ingestMu.RLock()
+	defer n.ingestMu.RUnlock()
+	if _, err := n.cfg.Archive.Append(&ev); err != nil {
+		return err
+	}
+	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
+	return nil
 }
 
 // FlushEvents blocks until every event enqueued before the call has been

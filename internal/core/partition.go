@@ -186,9 +186,12 @@ func (p *Partition) EnableDirtyTracking() {
 
 // SnapshotRecords emits a consistent copy of every Entity Record (or only
 // the dirty ones) and clears the dirty set. It must run on the partition's
-// ESP thread; it may run concurrently with RTA merge steps: main rows that
-// a merge might be rewriting are exactly those present in a delta, and for
-// those the delta copy is emitted instead.
+// ESP thread; it may run concurrently with RTA merge steps. The main rows a
+// merge rewrites are exactly the sealed delta's entities, and that
+// membership cannot change while this runs (a delta switch needs the ESP
+// thread this call occupies) — so delta membership is checked BEFORE
+// touching a main row, skipped rows get their fresher delta copy emitted
+// instead, and rows actually read from main are never concurrently written.
 func (p *Partition) SnapshotRecords(onlyDirty bool, emit func(rec schema.Record) error) error {
 	buf := make(schema.Record, p.sch.Slots)
 	if onlyDirty {
@@ -205,14 +208,12 @@ func (p *Partition) SnapshotRecords(onlyDirty bool, emit func(rec schema.Record)
 		clear(p.dirty)
 		return nil
 	}
-	n := p.main.Len()
-	for rid := 0; rid < n; rid++ {
-		if err := p.main.Gather(uint32(rid), buf); err != nil {
-			return err
-		}
-		id := buf.EntityID()
-		if p.cur.Contains(id) || p.old.Contains(id) {
+	for _, e := range p.main.IndexSnapshot() {
+		if p.cur.Contains(e.Entity) || p.old.Contains(e.Entity) {
 			continue // the delta copy below is fresher (and tear-free)
+		}
+		if err := p.main.Gather(e.RID, buf); err != nil {
+			return err
 		}
 		if err := emit(buf); err != nil {
 			return err

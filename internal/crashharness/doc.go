@@ -1,0 +1,7 @@
+// Package crashharness kills aimserver child processes at random points
+// during a live ingest+checkpoint workload, restarts them with -recover,
+// and verifies the recovered Analytics Matrix is record-for-record equal to
+// a synchronously replayed reference. The harness itself lives in the test
+// files; run it with `go test ./internal/crashharness` (or `make crash` for
+// the long randomized campaign, AIM_CRASH_KILLS=100).
+package crashharness

@@ -1,0 +1,52 @@
+package event
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzDecode hammers the wire codec with arbitrary frames. Decoding must
+// never panic, and any frame that decodes must survive an
+// encode-decode roundtrip (NaN costs compared bitwise-insensitively: any
+// NaN is as good as another).
+func FuzzDecode(f *testing.F) {
+	var buf [WireSize]byte
+	seed := Event{Caller: 7, Callee: 3, Timestamp: 123456, Duration: 60, Cost: 1.25, LongDistance: true}
+	seed.Encode(buf[:])
+	f.Add(buf[:])
+	f.Add(make([]byte, WireSize))
+	f.Add([]byte("short"))
+	nan := seed
+	nan.Cost = math.NaN()
+	nan.Encode(buf[:])
+	f.Add(buf[:])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var e Event
+		if err := e.Decode(data); err != nil {
+			if len(data) >= WireSize {
+				t.Fatalf("decode rejected a full frame: %v", err)
+			}
+			return
+		}
+		var enc [WireSize]byte
+		if n := e.Encode(enc[:]); n != WireSize {
+			t.Fatalf("encode returned %d, want %d", n, WireSize)
+		}
+		var e2 Event
+		if err := e2.Decode(enc[:]); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		var enc2 [WireSize]byte
+		e2.Encode(enc2[:])
+		if !bytes.Equal(enc[:], enc2[:]) {
+			t.Fatalf("roundtrip unstable:\n  first  %x\n  second %x", enc, enc2)
+		}
+		sameCost := e.Cost == e2.Cost || (math.IsNaN(e.Cost) && math.IsNaN(e2.Cost))
+		if e.Caller != e2.Caller || e.Callee != e2.Callee || e.Timestamp != e2.Timestamp ||
+			e.Duration != e2.Duration || !sameCost || e.LongDistance != e2.LongDistance {
+			t.Fatalf("roundtrip changed the event: %+v vs %+v", e, e2)
+		}
+	})
+}
