@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench obs-guard crash fuzz-smoke ci
+.PHONY: build test race bench obs-guard ingest-guard crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -22,6 +22,10 @@ bench:
 obs-guard:
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard -v ./internal/query/
 
+## ingest-guard: check batched ingest over TCP is no slower than per-event
+ingest-guard:
+	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard -v ./internal/bench/
+
 ## crash: crash-injection campaign — kill aimserver at 100 random points, verify every recovery
 crash:
 	AIM_CRASH_KILLS=100 $(GO) test -run TestCrashRecoveryRandomKillPoints -v -timeout 30m ./internal/crashharness/
@@ -38,5 +42,6 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/
+	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard ./internal/bench/
 	$(MAKE) fuzz-smoke
 	$(MAKE) crash

@@ -50,6 +50,9 @@ func main() {
 		retries     = flag.Int("retries", netproto.DefaultMaxRetries, "retry budget for idempotent RPCs")
 		degraded    = flag.Bool("degraded", false, "tolerate node failures: accept incomplete RTA results")
 
+		ingestBatch  = flag.Int("ingest-batch", 256, "coalesce outgoing events client-side into wire batches of up to N events (0 or 1 = one frame per event)")
+		ingestLinger = flag.Duration("ingest-linger", time.Millisecond, "max time a partial client-side event batch may wait before it is flushed")
+
 		metricsDump = flag.String("metrics-dump", "", `after the run, dump metrics: "local" = this process's client-side registry (Prometheus text on stdout); anything else = a server -debug-addr to fetch /metrics from`)
 	)
 	flag.Parse()
@@ -75,6 +78,8 @@ func main() {
 		CallTimeout: *callTimeout,
 		MaxRetries:  *retries,
 		Metrics:     netproto.NewClientMetrics(reg, nil),
+		EventBatch:  *ingestBatch,
+		EventLinger: *ingestLinger,
 	}
 	for _, addr := range strings.Split(*servers, ",") {
 		cli, err := netproto.DialConfig(strings.TrimSpace(addr), sch, ccfg)
@@ -115,9 +120,10 @@ func main() {
 		go func() {
 			defer wg.Done()
 			d := &esp.Driver{
-				Gen:  event.NewGenerator(*entities, *seed+1),
-				Rate: *rate,
-				Sink: router.Ingest,
+				Gen:   event.NewGenerator(*entities, *seed+1),
+				Rate:  *rate,
+				Sink:  router.Ingest,
+				Batch: *ingestBatch,
 			}
 			var err error
 			espStats, err = d.Run(*duration, 0)

@@ -121,6 +121,9 @@ func main() {
 		statsEvery = flag.Duration("stats", 10*time.Second, "stats logging interval (0 = off)")
 		debugAddr  = flag.String("debug-addr", "", "observability HTTP listen address for /metrics, /stats, /trace, /debug/pprof (\"\" = off)")
 
+		ingestBatch  = flag.Int("ingest-batch", 256, "coalesce per-event frames server-side into batches of up to N events (0 or 1 = apply per event)")
+		ingestLinger = flag.Duration("ingest-linger", time.Millisecond, "max time a partial server-side ingest batch may wait for more events")
+
 		dataDir   = flag.String("data-dir", "", "durability directory (event archive + checkpoints; \"\" = in-memory only)")
 		ckptEvery = flag.Duration("checkpoint-every", 10*time.Second, "background fuzzy-checkpoint interval (0 = no background checkpoints)")
 		baseEvery = flag.Int("base-every", 8, "every Nth checkpoint is a full base (drives retention GC)")
@@ -199,7 +202,11 @@ func main() {
 			log.Fatalf("aimserver: %v", err)
 		}
 	}
-	scfg := netproto.ServerConfig{Metrics: netproto.NewServerMetrics(reg)}
+	scfg := netproto.ServerConfig{
+		Metrics:      netproto.NewServerMetrics(reg),
+		IngestBatch:  *ingestBatch,
+		IngestLinger: *ingestLinger,
+	}
 	if *faultResetEvery > 0 || *faultReadDelay > 0 || *faultWriteDelay > 0 || *faultDrop {
 		plan := netproto.NewFaultPlan()
 		plan.SetResetEvery(*faultResetEvery)

@@ -444,6 +444,75 @@ func (a *Archive) Append(ev *event.Event) (uint64, error) {
 	return lsn, nil
 }
 
+// AppendBatch logs a batch of events as one group append — one buffered
+// write per touched segment (batches split across a rotation) plus at most
+// one fsync when SyncOnWrite — and returns the LSN of the first event.
+// Per-event durability semantics are preserved: every event still gets its
+// own CRC-framed slot and consecutive LSN, so a crash mid-group tears at
+// most the trailing frame of the write and Salvage recovery truncates to a
+// whole-event boundary exactly as it does for single appends.
+func (a *Archive) AppendBatch(evs []event.Event) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	first := a.nextLSN
+	for i := 0; i < len(evs); {
+		if a.active == nil || a.active.n >= a.segmentCap {
+			if err := a.rotateLocked(); err != nil {
+				return first, err
+			}
+		}
+		chunk := evs[i:min(i+a.segmentCap-a.active.n, len(evs))]
+		buf := make([]byte, len(chunk)*frameSizeV2)
+		for k := range chunk {
+			f := buf[k*frameSizeV2:]
+			binary.LittleEndian.PutUint64(f, a.nextLSN+uint64(k))
+			chunk[k].Encode(f[8:])
+			binary.LittleEndian.PutUint32(f[crcOffset:], crc32.Checksum(f[:crcOffset], castagnoli))
+		}
+		if err := a.writeGroup(buf); err != nil {
+			return first, fmt.Errorf("archive: append batch: %w", err)
+		}
+		a.met.appendBytes.Add(uint64(len(buf)))
+		for k := range chunk {
+			a.active.byEntity[chunk[k].Caller] = append(a.active.byEntity[chunk[k].Caller], int32(a.active.n))
+			a.active.n++
+		}
+		a.nextLSN += uint64(len(chunk))
+		i += len(chunk)
+	}
+	if a.syncOnWrite && a.active != nil {
+		crashpoint.Hit(crashpoint.ArchiveAppendBeforeSync)
+		if err := a.syncFile(a.active.file); err != nil {
+			return first, fmt.Errorf("archive: sync: %w", err)
+		}
+	}
+	return first, nil
+}
+
+// writeGroup writes one chunk of a group append. Single-frame chunks take
+// the writeFrame path (sharing its torn-write kill point); with crashpoints
+// armed a multi-frame chunk goes out in two writes split mid-way through
+// its LAST frame, with a kill point between them, so the harness can
+// manufacture a group append whose whole-frame prefix is durable and whose
+// tail frame is torn.
+func (a *Archive) writeGroup(buf []byte) error {
+	if len(buf) == frameSizeV2 {
+		return a.writeFrame(buf)
+	}
+	crashpoint.Hit(crashpoint.ArchiveAppendBeforeWrite)
+	if crashpoint.Enabled() {
+		cut := len(buf) - frameSizeV2/2
+		if _, err := a.active.file.Write(buf[:cut]); err != nil {
+			return err
+		}
+		crashpoint.Hit(crashpoint.ArchiveAppendBatchTorn)
+		_, err := a.active.file.Write(buf[cut:])
+		return err
+	}
+	_, err := a.active.file.Write(buf)
+	return err
+}
+
 // writeFrame writes one frame. With crashpoints armed the frame goes out in
 // two halves with a kill point between them, so the harness can manufacture
 // genuinely torn tails; otherwise it is a single write.

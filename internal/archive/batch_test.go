@@ -1,0 +1,210 @@
+package archive
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/crashpoint"
+	"repro/internal/event"
+)
+
+// TestAppendBatchMatchesPerEventAppend checks a group append is
+// indistinguishable from per-event appends on replay: same dense LSNs, same
+// events, same per-entity index, including when the batch spans a segment
+// rotation.
+func TestAppendBatchMatchesPerEventAppend(t *testing.T) {
+	evs := make([]event.Event, 40)
+	for i := range evs {
+		evs[i] = mkEvent(uint64(i%5)+1, int64(i), int64(i), 1, false)
+	}
+
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := Open(dirA, Options{SegmentEvents: 16}) // batch crosses 2 rotations
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Open(dirB, Options{SegmentEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	first, err := a.AppendBatch(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Fatalf("first LSN = %d, want 0", first)
+	}
+	for i := range evs {
+		lsn, err := b.Append(&evs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("per-event lsn = %d, want %d", lsn, i)
+		}
+	}
+	if a.Len() != b.Len() || a.NextLSN() != b.NextLSN() {
+		t.Fatalf("batch Len=%d NextLSN=%d, per-event Len=%d NextLSN=%d",
+			a.Len(), a.NextLSN(), b.Len(), b.NextLSN())
+	}
+
+	collect := func(ar *Archive) []event.Event {
+		var out []event.Event
+		next := uint64(0)
+		err := ar.Replay(0, func(lsn uint64, ev event.Event) error {
+			if lsn != next {
+				t.Fatalf("replay lsn = %d, want %d", lsn, next)
+			}
+			next++
+			out = append(out, ev)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	gotA, gotB := collect(a), collect(b)
+	if len(gotA) != len(evs) {
+		t.Fatalf("replayed %d events, want %d", len(gotA), len(evs))
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] || gotA[i] != evs[i] {
+			t.Fatalf("event %d: batch %+v, per-event %+v, want %+v", i, gotA[i], gotB[i], evs[i])
+		}
+	}
+	for caller := uint64(1); caller <= 5; caller++ {
+		ha, err := a.EntityHistory(caller, 0, int64(len(evs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := b.EntityHistory(caller, 0, int64(len(evs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ha) != len(hb) || len(ha) != 8 {
+			t.Fatalf("entity %d: batch index %d, per-event index %d, want 8", caller, len(ha), len(hb))
+		}
+	}
+}
+
+// TestAppendBatchEmptyAndSingle covers the degenerate batch sizes: an empty
+// batch is a no-op and a 1-event batch behaves exactly like Append.
+func TestAppendBatchEmptyAndSingle(t *testing.T) {
+	a, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.AppendBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len after empty batch = %d", a.Len())
+	}
+	ev := mkEvent(7, 1, 2, 3, true)
+	first, err := a.AppendBatch([]event.Event{ev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 || a.Len() != 1 || a.NextLSN() != 1 {
+		t.Fatalf("single-event batch: first=%d Len=%d NextLSN=%d", first, a.Len(), a.NextLSN())
+	}
+}
+
+// TestTornGroupAppendSalvages simulates a crash mid-way through the LAST
+// frame of a group append — the state the archive.append.batch-torn kill
+// point exposes — and checks Salvage recovery truncates to the whole-event
+// boundary: every fully-written frame of the batch survives, only the torn
+// final frame is dropped.
+func TestTornGroupAppendSalvages(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm the batch-torn point with a hook that records the segment size at
+	// the instant the kill would fire (the prefix write has landed, the
+	// remainder of the last frame has not), instead of dying.
+	if err := crashpoint.Arm(crashpoint.ArchiveAppendBatchTorn); err != nil {
+		t.Fatal(err)
+	}
+	defer crashpoint.Disarm()
+	var tornSize int64 = -1
+	crashpoint.SetHook(func(name string) {
+		if name != crashpoint.ArchiveAppendBatchTorn {
+			return
+		}
+		segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+		if len(segs) != 1 {
+			t.Errorf("segments at torn point: %v", segs)
+			return
+		}
+		fi, err := os.Stat(segs[0])
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tornSize = fi.Size()
+	})
+
+	evs := make([]event.Event, 10)
+	for i := range evs {
+		evs[i] = mkEvent(uint64(i)+1, int64(i), 10, 1, false)
+	}
+	if _, err := a.AppendBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if tornSize < 0 {
+		t.Fatal("batch-torn crashpoint never fired")
+	}
+
+	// Rewind the segment to the crash instant and recover.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	if err := os.Truncate(segs[0], tornSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("strict open of torn group append: err = %v, want ErrCorrupt", err)
+	}
+	b, err := Open(dir, Options{Recovery: Salvage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != len(evs)-1 || b.NextLSN() != uint64(len(evs)-1) {
+		t.Fatalf("after salvage Len=%d NextLSN=%d, want %d", b.Len(), b.NextLSN(), len(evs)-1)
+	}
+	rep := b.Report()
+	if rep.FramesDropped != 1 || rep.Clean() {
+		t.Fatalf("salvage report = %+v", rep)
+	}
+	// The surviving prefix replays intact and appending resumes densely.
+	next := uint64(0)
+	if err := b.Replay(0, func(lsn uint64, ev event.Event) error {
+		if lsn != next || ev != evs[lsn] {
+			t.Fatalf("replay lsn %d: got %+v", lsn, ev)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := b.Append(&evs[len(evs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != uint64(len(evs)-1) {
+		t.Fatalf("append after salvage lsn = %d", lsn)
+	}
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// BatchConfig enables client-side event coalescing in the cluster router:
+// instead of one delivery per ProcessEventAsync call, events accumulate in a
+// per-node buffer and go out as one ProcessEventBatch (or N ProcessEventAsync
+// calls against handles without batch support) when the buffer fills or the
+// linger expires. Batching changes when delivery errors are observed — a
+// buffered event's failure surfaces at flush time, where it spills to the
+// node's retry queue exactly like a failed per-event send — but not whether:
+// no event is dropped that the per-event path would have delivered.
+type BatchConfig struct {
+	// MaxEvents is the per-node buffer size that forces a flush. 0 disables
+	// batching (the default, per-event routing); -1 selects
+	// DefaultMaxEvents; 1 is equivalent to 0.
+	MaxEvents int
+	// Linger bounds how long a non-full buffer may hold events (default
+	// 1ms; negative disables timed flushes, leaving only size-triggered and
+	// ordering flushes).
+	Linger time.Duration
+}
+
+// DefaultMaxEvents is the per-node buffer bound selected by MaxEvents: -1.
+const DefaultMaxEvents = 256
+
+// DefaultLinger is the flush interval selected when Linger is zero.
+const DefaultLinger = time.Millisecond
+
+func (cfg BatchConfig) withDefaults() BatchConfig {
+	if cfg.MaxEvents < 0 {
+		cfg.MaxEvents = DefaultMaxEvents
+	} else if cfg.MaxEvents == 1 {
+		cfg.MaxEvents = 0
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = DefaultLinger
+	} else if cfg.Linger < 0 {
+		cfg.Linger = 0
+	}
+	return cfg
+}
+
+// nodeBatch is the coalescing buffer for one storage server.
+type nodeBatch struct {
+	mu  sync.Mutex
+	buf []event.Event
+}
+
+// take swaps the buffer out under the lock.
+func (b *nodeBatch) take() []event.Event {
+	b.mu.Lock()
+	evs := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	return evs
+}
+
+// bufferEvent appends ev to its node's coalescing buffer, flushing when the
+// buffer reaches the configured bound. Buffered events always succeed from
+// the caller's perspective — failures surface at flush time and take the
+// spill path, matching the per-event fire-and-forget contract.
+func (c *Cluster) bufferEvent(idx int, ev event.Event) error {
+	b := c.batches[idx]
+	var evs []event.Event
+	b.mu.Lock()
+	b.buf = append(b.buf, ev)
+	if len(b.buf) >= c.bcfg.MaxEvents {
+		evs = b.buf
+		b.buf = nil
+	}
+	b.mu.Unlock()
+	return c.deliverBatch(idx, evs)
+}
+
+// flushBatch drains node idx's coalescing buffer now. Used by the linger
+// loop, by synchronous operations that need routing order (a buffered event
+// must land before a Get/Put on the same node observes state), and by Close.
+func (c *Cluster) flushBatch(idx int) error {
+	return c.deliverBatch(idx, c.batches[idx].take())
+}
+
+// deliverBatch sends one batch to its node through the health machinery:
+// breaker-open or failed deliveries spill the undelivered suffix to the
+// node's retry queue (the delivered prefix is never requeued, so no event is
+// applied twice by this path). With health tracking disabled there is no
+// spill queue and the error is returned instead.
+func (c *Cluster) deliverBatch(idx int, evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if c.disabled() {
+		_, err := core.ProcessBatch(c.node(idx), evs)
+		return err
+	}
+	h := c.health[idx]
+	if !h.allow(time.Now()) {
+		c.spillBatch(idx, evs)
+		return nil
+	}
+	delivered, err := core.ProcessBatch(c.node(idx), evs)
+	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+	if err != nil {
+		c.spillBatch(idx, evs[delivered:])
+	}
+	return nil
+}
+
+// spillBatch queues undelivered events for background replay. Events that
+// do not fit the bounded queue are counted as dropped (there is no caller
+// left to hand a NodeDownError to — the buffer accepted them already).
+func (c *Cluster) spillBatch(idx int, evs []event.Event) {
+	h := c.health[idx]
+	started := false
+	for _, ev := range evs {
+		if h.spill(ev, c.hcfg.RetryQueue) && !started {
+			c.startDrainer()
+			started = true
+		}
+	}
+}
+
+// startLinger launches the background loop that flushes non-empty buffers
+// every Linger interval, bounding how stale a buffered event can get on a
+// quiet stream.
+func (c *Cluster) startLinger() {
+	if c.bcfg.Linger <= 0 {
+		return
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(c.bcfg.Linger)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.quit:
+				return
+			case <-tick.C:
+				for idx := range c.batches {
+					_ = c.flushBatch(idx)
+				}
+			}
+		}
+	}()
+}
+
+// ProcessEventBatch routes a batch of events to their owning servers. With
+// coalescing enabled the events join the per-node buffers; otherwise they
+// are bucketed by owner (preserving per-caller order) and delivered as one
+// batch per touched node.
+func (c *Cluster) ProcessEventBatch(evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if c.batches != nil {
+		for _, ev := range evs {
+			if err := c.bufferEvent(c.indexFor(ev.Caller), ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if len(c.nodes) == 1 {
+		return c.deliverBatch(0, evs)
+	}
+	buckets := make([][]event.Event, len(c.nodes))
+	for _, ev := range evs {
+		idx := c.indexFor(ev.Caller)
+		buckets[idx] = append(buckets[idx], ev)
+	}
+	var firstErr error
+	for idx, bucket := range buckets {
+		if err := c.deliverBatch(idx, bucket); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

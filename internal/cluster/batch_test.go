@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// newLocalOpts boots n in-process nodes under a cluster with explicit
+// options, for exercising the batched routing paths.
+func newLocalOpts(t *testing.T, n int, opts Options) (*Cluster, []*core.StorageNode) {
+	t.Helper()
+	sch := clusterSchema(t)
+	nodes := make([]*core.StorageNode, n)
+	handles := make([]core.Storage, n)
+	for i := range nodes {
+		node, err := core.NewNode(core.Config{
+			Schema: sch, Partitions: 2, BucketSize: 32,
+			IdleMergePause: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		handles[i] = node
+	}
+	c, err := NewWithOptions(handles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		for _, node := range nodes {
+			node.Stop()
+		}
+	})
+	return c, nodes
+}
+
+func sumProcessed(nodes []*core.StorageNode) uint64 {
+	var total uint64
+	for _, n := range nodes {
+		total += n.Stats().EventsProcessed
+	}
+	return total
+}
+
+func waitSumProcessed(t *testing.T, nodes []*core.StorageNode, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if got := sumProcessed(nodes); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes processed %d events, want %d", sumProcessed(nodes), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterBatchingDeliversAll routes a stream through per-node
+// coalescing buffers (size-triggered flushes plus the FlushEvents drain)
+// and checks nothing is lost or duplicated across nodes.
+func TestClusterBatchingDeliversAll(t *testing.T) {
+	c, nodes := newLocalOpts(t, 3, Options{Batch: BatchConfig{MaxEvents: 8, Linger: -1}})
+	const n = 500
+	for i := 0; i < n; i++ {
+		ev := event.Event{Caller: uint64(i%97) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-batched ingress joins the same buffers.
+	batch := make([]event.Event, 100)
+	for i := range batch {
+		batch[i] = event.Event{Caller: uint64(i%97) + 1, Timestamp: int64(1000 + i), Duration: 5, Cost: 1}
+	}
+	if err := c.ProcessEventBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sumProcessed(nodes); got != n+100 {
+		t.Fatalf("nodes processed %d events, want %d", got, n+100)
+	}
+}
+
+// TestClusterBatchLingerFlush checks a quiet stream does not strand
+// buffered events: the linger loop ships size-incomplete buffers.
+func TestClusterBatchLingerFlush(t *testing.T) {
+	c, nodes := newLocalOpts(t, 2, Options{Batch: BatchConfig{MaxEvents: 1024, Linger: 2 * time.Millisecond}})
+	for i := 0; i < 10; i++ {
+		ev := event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No flush call: only the linger loop can deliver these.
+	waitSumProcessed(t, nodes, 10)
+}
+
+// TestClusterGetFlushesBuffer checks routing order: a Get on an entity
+// flushes its node's coalescing buffer first, so the read cannot observe a
+// state missing events this handle already accepted.
+func TestClusterGetFlushesBuffer(t *testing.T) {
+	c, nodes := newLocalOpts(t, 2, Options{Batch: BatchConfig{MaxEvents: 1024, Linger: -1}})
+	for i := 0; i < 5; i++ {
+		ev := event.Event{Caller: 7, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := c.Get(7); err != nil {
+		t.Fatal(err)
+	}
+	// The Get was the only possible flush trigger (huge buffer, no linger);
+	// the events must now be at the owning node.
+	waitSumProcessed(t, nodes, 5)
+}
+
+// haltingStorage delivers events until its budget runs out, then fails —
+// the shape of a node dying mid-batch. It exposes the delivered prefix so
+// tests can check exactly-once, in-order redelivery.
+type haltingStorage struct {
+	flakyStorage
+	budget int // remaining deliveries before failures start; -1 = unlimited
+}
+
+func (h *haltingStorage) ProcessEventAsync(ev event.Event) error {
+	if h.budget == 0 {
+		return errInjected
+	}
+	if h.budget > 0 {
+		h.budget--
+	}
+	return h.flakyStorage.ProcessEventAsync(ev)
+}
+
+// TestClusterBatchSpillAndReplay kills delivery mid-flush: the batch's
+// delivered prefix must stay delivered, the undelivered suffix must spill
+// and replay after recovery, and the node must see the original stream
+// order with no duplicates.
+func TestClusterBatchSpillAndReplay(t *testing.T) {
+	// Budget 2: a 4-event flush delivers 2, then fails. haltingStorage has no
+	// ProcessEventBatch, so delivery takes core.ProcessBatch's per-event
+	// fallback — the path that reports partial progress.
+	// RetryInterval is huge so the background drainer never races the
+	// assertions below; replay goes through FlushEvents' synchronous path.
+	hs := &haltingStorage{budget: 2}
+	c, err := NewWithOptions([]core.Storage{hs}, Options{
+		Health: HealthConfig{
+			FailureThreshold: 3, ProbeInterval: 5 * time.Millisecond,
+			RetryQueue: 100, RetryInterval: time.Minute,
+		},
+		Batch: BatchConfig{MaxEvents: 4, Linger: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	evs := make([]event.Event, 4)
+	for i := range evs {
+		evs[i] = event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(evs[i]); err != nil {
+			t.Fatalf("event %d: buffered send surfaced %v", i, err)
+		}
+	}
+	if got := hs.deliveredCount(); got != 2 {
+		t.Fatalf("delivered %d events before the fault, want 2", got)
+	}
+	h := c.Health(0)
+	if h.QueuedEvents != 2 {
+		t.Fatalf("spill queue holds %d events, want 2: %+v", h.QueuedEvents, h)
+	}
+
+	// Recover the node; FlushEvents replays the spilled suffix synchronously.
+	hs.budget = -1
+	if err := c.FlushEvents(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	hs.mu.Lock()
+	got := append([]event.Event(nil), hs.delivered...)
+	hs.mu.Unlock()
+	if len(got) != len(evs) {
+		t.Fatalf("delivered %d events, want %d", len(got), len(evs))
+	}
+	for i := range got {
+		if got[i] != evs[i] {
+			t.Fatalf("delivery %d: got %+v, want %+v (order or duplication broken)", i, got[i], evs[i])
+		}
+	}
+	h = c.Health(0)
+	if h.QueuedEvents != 0 || h.Replayed != 2 || h.Dropped != 0 {
+		t.Fatalf("health after replay = %+v, want queued 0, replayed 2, dropped 0", h)
+	}
+}
+
+// TestClusterBatchBreakerOpenSpills checks a flush against an open breaker
+// does not even touch the node: the whole batch spills and replays once the
+// node recovers.
+func TestClusterBatchBreakerOpenSpills(t *testing.T) {
+	fs := &flakyStorage{}
+	c, err := NewWithOptions([]core.Storage{fs}, Options{
+		Health: HealthConfig{
+			FailureThreshold: 2, ProbeInterval: time.Minute,
+			RetryQueue: 100, RetryInterval: time.Minute,
+		},
+		Batch: BatchConfig{MaxEvents: 2, Linger: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	fs.down.Store(true)
+
+	// Two full flushes fail and open the breaker; the third flush spills
+	// without a delivery attempt, so delivered stays 0 for the whole outage.
+	for i := 0; i < 6; i++ {
+		ev := event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := c.Health(0)
+	if h.State != BreakerOpen || h.QueuedEvents != 6 || fs.deliveredCount() != 0 {
+		t.Fatalf("health after failed flushes = %+v (delivered %d), want open breaker, 6 queued, 0 delivered",
+			h, fs.deliveredCount())
+	}
+
+	fs.down.Store(false)
+	if err := c.FlushEvents(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if got := fs.deliveredCount(); got != 6 {
+		t.Fatalf("replayed %d events, want 6 (health %+v)", got, c.Health(0))
+	}
+	h = c.Health(0)
+	if h.QueuedEvents != 0 || h.Replayed != 6 {
+		t.Fatalf("health after replay = %+v, want queued 0, replayed 6", h)
+	}
+}

@@ -37,27 +37,44 @@ type Cluster struct {
 	hcfg   HealthConfig
 	health []*nodeHealth
 
+	bcfg    BatchConfig
+	batches []*nodeBatch // nil unless batching is enabled
+
 	drainOnce sync.Once // drainer starts lazily on first spill
 	closeOnce sync.Once
 	quit      chan struct{}
 	wg        sync.WaitGroup
 }
 
+// Options bundles the cluster's optional tuning knobs. Zero values select
+// the defaults (health tracking on, batching off).
+type Options struct {
+	Health HealthConfig
+	Batch  BatchConfig
+}
+
 // New builds a cluster over the given storage handles (in-process nodes,
 // TCP clients, or a mix) with default health tracking.
 func New(nodes []core.Storage) (*Cluster, error) {
-	return NewWithHealth(nodes, HealthConfig{})
+	return NewWithOptions(nodes, Options{})
 }
 
 // NewWithHealth builds a cluster with an explicit health configuration.
 func NewWithHealth(nodes []core.Storage, hcfg HealthConfig) (*Cluster, error) {
+	return NewWithOptions(nodes, Options{Health: hcfg})
+}
+
+// NewWithOptions builds a cluster with explicit health and batching
+// configurations.
+func NewWithOptions(nodes []core.Storage, opts Options) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("cluster: need at least one storage node")
 	}
 	c := &Cluster{
 		nodes:  make([]atomic.Pointer[core.Storage], len(nodes)),
-		hcfg:   hcfg.withDefaults(),
+		hcfg:   opts.Health.withDefaults(),
 		health: make([]*nodeHealth, len(nodes)),
+		bcfg:   opts.Batch.withDefaults(),
 		quit:   make(chan struct{}),
 	}
 	for i := range nodes {
@@ -67,6 +84,13 @@ func NewWithHealth(nodes []core.Storage, hcfg HealthConfig) (*Cluster, error) {
 		n := nodes[i]
 		c.nodes[i].Store(&n)
 		c.health[i] = &nodeHealth{}
+	}
+	if c.bcfg.MaxEvents > 1 {
+		c.batches = make([]*nodeBatch, len(nodes))
+		for i := range c.batches {
+			c.batches[i] = &nodeBatch{}
+		}
+		c.startLinger()
 	}
 	return c, nil
 }
@@ -127,10 +151,14 @@ func NewLocal(n int, cfg core.Config) (*Cluster, []*core.StorageNode, error) {
 	return c, nodes, nil
 }
 
-// Close stops the background replay drainer (if it ever started). It does
-// not close the storage handles, which the caller owns. Idempotent.
+// Close flushes any coalescing buffers (best effort) and stops the
+// background goroutines. It does not close the storage handles, which the
+// caller owns. Idempotent.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
+		for idx := range c.batches {
+			_ = c.flushBatch(idx)
+		}
 		close(c.quit)
 	})
 	c.wg.Wait()
@@ -173,8 +201,14 @@ func (c *Cluster) disabled() bool { return c.hcfg.FailureThreshold < 0 }
 // breaker is open (or delivery fails), the event spills to the node's
 // bounded retry queue and nil is returned — the ESP pipeline keeps moving.
 // Only when spilling is impossible does it fail fast with a NodeDownError.
+// With batching enabled (Options.Batch) the event joins the owning node's
+// coalescing buffer instead and delivery errors surface at flush time, where
+// they take the same spill path.
 func (c *Cluster) ProcessEventAsync(ev event.Event) error {
 	idx := c.indexFor(ev.Caller)
+	if c.batches != nil {
+		return c.bufferEvent(idx, ev)
+	}
 	if c.disabled() {
 		return c.node(idx).ProcessEventAsync(ev)
 	}
@@ -227,8 +261,16 @@ func (c *Cluster) startDrainer() {
 	})
 }
 
-// drainNode replays queued events for one node until the queue empties or
-// a delivery fails (the event goes back to the front of the queue).
+// drainBatch bounds how many queued events one replay delivery carries. A
+// modest batch keeps a recovering node from being hit with the entire spill
+// queue in one call while still amortizing per-delivery costs ~64x.
+const drainBatch = 64
+
+// drainNode replays queued events for one node until the queue empties or a
+// delivery fails (undelivered events go back to the front of the queue).
+// Replay is batched: each round pops up to drainBatch events and delivers
+// them as one ProcessEventBatch; on a partial failure only the undelivered
+// suffix is requeued, so no event is applied twice.
 func (c *Cluster) drainNode(idx int) {
 	h := c.health[idx]
 	for {
@@ -243,21 +285,19 @@ func (c *Cluster) drainNode(idx int) {
 		if !h.allow(time.Now()) {
 			return
 		}
-		ev, ok := h.pop()
-		if !ok {
+		evs := h.popBatch(drainBatch)
+		if len(evs) == 0 {
 			// Raced with another drain; give the probe token back.
 			h.releaseProbe()
 			return
 		}
-		err := c.node(idx).ProcessEventAsync(ev)
+		delivered, err := core.ProcessBatch(c.node(idx), evs)
 		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+		h.addReplayed(delivered)
 		if err != nil {
-			h.requeue(ev)
+			h.requeueFront(evs[delivered:])
 			return
 		}
-		h.mu.Lock()
-		h.replayed++
-		h.mu.Unlock()
 	}
 }
 
@@ -266,6 +306,11 @@ func (c *Cluster) drainNode(idx int) {
 // with an open breaker they fail fast instead of hammering a dead node.
 func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
 	idx := c.indexFor(ev.Caller)
+	if c.batches != nil {
+		// Earlier same-caller events may still be buffered; they must land
+		// first to keep the single-stream application order.
+		_ = c.flushBatch(idx)
+	}
 	if c.disabled() {
 		return c.node(idx).ProcessEvent(ev)
 	}
@@ -284,6 +329,11 @@ func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
 // retry the flush after the node recovers without losing the stream.
 func (c *Cluster) FlushEvents() error {
 	var firstErr error
+	for idx := range c.batches {
+		if err := c.flushBatch(idx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for idx := range c.nodes {
 		if err := c.flushSpilled(idx); err != nil && firstErr == nil {
 			firstErr = err
@@ -301,29 +351,32 @@ func (c *Cluster) FlushEvents() error {
 	return firstErr
 }
 
-// flushSpilled synchronously drains node idx's retry queue.
+// flushSpilled synchronously drains node idx's retry queue in batches.
 func (c *Cluster) flushSpilled(idx int) error {
 	h := c.health[idx]
 	for {
-		ev, ok := h.pop()
-		if !ok {
+		evs := h.popBatch(drainBatch)
+		if len(evs) == 0 {
 			return nil
 		}
-		err := c.node(idx).ProcessEventAsync(ev)
+		delivered, err := core.ProcessBatch(c.node(idx), evs)
 		h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
+		h.addReplayed(delivered)
 		if err != nil {
-			h.requeue(ev)
+			h.requeueFront(evs[delivered:])
 			return &NodeDownError{Node: idx, Err: err}
 		}
-		h.mu.Lock()
-		h.replayed++
-		h.mu.Unlock()
 	}
 }
 
-// Get fetches the entity's record from its owning server.
+// Get fetches the entity's record from its owning server. With batching
+// enabled the node's coalescing buffer is flushed first, so the read
+// observes every event this cluster handle accepted for the entity.
 func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 	idx := c.indexFor(entityID)
+	if c.batches != nil {
+		_ = c.flushBatch(idx)
+	}
 	if c.disabled() {
 		return c.node(idx).Get(entityID)
 	}
@@ -339,6 +392,9 @@ func (c *Cluster) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 // Put stores a record on its owning server.
 func (c *Cluster) Put(rec schema.Record) error {
 	idx := c.indexFor(rec.EntityID())
+	if c.batches != nil {
+		_ = c.flushBatch(idx)
+	}
 	if c.disabled() {
 		return c.node(idx).Put(rec)
 	}
@@ -355,6 +411,9 @@ func (c *Cluster) Put(rec schema.Record) error {
 // Version conflicts come from a live node and do not count against it.
 func (c *Cluster) ConditionalPut(rec schema.Record, expected uint64) error {
 	idx := c.indexFor(rec.EntityID())
+	if c.batches != nil {
+		_ = c.flushBatch(idx)
+	}
 	if c.disabled() {
 		return c.node(idx).ConditionalPut(rec, expected)
 	}

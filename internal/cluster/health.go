@@ -199,22 +199,40 @@ func (h *nodeHealth) spill(ev event.Event, bound int) bool {
 	return true
 }
 
-// pop removes the oldest queued event.
-func (h *nodeHealth) pop() (event.Event, bool) {
+// popBatch removes up to max oldest queued events, preserving their order.
+// The returned slice is a copy, safe to hand to a delivery that may retain
+// it.
+func (h *nodeHealth) popBatch(max int) []event.Event {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.queue) == 0 {
-		return event.Event{}, false
+		return nil
 	}
-	ev := h.queue[0]
-	h.queue = h.queue[1:]
-	return ev, true
+	n := min(max, len(h.queue))
+	evs := make([]event.Event, n)
+	copy(evs, h.queue[:n])
+	h.queue = h.queue[n:]
+	return evs
 }
 
-// requeue puts a popped event back at the front after a failed replay.
-func (h *nodeHealth) requeue(ev event.Event) {
+// requeueFront puts the undelivered suffix of a popped batch back at the
+// front, preserving order relative to events queued meanwhile.
+func (h *nodeHealth) requeueFront(evs []event.Event) {
+	if len(evs) == 0 {
+		return
+	}
 	h.mu.Lock()
-	h.queue = append([]event.Event{ev}, h.queue...)
+	h.queue = append(append(make([]event.Event, 0, len(evs)+len(h.queue)), evs...), h.queue...)
+	h.mu.Unlock()
+}
+
+// addReplayed counts n successfully redelivered events.
+func (h *nodeHealth) addReplayed(n int) {
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.replayed += uint64(n)
 	h.mu.Unlock()
 }
 

@@ -32,12 +32,6 @@ import (
 // event ingest is — so records written that way are durable only once a
 // later checkpoint captures them.
 
-// enqueueEvent hands an event to its ESP worker without archiving (the
-// recovery replay path).
-func (n *StorageNode) enqueueEvent(ev event.Event, resp chan espResponse) {
-	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
-}
-
 // CheckpointStats describes one completed checkpoint.
 type CheckpointStats struct {
 	Full      bool
@@ -327,14 +321,26 @@ func RestoreWithReport(cfg Config, mgr *checkpoint.Manager, mode checkpoint.Load
 		}
 	}
 	if cfg.Archive != nil {
+		// Replay the tail in batches: each chunk is one channel send per
+		// worker and one caller-coalesced apply pass instead of per-event
+		// costs, which directly shortens recovery downtime.
+		const replayBatch = 256
+		batch := make([]event.Event, 0, replayBatch)
 		err := cfg.Archive.Replay(watermark, func(_ uint64, ev event.Event) error {
 			rep.TailEvents++
-			n.enqueueEvent(ev, nil)
+			batch = append(batch, ev)
+			if len(batch) == replayBatch {
+				n.enqueueBatch(batch)
+				batch = make([]event.Event, 0, replayBatch)
+			}
 			return nil
 		})
 		if err != nil {
 			n.Stop()
 			return nil, rep, err
+		}
+		if len(batch) > 0 {
+			n.enqueueBatch(batch)
 		}
 	}
 	if err := n.FlushEvents(); err != nil {

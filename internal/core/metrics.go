@@ -21,6 +21,9 @@ type nodeMetrics struct {
 	eventApply *obs.Histogram // sampled UPDATE_MATRIX latency
 	ruleEval   *obs.Histogram // sampled business-rule evaluation latency
 
+	ingestBatch   *obs.Histogram // events per ProcessEventBatch call
+	coalescedPuts *obs.Counter   // delta Puts saved by caller coalescing
+
 	ckptTotal    *obs.Counter
 	ckptFailures *obs.Counter
 	ckptRecords  *obs.Counter
@@ -57,6 +60,10 @@ func newNodeMetrics(reg *obs.Registry, label string) nodeMetrics {
 			"Sampled latency of applying one event to its partition (Algorithm 1)."),
 		ruleEval: reg.LatencyHistogram(mname(label, "aim_esp_rule_eval_seconds"),
 			"Sampled latency of evaluating the rule set against one event."),
+		ingestBatch: reg.Histogram(mname(label, "aim_core_ingest_batch_size"),
+			"Events per batched ingest call (ProcessEventBatch)."),
+		coalescedPuts: reg.Counter(mname(label, "aim_core_coalesced_puts_total"),
+			"Record copies saved by caller-coalesced batch apply (events applied minus delta stores)."),
 		ckptTotal: reg.Counter(mname(label, "aim_ckpt_total"),
 			"Checkpoints completed (base + incremental)."),
 		ckptFailures: reg.Counter(mname(label, "aim_ckpt_failures_total"),

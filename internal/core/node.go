@@ -120,7 +120,10 @@ type NodeStats struct {
 	ScanRounds      uint64
 	MergedRecords   uint64
 	QueriesServed   uint64
-	Records         int
+	// CoalescedPuts counts record copies the batched ingest path saved by
+	// grouping consecutive same-caller events into one Get/Put pair.
+	CoalescedPuts uint64
+	Records       int
 }
 
 // StorageNode is one AIM storage server: it hosts Partitions data
@@ -225,11 +228,17 @@ func (n *StorageNode) partitionFor(entityID uint64) *Partition {
 	return n.parts[(h>>32)%uint64(len(n.parts))]
 }
 
-// workerForEntity returns the ESP worker serving the entity's partition.
-func (n *StorageNode) workerForEntity(entityID uint64) *espWorker {
+// workerIndexFor maps an entity id to the index of the ESP worker serving
+// its partition.
+func (n *StorageNode) workerIndexFor(entityID uint64) int {
 	h := entityID * 0x9E3779B97F4A7C15
 	pi := int((h >> 32) % uint64(len(n.parts)))
-	return n.workers[pi%len(n.workers)]
+	return pi % len(n.workers)
+}
+
+// workerForEntity returns the ESP worker serving the entity's partition.
+func (n *StorageNode) workerForEntity(entityID uint64) *espWorker {
+	return n.workers[n.workerIndexFor(entityID)]
 }
 
 // --- ESP-facing API ---------------------------------------------------------
@@ -272,6 +281,79 @@ func (n *StorageNode) submitEvent(ev event.Event, resp chan espResponse) error {
 	}
 	n.workerForEntity(ev.Caller).ch <- espRequest{kind: kindEvent, ev: ev, resp: resp}
 	return nil
+}
+
+// BatchProcessor is the optional batched-ingest extension of Storage:
+// handles that implement it accept many fire-and-forget events in one call
+// (one wire frame, one WAL group append, one channel send per worker).
+// StorageNode and netproto.Client both implement it.
+type BatchProcessor interface {
+	ProcessEventBatch(evs []event.Event) error
+}
+
+// ProcessBatch delivers evs through one ProcessEventBatch call when the
+// handle supports it, else per event. It returns how many leading events
+// were durably handed off along with the first error: a batch-capable
+// handle fails all-or-nothing (0 on error), the per-event fallback stops at
+// the failing event. Callers relinquish ownership of evs either way.
+func ProcessBatch(st Storage, evs []event.Event) (int, error) {
+	if bp, ok := st.(BatchProcessor); ok {
+		if err := bp.ProcessEventBatch(evs); err != nil {
+			return 0, err
+		}
+		return len(evs), nil
+	}
+	for i := range evs {
+		if err := st.ProcessEventAsync(evs[i]); err != nil {
+			return i, err
+		}
+	}
+	return len(evs), nil
+}
+
+// ProcessEventBatch ingests a batch of fire-and-forget events, taking
+// ownership of evs. Semantics match len(evs) ProcessEventAsync calls —
+// same matrix state, same rule firings, same archive contents — but the
+// batch pays one archive group append and one channel send per worker
+// instead of per event.
+func (n *StorageNode) ProcessEventBatch(evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if n.stopped.Load() {
+		return ErrStopped
+	}
+	n.met.ingestBatch.Observe(uint64(len(evs)))
+	if n.cfg.Archive == nil {
+		n.enqueueBatch(evs)
+		return nil
+	}
+	n.ingestMu.RLock()
+	defer n.ingestMu.RUnlock()
+	if _, err := n.cfg.Archive.AppendBatch(evs); err != nil {
+		return err
+	}
+	n.enqueueBatch(evs)
+	return nil
+}
+
+// enqueueBatch hands evs to the ESP workers, bucketed per worker with
+// arrival order preserved inside each bucket. Takes ownership of evs.
+func (n *StorageNode) enqueueBatch(evs []event.Event) {
+	if len(n.workers) == 1 {
+		n.workers[0].ch <- espRequest{kind: kindBatch, evs: evs}
+		return
+	}
+	buckets := make([][]event.Event, len(n.workers))
+	for i := range evs {
+		wi := n.workerIndexFor(evs[i].Caller)
+		buckets[wi] = append(buckets[wi], evs[i])
+	}
+	for wi, b := range buckets {
+		if len(b) > 0 {
+			n.workers[wi].ch <- espRequest{kind: kindBatch, evs: b}
+		}
+	}
 }
 
 // FlushEvents blocks until every event enqueued before the call has been
@@ -543,6 +625,7 @@ func (n *StorageNode) Stats() NodeStats {
 		ScanRounds:      n.met.scanRounds.Value(),
 		MergedRecords:   n.met.mergedRecords.Value(),
 		QueriesServed:   n.met.queriesServed.Value(),
+		CoalescedPuts:   n.met.coalescedPuts.Value(),
 		Records:         records,
 	}
 }

@@ -256,11 +256,26 @@ func (p *Partition) ConditionalPut(rec schema.Record, expected uint64) error {
 	return nil
 }
 
+// putOwned is the ESP hot path's Put: rec (the scratch buffer) is stamped
+// and handed to the delta by reference, and the delta's displaced slice
+// comes back as the next scratch. One pointer swap instead of a full record
+// copy. Only the owning ESP thread may call it, and rec must be p.scratch.
+func (p *Partition) putOwned(rec schema.Record) {
+	p.version++
+	rec[p.sch.VersionSlot] = p.version
+	entity := rec.EntityID()
+	p.scratch = p.cur.PutOwned(entity, rec)
+	if p.dirty != nil {
+		p.dirty[entity] = struct{}{}
+	}
+}
+
 // ApplyEvent is the partition-local body of UPDATE_MATRIX (Algorithm 1):
 // get (or create) the caller's record, apply all attribute-group update
 // functions, and put the record back. It returns the updated record for
-// Business Rule evaluation; the returned slice is the partition's scratch
-// buffer, valid until the next ESP operation.
+// Business Rule evaluation; the returned slice is the partition's former
+// scratch buffer (now owned by the delta), valid until the next ESP
+// operation.
 func (p *Partition) ApplyEvent(ev *event.Event) schema.Record {
 	rec := p.scratch
 	if _, ok := p.Get(ev.Caller, rec); !ok {
@@ -268,7 +283,36 @@ func (p *Partition) ApplyEvent(ev *event.Event) schema.Record {
 		copy(rec, fresh)
 	}
 	p.sch.Apply(rec, ev)
-	p.Put(rec)
+	p.putOwned(rec)
+	return rec
+}
+
+// ApplyEventBatch applies a caller-coalesced run — consecutive events that
+// all belong to the same caller — paying the Get (hash probes + record
+// copy) and the delta Put once for the whole run instead of once per event.
+// onApply is invoked after each event's update functions with the
+// intermediate record, exactly what the per-event path would have produced
+// (modulo the version slot, which now advances once per event but is only
+// stamped into the stored record at the end), so Business Rule evaluation
+// per event keeps identical firing semantics. Returns the final record
+// under the same lifetime contract as ApplyEvent.
+func (p *Partition) ApplyEventBatch(run []event.Event, onApply func(ev *event.Event, rec schema.Record)) schema.Record {
+	rec := p.scratch
+	caller := run[0].Caller
+	if _, ok := p.Get(caller, rec); !ok {
+		fresh := p.factory(caller)
+		copy(rec, fresh)
+	}
+	for i := range run {
+		p.sch.Apply(rec, &run[i])
+		if onApply != nil {
+			onApply(&run[i], rec)
+		}
+	}
+	// Advance the version counter as if each event had Put individually, so
+	// conditional-write version arithmetic is unchanged by batching.
+	p.version += uint64(len(run) - 1)
+	p.putOwned(rec)
 	return rec
 }
 

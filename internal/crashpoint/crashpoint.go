@@ -36,7 +36,8 @@ const ExitCode = 86
 // Hit call sites.
 const (
 	ArchiveAppendBeforeWrite    = "archive.append.before-write"
-	ArchiveAppendTorn           = "archive.append.torn" // fires mid-frame: leaves a torn tail
+	ArchiveAppendTorn           = "archive.append.torn"       // fires mid-frame: leaves a torn tail
+	ArchiveAppendBatchTorn      = "archive.append.batch-torn" // fires mid-last-frame of a group append
 	ArchiveAppendBeforeSync     = "archive.append.before-sync"
 	ArchiveRotateAfterCreate    = "archive.rotate.after-create"
 	ArchiveTruncateMid          = "archive.truncate.mid" // between segment removals during GC
@@ -51,6 +52,7 @@ func Points() []string {
 	return []string{
 		ArchiveAppendBeforeWrite,
 		ArchiveAppendTorn,
+		ArchiveAppendBatchTorn,
 		ArchiveAppendBeforeSync,
 		ArchiveRotateAfterCreate,
 		ArchiveTruncateMid,

@@ -77,6 +77,25 @@ func (d *Delta) Put(entityID uint64, rec []uint64) {
 	d.m[entityID] = cp
 }
 
+// PutOwned stores rec by reference — zero copies — and transfers ownership
+// of the slice to the delta. It returns a same-width slice the caller may
+// reuse as its next scratch buffer: the displaced prior version when one
+// exists (its contents are garbage to the delta now), else a fresh
+// allocation. The ESP hot path (Partition.ApplyEvent/ApplyEventBatch) swaps
+// its scratch record through here, turning the per-event record copy of Put
+// into a pointer exchange.
+func (d *Delta) PutOwned(entityID uint64, rec []uint64) []uint64 {
+	if d.firstPut == 0 {
+		d.firstPut = time.Now().UnixNano()
+	}
+	old, ok := d.m[entityID]
+	d.m[entityID] = rec
+	if ok && len(old) == len(rec) {
+		return old
+	}
+	return make([]uint64, len(rec))
+}
+
 // Iterate calls fn for every pending record. The record slice is the
 // delta's internal storage; fn must not retain or mutate it. Iteration
 // order is unspecified.

@@ -116,3 +116,47 @@ func TestQuickLastWriteWins(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPutOwnedTransfersOwnership(t *testing.T) {
+	d := New(2)
+	rec := []uint64{1, 5, 7}
+	scratch := d.PutOwned(1, rec)
+	if len(scratch) != 3 {
+		t.Fatalf("scratch len = %d, want 3", len(scratch))
+	}
+	// The delta stores rec by reference: no copy-out buffer sees stale data.
+	dst := make([]uint64, 3)
+	if !d.Get(1, dst) || dst[1] != 5 {
+		t.Fatalf("Get(1) = %v", dst)
+	}
+	// Overwriting returns the displaced same-width slice as the next
+	// scratch — the zero-copy swap the batched ESP apply path relies on.
+	rec2 := []uint64{1, 6, 8}
+	scratch2 := d.PutOwned(1, rec2)
+	if &scratch2[0] != &rec[0] {
+		t.Fatal("PutOwned did not return the displaced storage")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", d.Len())
+	}
+	d.Get(1, dst)
+	if dst[1] != 6 || dst[2] != 8 {
+		t.Fatalf("after swap Get(1) = %v", dst)
+	}
+	// A width change cannot reuse the displaced slice; a fresh one comes back.
+	wide := []uint64{1, 1, 2, 3}
+	if got := d.PutOwned(1, wide); len(got) != 4 {
+		t.Fatalf("widened scratch len = %d, want 4", len(got))
+	}
+}
+
+func TestPutOwnedSetsFirstPutTimestamp(t *testing.T) {
+	d := New(1)
+	if d.FirstPutNanos() != 0 {
+		t.Fatal("fresh delta has a FirstPut time")
+	}
+	d.PutOwned(1, []uint64{1, 2})
+	if d.FirstPutNanos() == 0 {
+		t.Fatal("PutOwned did not stamp FirstPut")
+	}
+}

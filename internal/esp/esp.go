@@ -63,6 +63,11 @@ type Driver struct {
 	Rate float64
 	// Sink receives the events (usually Router.Ingest).
 	Sink func(event.Event) error
+	// Batch is the pacing granularity: events are emitted in groups of this
+	// size between rate checks (default 64). Aligning it with a downstream
+	// coalescing buffer (e.g. the TCP client's EventBatch) makes the driver
+	// emit exactly one wire batch per pacing round.
+	Batch int
 }
 
 // Run sends events for the given duration (or exactly count events if
@@ -75,7 +80,10 @@ func (d *Driver) Run(duration time.Duration, count int) (DriverStats, error) {
 	var ev event.Event
 	sent := 0
 	// Pace in small batches to keep timer overhead negligible at high rates.
-	const batch = 64
+	batch := d.Batch
+	if batch <= 0 {
+		batch = 64
+	}
 	for {
 		if count > 0 && sent >= count {
 			break

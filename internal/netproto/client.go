@@ -34,6 +34,8 @@ type Client struct {
 
 	writeMu sync.Mutex // serializes frame writes on the live conn
 
+	co *coalescer // event batching buffer; nil when EventBatch <= 1
+
 	redialMu sync.Mutex // single-flights reconnect attempts
 
 	mu         sync.Mutex
@@ -85,6 +87,9 @@ func DialConfig(addr string, sch *schema.Schema, cfg ClientConfig) (*Client, err
 		gen:     1,
 		pending: make(map[uint64]*pendingCall),
 	}
+	if cfg.EventBatch > 1 {
+		c.co = newCoalescer(cfg.EventBatch, cfg.EventLinger)
+	}
 	go c.readLoop(conn, 1)
 	return c, nil
 }
@@ -100,6 +105,16 @@ func (c *Client) Reconnects() uint64 {
 // or pending request fails with ErrClosed immediately and deterministically
 // (callers racing Close can no longer register afterwards).
 func (c *Client) Close() error {
+	if c.co != nil {
+		// Best-effort final drain so coalesced events are not silently
+		// dropped, then stop the linger timer.
+		_ = c.drainEvents()
+		c.co.mu.Lock()
+		if c.co.timer != nil {
+			c.co.timer.Stop()
+		}
+		c.co.mu.Unlock()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -338,6 +353,7 @@ func retriable(err error) bool {
 // call runs an RPC; idempotent ops survive transport faults via reconnect
 // and bounded retries with backoff.
 func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
+	c.drainForOrder()
 	t0 := time.Now()
 	attempts := 1
 	if idempotent && !c.cfg.DisableReconnect {
@@ -369,6 +385,9 @@ func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
 // so replay is left to the cluster layer's spill queue, which owns
 // at-least-once semantics for the ESP stream.
 func (c *Client) ProcessEventAsync(ev event.Event) error {
+	if c.co != nil {
+		return c.bufferEvent(ev)
+	}
 	conn, gen, err := c.ensureConn()
 	if err != nil {
 		return err
@@ -379,7 +398,33 @@ func (c *Client) ProcessEventAsync(ev event.Event) error {
 		c.connLost(conn, gen, err)
 		return err
 	}
-	c.cfg.Metrics.eventSent()
+	c.cfg.Metrics.eventsSent(1)
+	return nil
+}
+
+// ProcessEventBatch ships evs as one fire-and-forget msgEventBatch frame,
+// taking ownership of the slice. Like ProcessEventAsync it is not
+// transparently retried: delivery of a failed write is unknown, so replay
+// belongs to the cluster layer's spill queue.
+func (c *Client) ProcessEventBatch(evs []event.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	if c.co != nil {
+		// Individually coalesced events were submitted first; keep order.
+		if err := c.drainEvents(); err != nil {
+			return err
+		}
+	}
+	conn, gen, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+	if err := c.send(conn, frame{typ: msgEventBatch, body: encodeEventBatch(evs)}); err != nil {
+		c.connLost(conn, gen, err)
+		return err
+	}
+	c.cfg.Metrics.eventsSent(len(evs))
 	return nil
 }
 
@@ -398,10 +443,17 @@ func (c *Client) ProcessEvent(ev event.Event) (int, error) {
 	return int(binary.LittleEndian.Uint32(payload)), nil
 }
 
-// FlushEvents drains the server's ESP queues. Because frames on one
-// connection are processed in order, the flush also covers every event this
-// client sent before it. Flushing is idempotent and retried.
+// FlushEvents drains the client's coalescing buffer and then the server's
+// ESP queues. Because frames on one connection are processed in order, the
+// flush also covers every event this client sent before it. A nil return
+// therefore means every accepted event reached the server and was applied;
+// an undelivered coalesced batch surfaces here (and stays buffered, so a
+// later retry can still deliver it). The server round trip is idempotent
+// and retried.
 func (c *Client) FlushEvents() error {
+	if err := c.drainEvents(); err != nil {
+		return err
+	}
 	_, err := c.call(msgFlush, nil, true)
 	return err
 }
@@ -455,6 +507,7 @@ func (c *Client) ConditionalPut(rec schema.Record, expected uint64) error {
 // bounded by CallTimeout; on transport failure the query (idempotent) is
 // retried on a fresh connection before the error is delivered.
 func (c *Client) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	c.drainForOrder()
 	t0 := time.Now()
 	body := query.EncodeQuery(q)
 	conn, gen, err := c.ensureConn()

@@ -22,6 +22,12 @@ const (
 	DefaultBackoffBase = 20 * time.Millisecond
 	// DefaultBackoffMax caps the backoff.
 	DefaultBackoffMax = 1 * time.Second
+	// DefaultEventBatch is the coalescing buffer size selected by
+	// EventBatch: -1 (batching opted in without an explicit size).
+	DefaultEventBatch = 256
+	// DefaultEventLinger bounds how long a coalesced event may sit in the
+	// client buffer before a size-incomplete batch is flushed anyway.
+	DefaultEventLinger = time.Millisecond
 )
 
 // ClientConfig tunes a Client's failure behavior. The zero value selects
@@ -45,6 +51,17 @@ type ClientConfig struct {
 	// (full jitter in [d/2, d)). 0 selects the defaults.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// EventBatch enables client-side event coalescing: ProcessEventAsync
+	// buffers up to EventBatch events and ships them as one msgEventBatch
+	// frame (flushed earlier by EventLinger, by FlushEvents, or by any
+	// synchronous call, which preserves read-your-writes ordering on the
+	// connection). 0 keeps the historical one-frame-per-event behavior;
+	// -1 selects DefaultEventBatch; 1 is equivalent to 0.
+	EventBatch int
+	// EventLinger bounds how long a buffered event may wait for its batch
+	// to fill. 0 selects DefaultEventLinger; negative disables the timer
+	// (size/flush-triggered draining only). Ignored unless EventBatch > 1.
+	EventLinger time.Duration
 	// Dialer overrides the transport dialer; the fault-injection harness
 	// uses it to hand the client flaky connections. Nil means plain TCP.
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
@@ -71,6 +88,16 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 	}
 	if cfg.BackoffMax <= 0 {
 		cfg.BackoffMax = DefaultBackoffMax
+	}
+	if cfg.EventBatch < 0 {
+		cfg.EventBatch = DefaultEventBatch
+	} else if cfg.EventBatch == 1 {
+		cfg.EventBatch = 0
+	}
+	if cfg.EventLinger == 0 {
+		cfg.EventLinger = DefaultEventLinger
+	} else if cfg.EventLinger < 0 {
+		cfg.EventLinger = 0
 	}
 	if cfg.Dialer == nil {
 		cfg.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {

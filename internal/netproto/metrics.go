@@ -24,6 +24,8 @@ func opName(typ uint8) string {
 		return "cond_put"
 	case msgQuery:
 		return "query"
+	case msgEventBatch:
+		return "event_batch"
 	}
 	return "unknown"
 }
@@ -93,9 +95,10 @@ func (m *Metrics) retried() {
 	}
 }
 
-func (m *Metrics) eventSent() {
+// eventsSent counts fire-and-forget events shipped (n per batch frame).
+func (m *Metrics) eventsSent(n int) {
 	if m != nil {
-		m.events.Inc()
+		m.events.Add(uint64(n))
 	}
 }
 
@@ -127,9 +130,10 @@ func NewServerMetrics(reg *obs.Registry) *ServerMetrics {
 	return m
 }
 
-func (m *ServerMetrics) eventReceived() {
+// eventsReceived counts fire-and-forget events arriving (n per batch frame).
+func (m *ServerMetrics) eventsReceived(n int) {
 	if m != nil {
-		m.events.Inc()
+		m.events.Add(uint64(n))
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/event"
 )
 
 // Message types.
@@ -36,6 +37,9 @@ const (
 	msgCondPut                    // body: u64 version, record; resp: empty
 	msgQuery                      // body: encoded query; resp: encoded partial
 	msgResp                       // response frame
+	// msgEventBatch must stay above msgResp: the metrics latency arrays are
+	// sized [msgResp] and indexed by the synchronous types below it.
+	msgEventBatch // body: u32 count, count x 64 B events; fire-and-forget
 )
 
 // maxFrame bounds a frame to keep a malformed peer from allocating
@@ -133,6 +137,35 @@ func readFrame(r io.Reader) (frame, error) {
 		reqID: binary.LittleEndian.Uint64(buf[1:9]),
 		body:  buf[9:],
 	}, nil
+}
+
+// encodeEventBatch packs events into a msgEventBatch body: u32 count, then
+// count fixed-size wire events back to back.
+func encodeEventBatch(evs []event.Event) []byte {
+	body := make([]byte, 4+len(evs)*event.WireSize)
+	binary.LittleEndian.PutUint32(body, uint32(len(evs)))
+	for i := range evs {
+		evs[i].Encode(body[4+i*event.WireSize:])
+	}
+	return body
+}
+
+// decodeEventBatch unpacks a msgEventBatch body into a fresh slice.
+func decodeEventBatch(body []byte) ([]event.Event, error) {
+	if len(body) < 4 {
+		return nil, errors.New("netproto: short event batch frame")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n < 1 || len(body) != 4+n*event.WireSize {
+		return nil, fmt.Errorf("netproto: event batch count %d does not match body length %d", n, len(body))
+	}
+	evs := make([]event.Event, n)
+	for i := range evs {
+		if err := evs[i].Decode(body[4+i*event.WireSize:]); err != nil {
+			return nil, err
+		}
+	}
+	return evs, nil
 }
 
 // okBody prefixes a payload with the ok status.

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,6 +41,17 @@ type ServerConfig struct {
 	// Metrics, when set, instruments request handling (see
 	// NewServerMetrics). Nil disables instrumentation at zero cost.
 	Metrics *ServerMetrics
+	// IngestBatch enables server-side event coalescing for clients that
+	// still send one msgEvent frame per event: up to IngestBatch
+	// consecutive event frames on a connection are applied as one
+	// node-level batch. Any other frame type (and connection teardown)
+	// applies the pending batch first, so per-connection ordering is
+	// unchanged. 0 or 1 disables coalescing.
+	IngestBatch int
+	// IngestLinger bounds how long a coalesced event may wait for more
+	// traffic while the connection is idle. 0 selects DefaultEventLinger;
+	// only meaningful when IngestBatch > 1.
+	IngestLinger time.Duration
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by node.
@@ -123,10 +135,54 @@ func (s *Server) handleConn(conn net.Conn) {
 	var pendingQueries sync.WaitGroup
 	defer pendingQueries.Wait()
 
+	// Reads are buffered: one kernel read can surface many 77 B event
+	// frames. With IngestBatch > 1 consecutive msgEvent frames additionally
+	// coalesce in evbuf and hit the node as one batch.
+	br := bufio.NewReaderSize(conn, 64<<10)
+	batchMax := s.cfg.IngestBatch
+	linger := s.cfg.IngestLinger
+	if linger <= 0 {
+		linger = DefaultEventLinger
+	}
+	var evbuf []event.Event
+	flushEvents := func() {
+		if len(evbuf) == 0 {
+			return
+		}
+		evs := evbuf
+		evbuf = nil
+		// Fire-and-forget: errors surface via msgFlush, as on the
+		// per-event path.
+		_, _ = core.ProcessBatch(s.node, evs)
+	}
+	defer flushEvents()
+
 	for {
-		f, err := readFrame(conn)
+		if len(evbuf) > 0 && br.Buffered() == 0 {
+			// Stream idle with a pending batch: wait at most linger for the
+			// next frame's first byte, then apply what we have. bufio drops
+			// its stored read error once consumed, so a deadline timeout
+			// here does not poison later reads.
+			conn.SetReadDeadline(time.Now().Add(linger))
+			_, err := br.Peek(1)
+			conn.SetReadDeadline(time.Time{})
+			if err != nil {
+				flushEvents()
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					continue
+				}
+				return
+			}
+		}
+		f, err := readFrame(br)
 		if err != nil {
 			return
+		}
+		if f.typ != msgEvent {
+			// Ordering: a batch coalesced from earlier event frames must be
+			// applied before any later request on the same connection.
+			flushEvents()
 		}
 		t0 := time.Now()
 		switch f.typ {
@@ -139,7 +195,14 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			}
 			if f.typ == msgEvent {
-				s.cfg.Metrics.eventReceived()
+				s.cfg.Metrics.eventsReceived(1)
+				if batchMax > 1 {
+					evbuf = append(evbuf, ev)
+					if len(evbuf) >= batchMax {
+						flushEvents()
+					}
+					continue
+				}
 				if err := s.node.ProcessEventAsync(ev); err != nil {
 					// Fire-and-forget: the error surfaces via Flush.
 					continue
@@ -154,6 +217,14 @@ func (s *Server) handleConn(conn net.Conn) {
 				binary.LittleEndian.PutUint32(out[:], uint32(firings))
 				reply(f.reqID, okBody(out[:]))
 			}
+		case msgEventBatch:
+			evs, err := decodeEventBatch(f.body)
+			if err != nil {
+				// Fire-and-forget: a malformed batch has no reply channel.
+				continue
+			}
+			s.cfg.Metrics.eventsReceived(len(evs))
+			_, _ = core.ProcessBatch(s.node, evs)
 		case msgFlush:
 			if err := s.node.FlushEvents(); err != nil {
 				reply(f.reqID, errBody(err))
