@@ -446,20 +446,32 @@ func (a *Archive) Append(ev *event.Event) (uint64, error) {
 
 // AppendBatch logs a batch of events as one group append — one buffered
 // write per touched segment (batches split across a rotation) plus at most
-// one fsync when SyncOnWrite — and returns the LSN of the first event.
+// one fsync when SyncOnWrite — and returns the LSN of the first event plus
+// how many leading events were appended to the per-event durability standard
+// (the write succeeded and, when SyncOnWrite, the frames landed on an
+// fsynced segment). On error callers must re-log only evs[appended:]:
+// re-logging the appended prefix would duplicate it in the WAL, and a
+// crash-recovery replay would then apply those events twice. As with a
+// single Append whose write succeeded but whose sync failed, frames beyond
+// the reported prefix may still survive a lucky crash — that residual
+// at-most-one-write window is unchanged from the per-event path.
+//
 // Per-event durability semantics are preserved: every event still gets its
 // own CRC-framed slot and consecutive LSN, so a crash mid-group tears at
 // most the trailing frame of the write and Salvage recovery truncates to a
 // whole-event boundary exactly as it does for single appends.
-func (a *Archive) AppendBatch(evs []event.Event) (uint64, error) {
+func (a *Archive) AppendBatch(evs []event.Event) (uint64, int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	first := a.nextLSN
+	written := 0 // events whose frames were written into segment files
+	synced := 0  // events on segments sealed (fsynced) by a mid-batch rotation
 	for i := 0; i < len(evs); {
 		if a.active == nil || a.active.n >= a.segmentCap {
 			if err := a.rotateLocked(); err != nil {
-				return first, err
+				return first, a.appendedCount(written, synced), err
 			}
+			synced = written
 		}
 		chunk := evs[i:min(i+a.segmentCap-a.active.n, len(evs))]
 		buf := make([]byte, len(chunk)*frameSizeV2)
@@ -470,7 +482,7 @@ func (a *Archive) AppendBatch(evs []event.Event) (uint64, error) {
 			binary.LittleEndian.PutUint32(f[crcOffset:], crc32.Checksum(f[:crcOffset], castagnoli))
 		}
 		if err := a.writeGroup(buf); err != nil {
-			return first, fmt.Errorf("archive: append batch: %w", err)
+			return first, a.appendedCount(written, synced), fmt.Errorf("archive: append batch: %w", err)
 		}
 		a.met.appendBytes.Add(uint64(len(buf)))
 		for k := range chunk {
@@ -478,15 +490,28 @@ func (a *Archive) AppendBatch(evs []event.Event) (uint64, error) {
 			a.active.n++
 		}
 		a.nextLSN += uint64(len(chunk))
+		written += len(chunk)
 		i += len(chunk)
 	}
 	if a.syncOnWrite && a.active != nil {
 		crashpoint.Hit(crashpoint.ArchiveAppendBeforeSync)
 		if err := a.syncFile(a.active.file); err != nil {
-			return first, fmt.Errorf("archive: sync: %w", err)
+			return first, synced, fmt.Errorf("archive: sync: %w", err)
 		}
 	}
-	return first, nil
+	return first, written, nil
+}
+
+// appendedCount converts a group append's write/sync progress into the
+// prefix length AppendBatch reports on error: without SyncOnWrite a
+// successful write is exactly as durable as a successful single Append; with
+// it only events whose segment was already sealed have been fsynced when the
+// batch aborts early.
+func (a *Archive) appendedCount(written, synced int) int {
+	if a.syncOnWrite {
+		return synced
+	}
+	return written
 }
 
 // writeGroup writes one chunk of a group append. Single-frame chunks take
@@ -531,9 +556,12 @@ func (a *Archive) writeFrame(buf []byte) error {
 	return err
 }
 
-// rotateLocked seals the active segment and starts a new one.
+// rotateLocked seals the active segment and starts a new one. A nil
+// active.file means a previous rotation sealed the segment but failed to
+// open its successor; the retry skips straight to the open so a transient
+// failure does not wedge the archive.
 func (a *Archive) rotateLocked() error {
-	if a.active != nil {
+	if a.active != nil && a.active.file != nil {
 		if err := a.syncFile(a.active.file); err != nil {
 			return fmt.Errorf("archive: seal sync: %w", err)
 		}

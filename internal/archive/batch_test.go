@@ -32,12 +32,12 @@ func TestAppendBatchMatchesPerEventAppend(t *testing.T) {
 	}
 	defer b.Close()
 
-	first, err := a.AppendBatch(evs)
+	first, appended, err := a.AppendBatch(evs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != 0 {
-		t.Fatalf("first LSN = %d, want 0", first)
+	if first != 0 || appended != len(evs) {
+		t.Fatalf("first LSN = %d appended = %d, want 0 and %d", first, appended, len(evs))
 	}
 	for i := range evs {
 		lsn, err := b.Append(&evs[i])
@@ -101,19 +101,20 @@ func TestAppendBatchEmptyAndSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if _, err := a.AppendBatch(nil); err != nil {
-		t.Fatal(err)
+	if _, appended, err := a.AppendBatch(nil); err != nil || appended != 0 {
+		t.Fatalf("empty batch: appended=%d err=%v", appended, err)
 	}
 	if a.Len() != 0 {
 		t.Fatalf("Len after empty batch = %d", a.Len())
 	}
 	ev := mkEvent(7, 1, 2, 3, true)
-	first, err := a.AppendBatch([]event.Event{ev})
+	first, appended, err := a.AppendBatch([]event.Event{ev})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != 0 || a.Len() != 1 || a.NextLSN() != 1 {
-		t.Fatalf("single-event batch: first=%d Len=%d NextLSN=%d", first, a.Len(), a.NextLSN())
+	if first != 0 || appended != 1 || a.Len() != 1 || a.NextLSN() != 1 {
+		t.Fatalf("single-event batch: first=%d appended=%d Len=%d NextLSN=%d",
+			first, appended, a.Len(), a.NextLSN())
 	}
 }
 
@@ -158,7 +159,7 @@ func TestTornGroupAppendSalvages(t *testing.T) {
 	for i := range evs {
 		evs[i] = mkEvent(uint64(i)+1, int64(i), 10, 1, false)
 	}
-	if _, err := a.AppendBatch(evs); err != nil {
+	if _, _, err := a.AppendBatch(evs); err != nil {
 		t.Fatal(err)
 	}
 	a.Close()

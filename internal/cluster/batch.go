@@ -15,7 +15,10 @@ import (
 // linger expires. Batching changes when delivery errors are observed — a
 // buffered event's failure surfaces at flush time, where it spills to the
 // node's retry queue exactly like a failed per-event send — but not whether:
-// no event is dropped that the per-event path would have delivered.
+// no event is dropped that the per-event path would have delivered. With
+// health tracking disabled there is no spill queue; undelivered events stay
+// requeued in the coalescing buffer and are retried by later flushes, so the
+// buffer can grow past MaxEvents while the node is down.
 type BatchConfig struct {
 	// MaxEvents is the per-node buffer size that forces a flush. 0 disables
 	// batching (the default, per-event routing); -1 selects
@@ -49,8 +52,14 @@ func (cfg BatchConfig) withDefaults() BatchConfig {
 
 // nodeBatch is the coalescing buffer for one storage server.
 type nodeBatch struct {
-	mu  sync.Mutex
-	buf []event.Event
+	// sendMu serializes swap-and-deliver for this node: it is taken before
+	// mu and held across the delivery, so batches reach the node in buffer
+	// order. Without it a linger flush holding an older batch could be
+	// descheduled (or block on a TCP send) and land after a newer
+	// size-triggered batch, reordering same-caller events.
+	sendMu sync.Mutex
+	mu     sync.Mutex
+	buf    []event.Event
 }
 
 // take swaps the buffer out under the lock.
@@ -62,41 +71,66 @@ func (b *nodeBatch) take() []event.Event {
 	return evs
 }
 
-// bufferEvent appends ev to its node's coalescing buffer, flushing when the
-// buffer reaches the configured bound. Buffered events always succeed from
-// the caller's perspective — failures surface at flush time and take the
-// spill path, matching the per-event fire-and-forget contract.
-func (c *Cluster) bufferEvent(idx int, ev event.Event) error {
-	b := c.batches[idx]
-	var evs []event.Event
-	b.mu.Lock()
-	b.buf = append(b.buf, ev)
-	if len(b.buf) >= c.bcfg.MaxEvents {
-		evs = b.buf
-		b.buf = nil
+// requeueFront puts an undelivered suffix back at the head of the buffer,
+// ahead of anything buffered while the delivery was in flight, so the next
+// flush replays the stream in its original order. evs' backing array is the
+// swapped-out batch, owned exclusively by the failed delivery.
+func (b *nodeBatch) requeueFront(evs []event.Event) {
+	if len(evs) == 0 {
+		return
 	}
+	b.mu.Lock()
+	b.buf = append(evs, b.buf...)
 	b.mu.Unlock()
-	return c.deliverBatch(idx, evs)
 }
 
-// flushBatch drains node idx's coalescing buffer now. Used by the linger
-// loop, by synchronous operations that need routing order (a buffered event
-// must land before a Get/Put on the same node observes state), and by Close.
+// bufferEvent appends ev to its node's coalescing buffer, flushing when the
+// buffer reaches the configured bound. Buffered events always succeed from
+// the caller's perspective — failures surface at flush time, where they take
+// the spill path (or, with health tracking disabled, stay requeued in the
+// buffer for the next flush), matching the per-event fire-and-forget
+// contract.
+func (c *Cluster) bufferEvent(idx int, ev event.Event) error {
+	b := c.batches[idx]
+	b.mu.Lock()
+	b.buf = append(b.buf, ev)
+	full := len(b.buf) >= c.bcfg.MaxEvents
+	b.mu.Unlock()
+	if full {
+		_ = c.flushBatch(idx)
+	}
+	return nil
+}
+
+// flushBatch drains node idx's coalescing buffer now. Used by size-triggered
+// flushes, by the linger loop, by synchronous operations that need routing
+// order (a buffered event must land before a Get/Put on the same node
+// observes state), and by Close. sendMu is held across take + deliver so
+// concurrent flushes cannot deliver batches out of buffer order.
 func (c *Cluster) flushBatch(idx int) error {
-	return c.deliverBatch(idx, c.batches[idx].take())
+	b := c.batches[idx]
+	b.sendMu.Lock()
+	defer b.sendMu.Unlock()
+	return c.deliverBatch(idx, b.take())
 }
 
 // deliverBatch sends one batch to its node through the health machinery:
 // breaker-open or failed deliveries spill the undelivered suffix to the
 // node's retry queue (the delivered prefix is never requeued, so no event is
 // applied twice by this path). With health tracking disabled there is no
-// spill queue and the error is returned instead.
+// spill queue: the undelivered suffix goes back to the head of the node's
+// coalescing buffer (buffered events already reported success to their
+// callers and must not be dropped) and the error is returned so synchronous
+// flush triggers can observe it.
 func (c *Cluster) deliverBatch(idx int, evs []event.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
 	if c.disabled() {
-		_, err := core.ProcessBatch(c.node(idx), evs)
+		delivered, err := core.ProcessBatch(c.node(idx), evs)
+		if err != nil && c.batches != nil {
+			c.batches[idx].requeueFront(evs[delivered:])
+		}
 		return err
 	}
 	h := c.health[idx]

@@ -200,6 +200,117 @@ func TestClusterBatchSpillAndReplay(t *testing.T) {
 	}
 }
 
+// slowBatchStorage records whole-batch deliveries, stalling size-incomplete
+// batches (the ones the linger loop ships) to widen the window between a
+// batch being swapped out of its buffer and it reaching the node — the
+// window in which an unserialized linger flush would be overtaken by the
+// producer's next size-triggered flush.
+type slowBatchStorage struct {
+	flakyStorage
+	full int // batches below this size sleep before recording
+}
+
+func (s *slowBatchStorage) ProcessEventBatch(evs []event.Event) error {
+	if len(evs) < s.full {
+		time.Sleep(3 * time.Millisecond)
+	}
+	s.mu.Lock()
+	s.delivered = append(s.delivered, evs...)
+	s.mu.Unlock()
+	return nil
+}
+
+// TestClusterBatchDeliveryOrder races the linger loop against size-triggered
+// flushes on a node with erratic delivery latency: batches must reach the
+// node in buffer order, so same-caller events are never applied out of
+// order (the ordering half of the batched-vs-per-event equivalence
+// contract).
+func TestClusterBatchDeliveryOrder(t *testing.T) {
+	ss := &slowBatchStorage{full: 4}
+	c, err := NewWithOptions([]core.Storage{ss}, Options{
+		Batch: BatchConfig{MaxEvents: 4, Linger: 500 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		ev := event.Event{Caller: uint64(i%3) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(ev); err != nil {
+			t.Fatal(err)
+		}
+		if i%5 == 4 {
+			// Pause with a partial buffer so the linger loop regularly grabs
+			// a batch (which then stalls in delivery) while the producer's
+			// next size-triggered flush races it.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	ss.mu.Lock()
+	got := append([]event.Event(nil), ss.delivered...)
+	ss.mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("delivered %d events, want %d", len(got), n)
+	}
+	last := make(map[uint64]int64)
+	for i, ev := range got {
+		if ev.Timestamp <= last[ev.Caller] {
+			t.Fatalf("delivery %d: caller %d timestamp %d arrived after %d — batches reordered",
+				i, ev.Caller, ev.Timestamp, last[ev.Caller])
+		}
+		last[ev.Caller] = ev.Timestamp
+	}
+}
+
+// TestClusterBatchDisabledHealthRetains checks that with health tracking
+// disabled (no spill queue) a failed flush does not drop buffered events:
+// the undelivered suffix stays requeued at the buffer head and a flush after
+// recovery delivers the whole stream in order, without duplicates.
+func TestClusterBatchDisabledHealthRetains(t *testing.T) {
+	fs := &flakyStorage{}
+	c, err := NewWithOptions([]core.Storage{fs}, Options{
+		Health: HealthConfig{FailureThreshold: -1},
+		Batch:  BatchConfig{MaxEvents: 2, Linger: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	fs.down.Store(true)
+
+	evs := make([]event.Event, 6)
+	for i := range evs {
+		evs[i] = event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := c.ProcessEventAsync(evs[i]); err != nil {
+			t.Fatalf("event %d: buffered send surfaced %v", i, err)
+		}
+	}
+	if got := fs.deliveredCount(); got != 0 {
+		t.Fatalf("%d events delivered to a down node", got)
+	}
+
+	fs.down.Store(false)
+	if err := c.FlushEvents(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	fs.mu.Lock()
+	got := append([]event.Event(nil), fs.delivered...)
+	fs.mu.Unlock()
+	if len(got) != len(evs) {
+		t.Fatalf("delivered %d events, want %d (events dropped without a spill queue)", len(got), len(evs))
+	}
+	for i := range got {
+		if got[i] != evs[i] {
+			t.Fatalf("delivery %d: got %+v, want %+v (order or duplication broken)", i, got[i], evs[i])
+		}
+	}
+}
+
 // TestClusterBatchBreakerOpenSpills checks a flush against an open breaker
 // does not even touch the node: the whole batch spills and replays once the
 // node recovers.

@@ -291,14 +291,36 @@ type BatchProcessor interface {
 	ProcessEventBatch(evs []event.Event) error
 }
 
+// PartialBatchError reports a batch ingest that stopped partway: the first
+// Applied events were durably logged and handed to the ESP workers, the rest
+// were not ingested at all. Callers must re-submit only the un-applied
+// suffix — re-submitting the whole batch would log the prefix twice, and a
+// crash-recovery replay would then apply those events twice.
+type PartialBatchError struct {
+	Applied int
+	Err     error
+}
+
+func (e *PartialBatchError) Error() string {
+	return fmt.Sprintf("core: batch ingest stopped after %d events: %v", e.Applied, e.Err)
+}
+
+func (e *PartialBatchError) Unwrap() error { return e.Err }
+
 // ProcessBatch delivers evs through one ProcessEventBatch call when the
 // handle supports it, else per event. It returns how many leading events
 // were durably handed off along with the first error: a batch-capable
-// handle fails all-or-nothing (0 on error), the per-event fallback stops at
-// the failing event. Callers relinquish ownership of evs either way.
+// handle fails all-or-nothing (0 on error) unless the error is a
+// *PartialBatchError carrying the ingested prefix length; the per-event
+// fallback stops at the failing event. Callers relinquish ownership of
+// evs[:delivered] either way and own the retry of the suffix.
 func ProcessBatch(st Storage, evs []event.Event) (int, error) {
 	if bp, ok := st.(BatchProcessor); ok {
 		if err := bp.ProcessEventBatch(evs); err != nil {
+			var pe *PartialBatchError
+			if errors.As(err, &pe) {
+				return pe.Applied, err
+			}
 			return 0, err
 		}
 		return len(evs), nil
@@ -330,7 +352,14 @@ func (n *StorageNode) ProcessEventBatch(evs []event.Event) error {
 	}
 	n.ingestMu.RLock()
 	defer n.ingestMu.RUnlock()
-	if _, err := n.cfg.Archive.AppendBatch(evs); err != nil {
+	if _, appended, err := n.cfg.Archive.AppendBatch(evs); err != nil {
+		if appended > 0 {
+			// The prefix is durably in the WAL: apply it now so matrix state
+			// matches what a crash-recovery replay would reconstruct, and
+			// report the boundary so the caller respills only the suffix.
+			n.enqueueBatch(evs[:appended:appended])
+			return &PartialBatchError{Applied: appended, Err: err}
+		}
 		return err
 	}
 	n.enqueueBatch(evs)

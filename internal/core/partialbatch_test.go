@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/archive"
+	"repro/internal/event"
+)
+
+// partialStub is a BatchProcessor that always stops partway, for exercising
+// ProcessBatch's partial-prefix accounting.
+type partialStub struct {
+	Storage
+	applied int
+}
+
+var errStub = errors.New("stub: node failed mid-batch")
+
+func (s *partialStub) ProcessEventBatch(evs []event.Event) error {
+	return &PartialBatchError{Applied: s.applied, Err: errStub}
+}
+
+// TestProcessBatchPartialError checks ProcessBatch surfaces a batch-capable
+// handle's partial progress: the delivered count is the applied prefix, not
+// zero, so callers respill only the un-ingested suffix.
+func TestProcessBatchPartialError(t *testing.T) {
+	evs := make([]event.Event, 5)
+	delivered, err := ProcessBatch(&partialStub{applied: 3}, evs)
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3", delivered)
+	}
+	var pe *PartialBatchError
+	if !errors.As(err, &pe) || pe.Applied != 3 || !errors.Is(err, errStub) {
+		t.Fatalf("err = %v, want PartialBatchError{Applied: 3} wrapping errStub", err)
+	}
+}
+
+// TestProcessEventBatchPartialAppend drives the real partial path: a group
+// WAL append that fails at a mid-batch segment rotation. The durably logged
+// prefix must be applied to the matrix (matching what crash recovery would
+// replay) and reported, so that respilling only the suffix reconstructs the
+// exact stream with no event logged or applied twice.
+func TestProcessEventBatchPartialAppend(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	arch, err := archive.Open(dir, archive.Options{SegmentEvents: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { arch.Close() })
+	n := newTestNode(t, Config{Partitions: 2, Archive: arch})
+
+	mk := func(i int) event.Event {
+		return event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+	}
+	// Two per-event appends leave room for 2 more events in the active
+	// segment, so a 6-event batch must rotate after its first chunk.
+	for i := 0; i < 2; i++ {
+		if err := n.ProcessEventAsync(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Hide the archive directory: the open segment file keeps accepting the
+	// first chunk, but the rotation cannot create its successor.
+	moved := dir + ".off"
+	if err := os.Rename(dir, moved); err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]event.Event, 6)
+	for i := range batch {
+		batch[i] = mk(2 + i)
+	}
+	delivered, err := ProcessBatch(n, batch)
+	if err == nil {
+		t.Fatal("batch spanning a broken rotation reported success")
+	}
+	var pe *PartialBatchError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PartialBatchError", err)
+	}
+	if delivered != 2 || pe.Applied != 2 {
+		t.Fatalf("delivered = %d, Applied = %d, want 2 (the segment's remaining room)", delivered, pe.Applied)
+	}
+	if err := os.Rename(moved, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The logged prefix was applied; the suffix was not.
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().EventsProcessed; got != 4 {
+		t.Fatalf("processed %d events after partial batch, want 4", got)
+	}
+
+	// Respill exactly the reported suffix, like the cluster layer would.
+	if err := n.ProcessEventBatch(batch[delivered:]); err != nil {
+		t.Fatalf("suffix redelivery: %v", err)
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().EventsProcessed; got != 8 {
+		t.Fatalf("processed %d events after redelivery, want 8", got)
+	}
+
+	// The WAL holds the exact stream once: dense LSNs, no duplicates.
+	next := uint64(0)
+	if err := arch.Replay(0, func(lsn uint64, ev event.Event) error {
+		if lsn != next || ev != mk(int(lsn)) {
+			t.Fatalf("replay lsn %d (want %d): got %+v", lsn, next, ev)
+		}
+		next++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if next != 8 {
+		t.Fatalf("archive replayed %d events, want 8", next)
+	}
+}

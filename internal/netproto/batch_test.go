@@ -192,6 +192,39 @@ func TestServerSideCoalescing(t *testing.T) {
 	waitProcessed(t, node, 105)
 }
 
+// TestLingerRetriesAfterFailedFlush checks a dead timer cannot strand a
+// quiet stream: when a linger flush fails (server unreachable) the timer
+// re-arms, so the buffered events are delivered after the server heals with
+// no further sends, flushes, or syncs from the application.
+func TestLingerRetriesAfterFailedFlush(t *testing.T) {
+	plan := NewFaultPlan()
+	cli, node, _ := startPairCfg(t, ServerConfig{}, ClientConfig{
+		EventBatch: 64, EventLinger: 2 * time.Millisecond,
+		Dialer:      plan.Dialer(),
+		BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond,
+	})
+
+	// Take the server away: the live conn is reset and redials are refused.
+	plan.SetFailDial(true)
+	plan.ResetAll()
+	for i := 0; i < 3; i++ {
+		ev := event.Event{Caller: uint64(i) + 1, Timestamp: int64(i + 1), Duration: 5, Cost: 1}
+		if err := cli.ProcessEventAsync(ev); err != nil {
+			t.Fatalf("event %d: buffered send surfaced %v", i, err)
+		}
+	}
+	// Several linger deadlines pass against the dead server; every flush
+	// attempt fails and must leave the retry timer armed.
+	time.Sleep(20 * time.Millisecond)
+	if got := node.Stats().EventsProcessed; got != 0 {
+		t.Fatalf("server processed %d events while unreachable", got)
+	}
+
+	// Heal and touch nothing: only a re-armed linger timer can deliver.
+	plan.Heal()
+	waitProcessed(t, node, 3)
+}
+
 // TestCoalescingZeroLossUnderFaults checks the batched client path keeps
 // the per-event path's delivery contract under connection loss: a failed
 // flush keeps the batch buffered, the failure surfaces on the next send

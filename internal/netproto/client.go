@@ -107,9 +107,11 @@ func (c *Client) Reconnects() uint64 {
 func (c *Client) Close() error {
 	if c.co != nil {
 		// Best-effort final drain so coalesced events are not silently
-		// dropped, then stop the linger timer.
+		// dropped, then stop the linger timer for good (stopped bars the
+		// failure-retry paths from re-arming it against a closed client).
 		_ = c.drainEvents()
 		c.co.mu.Lock()
+		c.co.stopped = true
 		if c.co.timer != nil {
 			c.co.timer.Stop()
 		}

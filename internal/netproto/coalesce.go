@@ -27,11 +27,30 @@ type coalescer struct {
 	max     int
 	linger  time.Duration
 	timer   *time.Timer // fires lingerFlush; created on first use
+	armed   bool        // a lingerFlush fire is scheduled
+	stopped bool        // Close ran; never (re-)arm again
 	pending error       // sticky first delivery failure, see above
 }
 
 func newCoalescer(max int, linger time.Duration) *coalescer {
 	return &coalescer{buf: make([]event.Event, 0, max), max: max, linger: linger}
+}
+
+// armLocked schedules a linger flush unless one is already pending (or
+// lingering is off, or the client closed). Every path that leaves the buffer
+// non-empty must call it — including failed flushes, or a quiet stream would
+// strand the buffered events with a dead timer. Caller holds co.mu.
+func (c *Client) armLocked() {
+	co := c.co
+	if co.linger <= 0 || co.armed || co.stopped {
+		return
+	}
+	co.armed = true
+	if co.timer == nil {
+		co.timer = time.AfterFunc(co.linger, c.lingerFlush)
+	} else {
+		co.timer.Reset(co.linger)
+	}
 }
 
 // bufferEvent enqueues ev, flushing when the batch is full.
@@ -48,6 +67,8 @@ func (c *Client) bufferEvent(ev event.Event) error {
 		// if the server is still unreachable rather than grow unboundedly.
 		if err := c.flushEventsLocked(); err != nil {
 			co.pending = nil
+			// The stranded batch keeps retrying on the linger cadence.
+			c.armLocked()
 			return err
 		}
 	}
@@ -57,24 +78,24 @@ func (c *Client) bufferEvent(ev event.Event) error {
 		// the buffer now owns) is kept for redelivery and the error is
 		// surfaced by the next send.
 		_ = c.flushEventsLocked()
-		return nil
 	}
-	if len(co.buf) == 1 && co.linger > 0 {
-		if co.timer == nil {
-			co.timer = time.AfterFunc(co.linger, c.lingerFlush)
-		} else {
-			co.timer.Reset(co.linger)
-		}
+	if len(co.buf) > 0 {
+		c.armLocked()
 	}
 	return nil
 }
 
 // lingerFlush drains a size-incomplete batch when the linger deadline hits.
+// A failed flush re-arms the timer: the buffer is still non-empty, and on a
+// quiet stream no other trigger would retry it.
 func (c *Client) lingerFlush() {
 	co := c.co
 	co.mu.Lock()
+	co.armed = false
 	if len(co.buf) > 0 {
-		_ = c.flushEventsLocked()
+		if c.flushEventsLocked() != nil {
+			c.armLocked()
+		}
 	}
 	co.mu.Unlock()
 }
