@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench obs-guard ingest-guard crash fuzz-smoke ci
+.PHONY: build test race bench obs-guard ingest-guard kernel-guard crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -26,6 +26,10 @@ obs-guard:
 ingest-guard:
 	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard -v ./internal/bench/
 
+## kernel-guard: check scan compares stay closure-free and split-phase apply beats eager
+kernel-guard:
+	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard -v ./internal/bench/
+
 ## crash: crash-injection campaign — kill aimserver at 100 random points, verify every recovery
 crash:
 	AIM_CRASH_KILLS=100 $(GO) test -run TestCrashRecoveryRandomKillPoints -v -timeout 30m ./internal/crashharness/
@@ -43,5 +47,6 @@ ci:
 	$(GO) test -race ./...
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/
 	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard ./internal/bench/
+	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard ./internal/bench/
 	$(MAKE) fuzz-smoke
 	$(MAKE) crash

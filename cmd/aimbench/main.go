@@ -41,6 +41,7 @@ var experiments = []experiment{
 	{"steal", "§3.2: fixed assignment vs work-stealing scan", bench.WorkStealingScan},
 	{"cow", "§6: differential updates vs copy-on-write", bench.COWvsDelta},
 	{"ingest", "batched ingest: wire batch-size sweep over TCP", bench.IngestBatchSweep},
+	{"kernels", "scan & apply kernel micro: compares, masked agg, split-phase apply", bench.KernelMicro},
 	{"chaos", "fault-tolerance drill: flaky/dead node, strict vs degraded RTA", bench.FaultTolerance},
 	{"recover", "durability: recovery time vs archive tail length & checkpoint cadence", bench.RecoveryTime},
 	{"mixed", "instrumented mixed load: freshness & latency histograms", bench.MixedWorkload},

@@ -49,6 +49,10 @@ type espWorker struct {
 	ch     chan espRequest
 	parts  []*Partition
 	engine *rules.Engine // per-worker replica of the rule set; may be nil
+	// ruleGroups is the set of attribute groups the rule set reads,
+	// computed once at engine construction; it scopes lazy materialization
+	// on the batched apply path.
+	ruleGroups *schema.GroupSet
 	stop   chan struct{}
 	done   chan struct{}
 	// nEvents is the worker-local event count used to sample per-event
@@ -172,7 +176,7 @@ func (w *espWorker) applyRun(run []event.Event) {
 			}
 		}
 	}
-	p.ApplyEventBatch(run, onApply)
+	p.ApplyEventBatch(run, w.ruleGroups, onApply)
 	if sample {
 		// Amortized per-event cost: the run shares one Get and one Put.
 		w.node.met.eventApply.ObserveDuration(time.Since(t0) / time.Duration(len(run)))

@@ -189,6 +189,9 @@ func NewNode(cfg Config) (*StorageNode, error) {
 				return nil, err
 			}
 			w.engine = eng
+			// Groups the rule set reads, computed once: the batched apply
+			// path materializes only these on intermediate records.
+			w.ruleGroups = cfg.Schema.GroupSetForAttrs(eng.ReadAttrs())
 		}
 		n.workers = append(n.workers, w)
 	}

@@ -83,6 +83,7 @@ type Partition struct {
 
 	version uint64        // conditional-write version counter
 	scratch schema.Record // ESP-thread-confined record buffer
+	gdirty  []uint64      // dirty-group bitmask scratch for batched apply (ESP-thread confined)
 
 	// dirty tracks entities Put since the last incremental checkpoint
 	// (ESP-thread confined). nil when dirty tracking is disabled.
@@ -120,6 +121,7 @@ func NewPartition(sch *schema.Schema, bucketSize int, factory RecordFactory) *Pa
 		cur:     delta.New(1024),
 		old:     delta.New(1024),
 		scratch: make(schema.Record, sch.Slots),
+		gdirty:  make([]uint64, sch.GroupMaskWords()),
 	}
 }
 
@@ -290,13 +292,22 @@ func (p *Partition) ApplyEvent(ev *event.Event) schema.Record {
 // ApplyEventBatch applies a caller-coalesced run — consecutive events that
 // all belong to the same caller — paying the Get (hash probes + record
 // copy) and the delta Put once for the whole run instead of once per event.
-// onApply is invoked after each event's update functions with the
-// intermediate record, exactly what the per-event path would have produced
-// (modulo the version slot, which now advances once per event but is only
-// stamped into the stored record at the end), so Business Rule evaluation
-// per event keeps identical firing semantics. Returns the final record
-// under the same lifetime contract as ApplyEvent.
-func (p *Partition) ApplyEventBatch(run []event.Event, onApply func(ev *event.Event, rec schema.Record)) schema.Record {
+//
+// Updates run split-phase: each event's ingest touches only the hidden
+// primitives, and visible aggregates are materialized lazily. ruleGroups,
+// when non-nil, names the groups the active Business Rules read; before
+// each intermediate onApply only the dirty groups in that set are
+// materialized, since rule evaluation cannot observe any other visible
+// slot. Everything still dirty is materialized once at the end of the run,
+// before the record is stored — so the stored record, and the record seen
+// by onApply for the final event within ruleGroups, are byte-identical to
+// the per-event path (modulo the version slot, which advances once per
+// event but is stamped only at the end). With ruleGroups == nil and a
+// non-nil onApply, every dirty group materializes per event, preserving
+// fully eager semantics for callers that inspect whole intermediate
+// records. Returns the final record under the same lifetime contract as
+// ApplyEvent.
+func (p *Partition) ApplyEventBatch(run []event.Event, ruleGroups *schema.GroupSet, onApply func(ev *event.Event, rec schema.Record)) schema.Record {
 	rec := p.scratch
 	caller := run[0].Caller
 	if _, ok := p.Get(caller, rec); !ok {
@@ -304,11 +315,15 @@ func (p *Partition) ApplyEventBatch(run []event.Event, onApply func(ev *event.Ev
 		copy(rec, fresh)
 	}
 	for i := range run {
-		p.sch.Apply(rec, &run[i])
+		p.sch.ApplyIngest(rec, &run[i], p.gdirty)
 		if onApply != nil {
+			p.sch.MaterializeDirty(rec, p.gdirty, ruleGroups)
 			onApply(&run[i], rec)
 		}
 	}
+	// Publish whatever stayed lazy during the run before the record becomes
+	// visible to Gets and scans.
+	p.sch.MaterializeDirty(rec, p.gdirty, nil)
 	// Advance the version counter as if each event had Put individually, so
 	// conditional-write version arithmetic is unchanged by batching.
 	p.version += uint64(len(run) - 1)

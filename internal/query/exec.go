@@ -24,6 +24,7 @@ type Executor struct {
 	conj []uint64 // current conjunct mask
 	pred []uint64 // current predicate mask
 	slab []uint64 // per-bucket mask cache for batch plans (one mask per distinct predicate)
+	idx  []int32  // matched-record index slab for the grouped path
 
 	// gcache holds one group-row cache per batch-query position: raw group
 	// column value -> the partial's accumulator row. It replaces the
@@ -295,7 +296,9 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, m
 	if gc != nil {
 		rows = gc.rowsFor(p)
 	}
-	vec.ForEach(mask, func(i int) {
+	ex.idx = vec.Indices(mask, ex.idx)
+	for _, i32 := range ex.idx {
+		i := int(i32)
 		gv := gcol[i]
 		var cells []Cell
 		if rows != nil {
@@ -309,7 +312,7 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, m
 			cells = resolveGroup(p, gv, dimMap, dict)
 		}
 		if cells == nil {
-			return // inner-join semantics: unmatched keys drop out
+			continue // inner-join semantics: unmatched keys drop out
 		}
 		for ai, a := range q.Aggs {
 			cell := &cells[ai]
@@ -338,7 +341,7 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, m
 				updateArg(cell, a.Op, ids[i], v)
 			}
 		}
-	})
+	}
 	return nil
 }
 

@@ -61,6 +61,35 @@ func NewEngine(sch *schema.Schema, rs []Rule, useIndex bool) (*Engine, error) {
 // NumRules returns the rule-set size.
 func (e *Engine) NumRules() int { return len(e.rules) }
 
+// ReadAttrs returns the visible attribute slots the rule set reads from
+// Entity Records (LHSAttr and both sides of LHSAttrRatio), deduplicated.
+// Storage layers use it to materialize only the record portions rule
+// evaluation can observe on intermediate batch states.
+func (e *Engine) ReadAttrs() []int {
+	seen := make(map[int]bool)
+	var out []int
+	add := func(a int) {
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	for i := range e.rules {
+		for _, c := range e.rules[i].Conjuncts {
+			for _, p := range c {
+				switch p.Kind {
+				case LHSAttr:
+					add(p.Attr)
+				case LHSAttrRatio:
+					add(p.Attr)
+					add(p.Attr2)
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Evaluate runs the rule set against one event and its updated Entity
 // Record and returns the firings permitted by the firing policies.
 func (e *Engine) Evaluate(ev *event.Event, rec schema.Record) []Firing {

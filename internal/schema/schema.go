@@ -2,6 +2,7 @@ package schema
 
 import (
 	"fmt"
+	mathbits "math/bits"
 
 	"repro/internal/event"
 )
@@ -64,11 +65,33 @@ type Group struct {
 	primAt     [4]int // base slot per primitive (count,sum,min,max); -1 if absent
 	primSets   int    // 1 for tumbling/count windows, Sub for sliding
 
-	update func(rec []uint64, ev *event.Event)
+	// Split-phase kernels (see update.go). ingest rolls the window and
+	// updates hidden primitives, reporting whether they changed;
+	// materialize publishes the visible aggregate slots from the
+	// primitives. materialize is pure and idempotent — running it once
+	// after a run of ingests yields the same bytes as running it after
+	// every ingest.
+	ingest      func(rec []uint64, ev *event.Event) bool
+	materialize func(rec []uint64)
 }
 
-// Update applies ev to the group's portion of rec.
-func (g *Group) Update(rec []uint64, ev *event.Event) { g.update(rec, ev) }
+// Update applies ev to the group's portion of rec: ingest followed by
+// materialize when anything visible could have moved.
+func (g *Group) Update(rec []uint64, ev *event.Event) {
+	if g.ingest(rec, ev) {
+		g.materialize(rec)
+	}
+}
+
+// Ingest runs only the group's ingest phase (epoch roll + primitive
+// update), reporting whether the stored primitives changed. Callers that
+// defer materialization must call Materialize before the record becomes
+// visible to readers.
+func (g *Group) Ingest(rec []uint64, ev *event.Event) bool { return g.ingest(rec, ev) }
+
+// Materialize publishes the group's visible aggregates from its primitives
+// (and rec's last-event timestamp, for sliding validity).
+func (g *Group) Materialize(rec []uint64) { g.materialize(rec) }
 
 // Schema is a compiled Analytics-Matrix schema.
 type Schema struct {
@@ -244,11 +267,101 @@ func (s *Schema) NewRecord(entityID uint64) Record {
 }
 
 // Apply applies one event to rec: it stamps the last-event timestamp and
-// runs every attribute group's update function. This is the body of the
-// paper's UPDATE_MATRIX inner loop (Algorithm 1, steps 4-5).
+// runs every attribute group's update (ingest + materialize). This is the
+// body of the paper's UPDATE_MATRIX inner loop (Algorithm 1, steps 4-5).
 func (s *Schema) Apply(rec Record, ev *event.Event) {
 	rec[SlotLastTimestamp] = uint64(ev.Timestamp)
 	for i := range s.Groups {
-		s.Groups[i].update(rec, ev)
+		s.Groups[i].Update(rec, ev)
 	}
+}
+
+// ApplyIngest applies one event's ingest phase only: the last-event
+// timestamp is stamped and every group's primitives are updated, but no
+// visible aggregate is published. dirty, when non-nil, must hold
+// GroupMaskWords() words; the bit of each group whose primitives changed is
+// OR-ed in, so a caller can batch several ingests and then materialize only
+// what moved. The record must not be read through visible aggregate slots
+// until MaterializeAll (or MaterializeDirty covering all dirty groups) has
+// run.
+func (s *Schema) ApplyIngest(rec Record, ev *event.Event, dirty []uint64) {
+	rec[SlotLastTimestamp] = uint64(ev.Timestamp)
+	if dirty == nil {
+		for i := range s.Groups {
+			s.Groups[i].ingest(rec, ev)
+		}
+		return
+	}
+	for i := range s.Groups {
+		if s.Groups[i].ingest(rec, ev) {
+			dirty[i>>6] |= 1 << uint(i&63)
+		}
+	}
+}
+
+// MaterializeAll publishes every group's visible aggregates.
+func (s *Schema) MaterializeAll(rec Record) {
+	for i := range s.Groups {
+		s.Groups[i].materialize(rec)
+	}
+}
+
+// MaterializeDirty materializes every group whose dirty bit is set —
+// restricted to sel when sel is non-nil — and clears the bits it consumed.
+// Bits outside sel stay set, so a later call (typically with sel == nil,
+// before the record is stored) finishes the job.
+func (s *Schema) MaterializeDirty(rec Record, dirty []uint64, sel *GroupSet) {
+	for wi := range dirty {
+		w := dirty[wi]
+		if sel != nil {
+			w &= sel.bits[wi]
+		}
+		if w == 0 {
+			continue
+		}
+		dirty[wi] &^= w
+		base := wi * 64
+		for w != 0 {
+			b := mathbits.TrailingZeros64(w)
+			s.Groups[base+b].materialize(rec)
+			w &= w - 1
+		}
+	}
+}
+
+// GroupMaskWords returns the number of 64-bit words a dirty-group bitmask
+// for this schema needs.
+func (s *Schema) GroupMaskWords() int { return (len(s.Groups) + 63) / 64 }
+
+// GroupSet is a bitset over a schema's attribute groups, used to scope lazy
+// materialization to the groups a reader (e.g. the Business Rule set)
+// actually consumes.
+type GroupSet struct {
+	bits []uint64
+}
+
+// GroupSetForAttrs returns the set of groups owning the given visible
+// attribute slots. Builtin and static attributes (which no group
+// materializes) are ignored; out-of-range slots are ignored too, since rule
+// validation already rejects them.
+func (s *Schema) GroupSetForAttrs(attrs []int) *GroupSet {
+	gs := &GroupSet{bits: make([]uint64, s.GroupMaskWords())}
+	for _, a := range attrs {
+		if a < 0 || a >= len(s.Attrs) {
+			continue
+		}
+		if gi := s.Attrs[a].Group; gi >= 0 {
+			gs.bits[gi>>6] |= 1 << uint(gi&63)
+		}
+	}
+	return gs
+}
+
+// Len reports the number of groups in the set.
+func (gs *GroupSet) Len() int {
+	n := 0
+	for _, w := range gs.bits {
+		n += mathbits.OnesCount64(w)
+	}
+	return n
 }

@@ -1,0 +1,372 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/event"
+)
+
+// --- Seed oracle -----------------------------------------------------------
+//
+// oracleCompile is the closure-based group kernel this package shipped with
+// before the split-phase rewrite, kept verbatim as the equivalence oracle:
+// one update function per group doing ingest + eager materialize.
+
+type oracleOps struct {
+	add         func(a, b uint64) uint64
+	less        func(a, b uint64) bool
+	toFloat     func(a uint64) float64
+	minIdentity uint64
+	maxIdentity uint64
+}
+
+var oracleIntOps = oracleOps{
+	add:         func(a, b uint64) uint64 { return uint64(int64(a) + int64(b)) },
+	less:        func(a, b uint64) bool { return int64(a) < int64(b) },
+	toFloat:     func(a uint64) float64 { return float64(int64(a)) },
+	minIdentity: uint64(math.MaxInt64),
+	maxIdentity: 1 << 63,
+}
+
+var oracleFloatOps = oracleOps{
+	add: func(a, b uint64) uint64 {
+		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+	},
+	less: func(a, b uint64) bool {
+		return math.Float64frombits(a) < math.Float64frombits(b)
+	},
+	toFloat:     func(a uint64) float64 { return math.Float64frombits(a) },
+	minIdentity: math.Float64bits(math.Inf(1)),
+	maxIdentity: math.Float64bits(math.Inf(-1)),
+}
+
+func oracleCompile(g *Group) func(rec []uint64, ev *event.Event) {
+	ops := oracleIntOps
+	if g.Spec.Metric.kind() == TypeFloat64 {
+		ops = oracleFloatOps
+	}
+	var value func(ev *event.Event) uint64
+	switch g.Spec.Metric {
+	case MetricCount:
+		value = func(*event.Event) uint64 { return 1 }
+	case MetricDuration:
+		value = func(ev *event.Event) uint64 { return uint64(ev.Duration) }
+	case MetricCost:
+		value = func(ev *event.Event) uint64 { return math.Float64bits(ev.Cost) }
+	}
+	var match func(ev *event.Event) bool
+	switch g.Spec.Filter {
+	case CallAny:
+		match = func(*event.Event) bool { return true }
+	case CallLocal:
+		match = func(ev *event.Event) bool { return !ev.LongDistance }
+	case CallLongDistance:
+		match = func(ev *event.Event) bool { return ev.LongDistance }
+	}
+	countAt, sumAt, minAt, maxAt := g.primAt[pCount], g.primAt[pSum], g.primAt[pMin], g.primAt[pMax]
+	reset := func(rec []uint64, set int) {
+		rec[countAt+set] = 0
+		if sumAt >= 0 {
+			rec[sumAt+set] = 0
+		}
+		if minAt >= 0 {
+			rec[minAt+set] = ops.minIdentity
+		}
+		if maxAt >= 0 {
+			rec[maxAt+set] = ops.maxIdentity
+		}
+	}
+	apply := func(rec []uint64, set int, v uint64) {
+		rec[countAt+set]++
+		if sumAt >= 0 {
+			rec[sumAt+set] = ops.add(rec[sumAt+set], v)
+		}
+		if minAt >= 0 && ops.less(v, rec[minAt+set]) {
+			rec[minAt+set] = v
+		}
+		if maxAt >= 0 && ops.less(rec[maxAt+set], v) {
+			rec[maxAt+set] = v
+		}
+	}
+	materialize := func(rec []uint64, valid func(set int) bool) {
+		var total uint64
+		var sum uint64
+		mn, mx := ops.minIdentity, ops.maxIdentity
+		for set := 0; set < g.primSets; set++ {
+			if valid != nil && !valid(set) {
+				continue
+			}
+			total += rec[countAt+set]
+			if sumAt >= 0 {
+				sum = ops.add(sum, rec[sumAt+set])
+			}
+			if minAt >= 0 && ops.less(rec[minAt+set], mn) {
+				mn = rec[minAt+set]
+			}
+			if maxAt >= 0 && ops.less(mx, rec[maxAt+set]) {
+				mx = rec[maxAt+set]
+			}
+		}
+		for i, a := range g.Spec.Aggs {
+			slot := g.visSlots[i]
+			switch a {
+			case AggCount:
+				rec[slot] = total
+			case AggSum:
+				rec[slot] = sum
+			case AggAvg:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = math.Float64bits(ops.toFloat(sum) / float64(total))
+				}
+			case AggMin:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = mn
+				}
+			case AggMax:
+				if total == 0 {
+					rec[slot] = 0
+				} else {
+					rec[slot] = mx
+				}
+			}
+		}
+	}
+	epochSlot := g.epochSlot
+	switch g.Spec.Window.Kind {
+	case WindowTumbling:
+		dur := g.Spec.Window.DurationMillis
+		return func(rec []uint64, ev *event.Event) {
+			epoch := uint64(ev.Timestamp / dur)
+			changed := false
+			if rec[epochSlot] != epoch {
+				rec[epochSlot] = epoch
+				reset(rec, 0)
+				changed = true
+			}
+			if match(ev) {
+				apply(rec, 0, value(ev))
+				changed = true
+			}
+			if changed {
+				materialize(rec, nil)
+			}
+		}
+	case WindowTumblingCount:
+		n := uint64(g.Spec.Window.Count)
+		return func(rec []uint64, ev *event.Event) {
+			if !match(ev) {
+				return
+			}
+			if rec[epochSlot] >= n {
+				reset(rec, 0)
+				rec[epochSlot] = 0
+			}
+			apply(rec, 0, value(ev))
+			rec[epochSlot]++
+			materialize(rec, nil)
+		}
+	default: // WindowSliding
+		sub := int64(g.Spec.Window.Sub)
+		width := g.Spec.Window.DurationMillis / sub
+		subEpochAt := g.subEpochAt
+		return func(rec []uint64, ev *event.Event) {
+			subIdx := ev.Timestamp / width
+			j := int(subIdx % sub)
+			if rec[subEpochAt+j] != uint64(subIdx) {
+				rec[subEpochAt+j] = uint64(subIdx)
+				reset(rec, j)
+			}
+			if match(ev) {
+				apply(rec, j, value(ev))
+			}
+			lo := subIdx - sub
+			materialize(rec, func(set int) bool {
+				e := int64(rec[subEpochAt+set])
+				return e > lo && e <= subIdx
+			})
+		}
+	}
+}
+
+// oracleApply is the seed Schema.Apply: timestamp stamp + every group's
+// closure-based update.
+func oracleApply(s *Schema, updates []func([]uint64, *event.Event), rec Record, ev *event.Event) {
+	rec[SlotLastTimestamp] = uint64(ev.Timestamp)
+	for _, u := range updates {
+		u(rec, ev)
+	}
+}
+
+// --- Fixtures --------------------------------------------------------------
+
+// equivSchema covers all three window kinds crossed with all metrics
+// (int-count, int-duration, float-cost), full and partial aggregate sets.
+func equivSchema(t *testing.T) *Schema {
+	t.Helper()
+	b := NewBuilder()
+	windows := []struct {
+		name string
+		win  Window
+	}{
+		{"hour", Window{Kind: WindowTumbling, DurationMillis: 3600 * 1000}},
+		{"last5", LastEvents(5)},
+		{"slide4h", SlidingHours(4, 4)},
+	}
+	for _, w := range windows {
+		b.AddGroup(GroupSpec{
+			Name: "calls_" + w.name, Metric: MetricCount, Filter: CallAny,
+			Window: w.win, Aggs: []AggKind{AggCount},
+		})
+		b.AddGroup(GroupSpec{
+			Name: "dur_" + w.name, Metric: MetricDuration, Filter: CallLocal,
+			Window: w.win, Aggs: []AggKind{AggSum, AggAvg, AggMin, AggMax},
+		})
+		b.AddGroup(GroupSpec{
+			Name: "cost_" + w.name, Metric: MetricCost, Filter: CallLongDistance,
+			Window: w.win, Aggs: []AggKind{AggSum, AggMin},
+		})
+	}
+	s, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func randomEvent(rng *rand.Rand, ts int64) event.Event {
+	return event.Event{
+		Caller:       1,
+		Timestamp:    ts,
+		Duration:     int64(rng.Intn(3600)),
+		Cost:         float64(rng.Intn(1000)) / 16,
+		LongDistance: rng.Intn(3) == 0,
+	}
+}
+
+func recBytes(rec Record) []byte {
+	var buf bytes.Buffer
+	for _, w := range rec {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], w)
+		buf.Write(b[:])
+	}
+	return buf.Bytes()
+}
+
+// --- Tests -----------------------------------------------------------------
+
+// TestSplitPhaseMatchesSeedPerEvent proves the split-phase Update (ingest +
+// materialize-if-changed) is byte-identical to the seed closure kernel after
+// every single event, across tumbling, tumbling-count, and sliding windows.
+func TestSplitPhaseMatchesSeedPerEvent(t *testing.T) {
+	sch := equivSchema(t)
+	updates := make([]func([]uint64, *event.Event), len(sch.Groups))
+	for i := range sch.Groups {
+		updates[i] = oracleCompile(&sch.Groups[i])
+	}
+	recSeed := sch.NewRecord(1)
+	recNew := sch.NewRecord(1)
+	rng := rand.New(rand.NewSource(99))
+	ts := int64(1_700_000_000_000)
+	for i := 0; i < 5000; i++ {
+		ts += int64(rng.Intn(45 * 60 * 1000)) // jumps across sub-window and window edges
+		ev := randomEvent(rng, ts)
+		oracleApply(sch, updates, recSeed, &ev)
+		sch.Apply(recNew, &ev)
+		if !bytes.Equal(recBytes(recSeed), recBytes(recNew)) {
+			t.Fatalf("event %d: split-phase record diverged from seed kernel\nseed: %v\nnew:  %v", i, recSeed, recNew)
+		}
+	}
+}
+
+// TestDeferredMaterializeMatchesSeed proves that running only ingest for a
+// run of events and materializing once at the end produces the same bytes
+// the seed kernel reaches after the same run — the contract
+// Partition.ApplyEventBatch relies on.
+func TestDeferredMaterializeMatchesSeed(t *testing.T) {
+	sch := equivSchema(t)
+	updates := make([]func([]uint64, *event.Event), len(sch.Groups))
+	for i := range sch.Groups {
+		updates[i] = oracleCompile(&sch.Groups[i])
+	}
+	recSeed := sch.NewRecord(1)
+	recNew := sch.NewRecord(1)
+	dirty := make([]uint64, sch.GroupMaskWords())
+	rng := rand.New(rand.NewSource(100))
+	ts := int64(1_700_000_000_000)
+	for round := 0; round < 400; round++ {
+		runLen := 1 + rng.Intn(8)
+		for e := 0; e < runLen; e++ {
+			ts += int64(rng.Intn(45 * 60 * 1000))
+			ev := randomEvent(rng, ts)
+			oracleApply(sch, updates, recSeed, &ev)
+			sch.ApplyIngest(recNew, &ev, dirty)
+		}
+		sch.MaterializeDirty(recNew, dirty, nil)
+		for _, w := range dirty {
+			if w != 0 {
+				t.Fatalf("round %d: dirty bits survived a full MaterializeDirty", round)
+			}
+		}
+		if !bytes.Equal(recBytes(recSeed), recBytes(recNew)) {
+			t.Fatalf("round %d (run of %d): deferred materialize diverged from seed kernel", round, runLen)
+		}
+	}
+}
+
+// TestLazyRuleScopedMaterialize proves that materializing only a selected
+// GroupSet mid-run keeps those groups' visible slots byte-identical to the
+// seed kernel after every event (what rule evaluation observes), while a
+// final full materialize restores whole-record identity.
+func TestLazyRuleScopedMaterialize(t *testing.T) {
+	sch := equivSchema(t)
+	updates := make([]func([]uint64, *event.Event), len(sch.Groups))
+	for i := range sch.Groups {
+		updates[i] = oracleCompile(&sch.Groups[i])
+	}
+	// Rules "read" one attribute from every window kind, int and float.
+	readAttrs := []int{
+		sch.MustAttrIndex("calls_hour_count"),
+		sch.MustAttrIndex("dur_last5_sum"),
+		sch.MustAttrIndex("cost_slide4h_min"),
+	}
+	sel := sch.GroupSetForAttrs(readAttrs)
+	if sel.Len() != 3 {
+		t.Fatalf("GroupSetForAttrs: %d groups, want 3", sel.Len())
+	}
+	recSeed := sch.NewRecord(1)
+	recNew := sch.NewRecord(1)
+	dirty := make([]uint64, sch.GroupMaskWords())
+	rng := rand.New(rand.NewSource(101))
+	ts := int64(1_700_000_000_000)
+	for round := 0; round < 300; round++ {
+		runLen := 1 + rng.Intn(8)
+		for e := 0; e < runLen; e++ {
+			ts += int64(rng.Intn(45 * 60 * 1000))
+			ev := randomEvent(rng, ts)
+			oracleApply(sch, updates, recSeed, &ev)
+			sch.ApplyIngest(recNew, &ev, dirty)
+			sch.MaterializeDirty(recNew, dirty, sel)
+			// Every attribute a rule could read must match the seed state
+			// after this very event.
+			for _, a := range readAttrs {
+				if recNew[a] != recSeed[a] {
+					t.Fatalf("round %d event %d: rule-read attr %d diverged (got %#x want %#x)",
+						round, e, a, recNew[a], recSeed[a])
+				}
+			}
+		}
+		sch.MaterializeDirty(recNew, dirty, nil)
+		if !bytes.Equal(recBytes(recSeed), recBytes(recNew)) {
+			t.Fatalf("round %d: record diverged after final materialize", round)
+		}
+	}
+}

@@ -7,8 +7,9 @@ import (
 )
 
 // Aggregation primitives maintained per group (per sub-window for sliding
-// windows). Visible aggregates are materialized from these after each
-// update, which keeps one uniform kernel shape for all window kinds.
+// windows). Visible aggregates are materialized from these; the ingest phase
+// touches only primitives, so materialization can be deferred and batched
+// (see Schema.ApplyIngest).
 const (
 	pCount = iota // number of matching events in the window
 	pSum          // sum of the metric
@@ -51,206 +52,285 @@ func layoutGroup(g *Group, next int) int {
 	return next
 }
 
-// kernelOps bundles the type-specialized arithmetic a group kernel needs.
-// The right ops are selected once at compile time, so the per-event path
-// performs no type dispatch — the Go analogue of the paper's templated
-// building blocks (§4.3).
-type kernelOps struct {
-	add         func(a, b uint64) uint64
-	less        func(a, b uint64) bool
-	toFloat     func(a uint64) float64
-	minIdentity uint64
-	maxIdentity uint64
+// arith is the type-specialized arithmetic a group kernel instantiates over.
+// The implementations are zero-size structs used as generic type parameters,
+// so every call below is statically dispatched and inlinable — the Go
+// analogue of the paper's templated building blocks (§4.3), without the
+// per-event closure calls of a function-pointer bundle.
+type arith interface {
+	add(a, b uint64) uint64
+	less(a, b uint64) bool
+	toFloat(a uint64) float64
+	minIdentity() uint64
+	maxIdentity() uint64
 }
 
-var intOps = kernelOps{
-	add:         func(a, b uint64) uint64 { return uint64(int64(a) + int64(b)) },
-	less:        func(a, b uint64) bool { return int64(a) < int64(b) },
-	toFloat:     func(a uint64) float64 { return float64(int64(a)) },
-	minIdentity: uint64(math.MaxInt64),
-	maxIdentity: 1 << 63, // bit pattern of math.MinInt64
+// intArith interprets slot bits as int64.
+type intArith struct{}
+
+func (intArith) add(a, b uint64) uint64  { return uint64(int64(a) + int64(b)) }
+func (intArith) less(a, b uint64) bool   { return int64(a) < int64(b) }
+func (intArith) toFloat(a uint64) float64 { return float64(int64(a)) }
+func (intArith) minIdentity() uint64     { return uint64(math.MaxInt64) }
+func (intArith) maxIdentity() uint64     { return 1 << 63 } // math.MinInt64
+
+// floatArith interprets slot bits as IEEE-754 float64.
+type floatArith struct{}
+
+func (floatArith) add(a, b uint64) uint64 {
+	return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
+}
+func (floatArith) less(a, b uint64) bool {
+	return math.Float64frombits(a) < math.Float64frombits(b)
+}
+func (floatArith) toFloat(a uint64) float64 { return math.Float64frombits(a) }
+func (floatArith) minIdentity() uint64      { return math.Float64bits(math.Inf(1)) }
+func (floatArith) maxIdentity() uint64      { return math.Float64bits(math.Inf(-1)) }
+
+// groupKernel is the compiled kernel for one attribute group, specialized by
+// arithmetic type. Its ingest methods roll the window epoch and update the
+// primitives in straight-line code; its materialize methods are pure
+// idempotent functions of the primitives (plus rec[SlotLastTimestamp] for
+// sliding validity), which is what makes deferred materialization
+// byte-identical to the eager per-event path.
+type groupKernel[A arith] struct {
+	metric Metric
+	filter Filter
+
+	countAt, sumAt, minAt, maxAt int
+	hasSum, hasMin, hasMax       bool
+
+	epochSlot  int
+	subEpochAt int
+	primSets   int
+
+	dur   int64  // tumbling: window duration (ms)
+	n     uint64 // tumbling-count: window size in events
+	sub   int64  // sliding: number of sub-windows
+	width int64  // sliding: sub-window width (ms)
+
+	visSlots []int
+	aggs     []AggKind
 }
 
-var floatOps = kernelOps{
-	add: func(a, b uint64) uint64 {
-		return math.Float64bits(math.Float64frombits(a) + math.Float64frombits(b))
-	},
-	less: func(a, b uint64) bool {
-		return math.Float64frombits(a) < math.Float64frombits(b)
-	},
-	toFloat:     func(a uint64) float64 { return math.Float64frombits(a) },
-	minIdentity: math.Float64bits(math.Inf(1)),
-	maxIdentity: math.Float64bits(math.Inf(-1)),
-}
-
-// compileGroup builds g.update from the building blocks: an event extractor
-// (metric × filter), window maintenance, primitive application, and visible
-// materialization.
-func compileGroup(g *Group) {
-	ops := intOps
-	if g.Spec.Metric.kind() == TypeFloat64 {
-		ops = floatOps
-	}
-
-	// Building block 1: metric extraction.
-	var value func(ev *event.Event) uint64
-	switch g.Spec.Metric {
+func (k *groupKernel[A]) value(ev *event.Event) uint64 {
+	switch k.metric {
 	case MetricCount:
-		value = func(*event.Event) uint64 { return 1 }
+		return 1
 	case MetricDuration:
-		value = func(ev *event.Event) uint64 { return uint64(ev.Duration) }
-	case MetricCost:
-		value = func(ev *event.Event) uint64 { return math.Float64bits(ev.Cost) }
+		return uint64(ev.Duration)
+	default: // MetricCost
+		return math.Float64bits(ev.Cost)
 	}
+}
 
-	// Building block 2: event filter.
-	var match func(ev *event.Event) bool
-	switch g.Spec.Filter {
+func (k *groupKernel[A]) match(ev *event.Event) bool {
+	switch k.filter {
 	case CallAny:
-		match = func(*event.Event) bool { return true }
+		return true
 	case CallLocal:
-		match = func(ev *event.Event) bool { return !ev.LongDistance }
-	case CallLongDistance:
-		match = func(ev *event.Event) bool { return ev.LongDistance }
+		return !ev.LongDistance
+	default: // CallLongDistance
+		return ev.LongDistance
 	}
+}
 
-	countAt, sumAt, minAt, maxAt := g.primAt[pCount], g.primAt[pSum], g.primAt[pMin], g.primAt[pMax]
+// reset restores one primitive set to the aggregation identities.
+func (k *groupKernel[A]) reset(rec []uint64, set int) {
+	var ar A
+	rec[k.countAt+set] = 0
+	if k.hasSum {
+		rec[k.sumAt+set] = 0 // 0 and +0.0 share the zero bit pattern
+	}
+	if k.hasMin {
+		rec[k.minAt+set] = ar.minIdentity()
+	}
+	if k.hasMax {
+		rec[k.maxAt+set] = ar.maxIdentity()
+	}
+}
 
-	// Building block 3: reset one primitive set to aggregation identities.
-	reset := func(rec []uint64, set int) {
-		rec[countAt+set] = 0
-		if sumAt >= 0 {
-			rec[sumAt+set] = 0 // 0 and +0.0 share the zero bit pattern
+// apply folds one matching event's metric value into a primitive set. The
+// hasSum/hasMin/hasMax branches test compile-time-constant fields and
+// predict perfectly; there are no indirect calls.
+func (k *groupKernel[A]) apply(rec []uint64, set int, v uint64) {
+	var ar A
+	rec[k.countAt+set]++
+	if k.hasSum {
+		rec[k.sumAt+set] = ar.add(rec[k.sumAt+set], v)
+	}
+	if k.hasMin && ar.less(v, rec[k.minAt+set]) {
+		rec[k.minAt+set] = v
+	}
+	if k.hasMax && ar.less(rec[k.maxAt+set], v) {
+		rec[k.maxAt+set] = v
+	}
+}
+
+// ingestTumbling is the ingest phase for time-tumbling windows. It reports
+// whether the stored primitives changed.
+func (k *groupKernel[A]) ingestTumbling(rec []uint64, ev *event.Event) bool {
+	epoch := uint64(ev.Timestamp / k.dur)
+	changed := false
+	if rec[k.epochSlot] != epoch {
+		rec[k.epochSlot] = epoch
+		k.reset(rec, 0)
+		changed = true
+	}
+	if k.match(ev) {
+		k.apply(rec, 0, k.value(ev))
+		changed = true
+	}
+	return changed
+}
+
+// ingestCount is the ingest phase for event-count tumbling windows.
+func (k *groupKernel[A]) ingestCount(rec []uint64, ev *event.Event) bool {
+	if !k.match(ev) {
+		return false
+	}
+	if rec[k.epochSlot] >= k.n {
+		k.reset(rec, 0)
+		rec[k.epochSlot] = 0
+	}
+	k.apply(rec, 0, k.value(ev))
+	rec[k.epochSlot]++
+	return true
+}
+
+// ingestSliding is the ingest phase for sliding windows. It always reports
+// changed: the set of live sub-windows depends on the event timestamp, so
+// visible values can move even when no primitive was touched.
+func (k *groupKernel[A]) ingestSliding(rec []uint64, ev *event.Event) bool {
+	subIdx := ev.Timestamp / k.width
+	j := int(subIdx % k.sub)
+	if rec[k.subEpochAt+j] != uint64(subIdx) {
+		rec[k.subEpochAt+j] = uint64(subIdx)
+		k.reset(rec, j)
+	}
+	if k.match(ev) {
+		k.apply(rec, j, k.value(ev))
+	}
+	return true
+}
+
+// materializeFixed publishes the visible aggregates of a single-set window
+// (tumbling or tumbling-count) from its primitives.
+func (k *groupKernel[A]) materializeFixed(rec []uint64) {
+	var sum, mn, mx uint64
+	total := rec[k.countAt]
+	if k.hasSum {
+		sum = rec[k.sumAt]
+	}
+	if k.hasMin {
+		mn = rec[k.minAt]
+	}
+	if k.hasMax {
+		mx = rec[k.maxAt]
+	}
+	k.emit(rec, total, sum, mn, mx)
+}
+
+// materializeSliding folds the live sub-windows — those whose epoch lies in
+// (subIdx-sub, subIdx] for the record's last event time — and publishes the
+// visible aggregates.
+func (k *groupKernel[A]) materializeSliding(rec []uint64) {
+	var ar A
+	subIdx := int64(rec[SlotLastTimestamp]) / k.width
+	lo := subIdx - k.sub
+	var total, sum uint64
+	mn, mx := ar.minIdentity(), ar.maxIdentity()
+	for set := 0; set < k.primSets; set++ {
+		e := int64(rec[k.subEpochAt+set])
+		if e <= lo || e > subIdx {
+			continue
 		}
-		if minAt >= 0 {
-			rec[minAt+set] = ops.minIdentity
+		total += rec[k.countAt+set]
+		if k.hasSum {
+			sum = ar.add(sum, rec[k.sumAt+set])
 		}
-		if maxAt >= 0 {
-			rec[maxAt+set] = ops.maxIdentity
+		if k.hasMin && ar.less(rec[k.minAt+set], mn) {
+			mn = rec[k.minAt+set]
+		}
+		if k.hasMax && ar.less(mx, rec[k.maxAt+set]) {
+			mx = rec[k.maxAt+set]
 		}
 	}
+	k.emit(rec, total, sum, mn, mx)
+}
 
-	// Building block 4: apply one matching event to a primitive set.
-	apply := func(rec []uint64, set int, v uint64) {
-		rec[countAt+set]++
-		if sumAt >= 0 {
-			rec[sumAt+set] = ops.add(rec[sumAt+set], v)
-		}
-		if minAt >= 0 && ops.less(v, rec[minAt+set]) {
-			rec[minAt+set] = v
-		}
-		if maxAt >= 0 && ops.less(rec[maxAt+set], v) {
-			rec[maxAt+set] = v
-		}
-	}
-
-	// Building block 5: materialize the visible aggregates. For sliding
-	// windows, valid is the per-set validity predicate for the current
-	// event time; for tumbling windows every group has exactly one set.
-	materialize := func(rec []uint64, valid func(set int) bool) {
-		var total uint64
-		var sum uint64
-		mn, mx := ops.minIdentity, ops.maxIdentity
-		for set := 0; set < g.primSets; set++ {
-			if valid != nil && !valid(set) {
-				continue
+// emit writes the visible aggregate slots from folded primitives.
+func (k *groupKernel[A]) emit(rec []uint64, total, sum, mn, mx uint64) {
+	var ar A
+	for i, a := range k.aggs {
+		slot := k.visSlots[i]
+		switch a {
+		case AggCount:
+			rec[slot] = total
+		case AggSum:
+			rec[slot] = sum
+		case AggAvg:
+			if total == 0 {
+				rec[slot] = 0
+			} else {
+				rec[slot] = math.Float64bits(ar.toFloat(sum) / float64(total))
 			}
-			total += rec[countAt+set]
-			if sumAt >= 0 {
-				sum = ops.add(sum, rec[sumAt+set])
+		case AggMin:
+			if total == 0 {
+				rec[slot] = 0
+			} else {
+				rec[slot] = mn
 			}
-			if minAt >= 0 && ops.less(rec[minAt+set], mn) {
-				mn = rec[minAt+set]
-			}
-			if maxAt >= 0 && ops.less(mx, rec[maxAt+set]) {
-				mx = rec[maxAt+set]
-			}
-		}
-		for i, a := range g.Spec.Aggs {
-			slot := g.visSlots[i]
-			switch a {
-			case AggCount:
-				rec[slot] = total
-			case AggSum:
-				rec[slot] = sum
-			case AggAvg:
-				if total == 0 {
-					rec[slot] = 0
-				} else {
-					rec[slot] = math.Float64bits(ops.toFloat(sum) / float64(total))
-				}
-			case AggMin:
-				if total == 0 {
-					rec[slot] = 0
-				} else {
-					rec[slot] = mn
-				}
-			case AggMax:
-				if total == 0 {
-					rec[slot] = 0
-				} else {
-					rec[slot] = mx
-				}
+		case AggMax:
+			if total == 0 {
+				rec[slot] = 0
+			} else {
+				rec[slot] = mx
 			}
 		}
 	}
+}
 
-	epochSlot := g.epochSlot
+// compileGroup builds g.ingest and g.materialize, selecting the arithmetic
+// specialization by the metric's value type.
+func compileGroup(g *Group) {
+	if g.Spec.Metric.kind() == TypeFloat64 {
+		bindKernel[floatArith](g)
+	} else {
+		bindKernel[intArith](g)
+	}
+}
+
+func bindKernel[A arith](g *Group) {
+	k := &groupKernel[A]{
+		metric:     g.Spec.Metric,
+		filter:     g.Spec.Filter,
+		countAt:    g.primAt[pCount],
+		sumAt:      g.primAt[pSum],
+		minAt:      g.primAt[pMin],
+		maxAt:      g.primAt[pMax],
+		hasSum:     g.primAt[pSum] >= 0,
+		hasMin:     g.primAt[pMin] >= 0,
+		hasMax:     g.primAt[pMax] >= 0,
+		epochSlot:  g.epochSlot,
+		subEpochAt: g.subEpochAt,
+		primSets:   g.primSets,
+		visSlots:   g.visSlots,
+		aggs:       g.Spec.Aggs,
+	}
 	switch g.Spec.Window.Kind {
 	case WindowTumbling:
-		dur := g.Spec.Window.DurationMillis
-		g.update = func(rec []uint64, ev *event.Event) {
-			epoch := uint64(ev.Timestamp / dur)
-			changed := false
-			if rec[epochSlot] != epoch {
-				rec[epochSlot] = epoch
-				reset(rec, 0)
-				changed = true
-			}
-			if match(ev) {
-				apply(rec, 0, value(ev))
-				changed = true
-			}
-			if changed {
-				materialize(rec, nil)
-			}
-		}
-
+		k.dur = g.Spec.Window.DurationMillis
+		g.ingest = k.ingestTumbling
+		g.materialize = k.materializeFixed
 	case WindowTumblingCount:
-		n := uint64(g.Spec.Window.Count)
-		g.update = func(rec []uint64, ev *event.Event) {
-			if !match(ev) {
-				return
-			}
-			if rec[epochSlot] >= n {
-				reset(rec, 0)
-				rec[epochSlot] = 0
-			}
-			apply(rec, 0, value(ev))
-			rec[epochSlot]++
-			materialize(rec, nil)
-		}
-
+		k.n = uint64(g.Spec.Window.Count)
+		g.ingest = k.ingestCount
+		g.materialize = k.materializeFixed
 	case WindowSliding:
-		sub := int64(g.Spec.Window.Sub)
-		width := g.Spec.Window.DurationMillis / sub
-		subEpochAt := g.subEpochAt
-		g.update = func(rec []uint64, ev *event.Event) {
-			subIdx := ev.Timestamp / width
-			j := int(subIdx % sub)
-			if rec[subEpochAt+j] != uint64(subIdx) {
-				rec[subEpochAt+j] = uint64(subIdx)
-				reset(rec, j)
-			}
-			if match(ev) {
-				apply(rec, j, value(ev))
-			}
-			// A sub-window is live iff its epoch lies in (subIdx-sub, subIdx].
-			lo := subIdx - sub
-			materialize(rec, func(set int) bool {
-				e := int64(rec[subEpochAt+set])
-				return e > lo && e <= subIdx
-			})
-		}
+		k.sub = int64(g.Spec.Window.Sub)
+		k.width = g.Spec.Window.DurationMillis / k.sub
+		g.ingest = k.ingestSliding
+		g.materialize = k.materializeSliding
 	}
 }

@@ -5,11 +5,36 @@ import (
 	"math/bits"
 )
 
+// denseCutoff is the per-word popcount at which the masked aggregation
+// kernels switch from the TrailingZeros64 bit-walk (O(popcount) per word,
+// ideal for selective predicates) to the unrolled select-under-mask loop
+// (O(64) straight-line, no data-dependent branches, ideal for permissive
+// predicates). The crossover sits where the bit-walk's serial
+// dependent-chain cost overtakes the dense loop's fixed cost; 16/64 is
+// conservative enough that neither regime regresses on either side.
+const denseCutoff = 16
+
 // SumInt returns the sum of int64-typed column values whose mask bit is set.
+//
+// Density-adaptive: sparse words walk set bits, dense words run a branchless
+// select-under-mask loop (`v & -(bit)` keeps the value or yields the
+// additive identity 0).
 func SumInt(col []uint64, mask []uint64) int64 {
 	var sum int64
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			var s0, s1, s2, s3 int64
+			for j := 0; j < 64; j += 4 {
+				s0 += int64(c[j]) & -int64(w>>uint(j)&1)
+				s1 += int64(c[j+1]) & -int64(w>>uint(j+1)&1)
+				s2 += int64(c[j+2]) & -int64(w>>uint(j+2)&1)
+				s3 += int64(c[j+3]) & -int64(w>>uint(j+3)&1)
+			}
+			sum += s0 + s1 + s2 + s3
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			sum += int64(col[base+b])
@@ -20,10 +45,25 @@ func SumInt(col []uint64, mask []uint64) int64 {
 }
 
 // SumFloat returns the sum of float64-typed column values under the mask.
+//
+// The dense path masks the bit pattern to +0.0 for unselected lanes, which
+// is exact: x + 0.0 == x for every x the running sum can hold (the sum
+// starts at +0.0 and IEEE round-to-nearest never produces -0.0 from it), so
+// the result is bit-identical to the sparse walk.
 func SumFloat(col []uint64, mask []uint64) float64 {
 	var sum float64
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			for j := 0; j < 64; j += 4 {
+				sum += math.Float64frombits(c[j] & -(w >> uint(j) & 1))
+				sum += math.Float64frombits(c[j+1] & -(w >> uint(j+1) & 1))
+				sum += math.Float64frombits(c[j+2] & -(w >> uint(j+2) & 1))
+				sum += math.Float64frombits(c[j+3] & -(w >> uint(j+3) & 1))
+			}
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			sum += math.Float64frombits(col[base+b])
@@ -34,12 +74,25 @@ func SumFloat(col []uint64, mask []uint64) float64 {
 }
 
 // MinInt returns the minimum int64 column value under the mask and whether
-// any bit was set.
+// any bit was set. Dense words select the comparison identity for
+// unselected lanes, keeping the loop branch-free (the compares compile to
+// CMOV).
 func MinInt(col []uint64, mask []uint64) (int64, bool) {
 	mn := int64(math.MaxInt64)
 	any := false
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			for j := 0; j < 64; j++ {
+				m := -(w >> uint(j) & 1)
+				if v := int64(c[j]&m | uint64(math.MaxInt64)&^m); v < mn {
+					mn = v
+				}
+			}
+			any = true
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if v := int64(col[base+b]); v < mn {
@@ -59,6 +112,17 @@ func MaxInt(col []uint64, mask []uint64) (int64, bool) {
 	any := false
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			for j := 0; j < 64; j++ {
+				m := -(w >> uint(j) & 1)
+				if v := int64(c[j]&m | (1<<63)&^m); v > mx {
+					mx = v
+				}
+			}
+			any = true
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if v := int64(col[base+b]); v > mx {
@@ -72,12 +136,25 @@ func MaxInt(col []uint64, mask []uint64) (int64, bool) {
 }
 
 // MinFloat returns the minimum float64 column value under the mask and
-// whether any bit was set.
+// whether any bit was set. NaN values never win a comparison, matching the
+// sparse walk exactly.
 func MinFloat(col []uint64, mask []uint64) (float64, bool) {
 	mn := math.Inf(1)
 	any := false
+	posInf := math.Float64bits(math.Inf(1))
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			for j := 0; j < 64; j++ {
+				m := -(w >> uint(j) & 1)
+				if v := math.Float64frombits(c[j]&m | posInf&^m); v < mn {
+					mn = v
+				}
+			}
+			any = true
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if v := math.Float64frombits(col[base+b]); v < mn {
@@ -95,8 +172,20 @@ func MinFloat(col []uint64, mask []uint64) (float64, bool) {
 func MaxFloat(col []uint64, mask []uint64) (float64, bool) {
 	mx := math.Inf(-1)
 	any := false
+	negInf := math.Float64bits(math.Inf(-1))
 	for wi, w := range mask {
 		base := wi * 64
+		if bits.OnesCount64(w) >= denseCutoff && base+64 <= len(col) {
+			c := col[base : base+64 : base+64]
+			for j := 0; j < 64; j++ {
+				m := -(w >> uint(j) & 1)
+				if v := math.Float64frombits(c[j]&m | negInf&^m); v > mx {
+					mx = v
+				}
+			}
+			any = true
+			continue
+		}
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
 			if v := math.Float64frombits(col[base+b]); v > mx {
@@ -110,7 +199,8 @@ func MaxFloat(col []uint64, mask []uint64) (float64, bool) {
 }
 
 // ForEach invokes fn with the record index of every set mask bit, in
-// ascending order. The query engine uses it for group-by and top-k scans.
+// ascending order. Hot paths should prefer Indices, which materializes the
+// index list without a per-bit indirect call.
 func ForEach(mask []uint64, fn func(i int)) {
 	for wi, w := range mask {
 		base := wi * 64
@@ -120,4 +210,37 @@ func ForEach(mask []uint64, fn func(i int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Indices appends the record index of every set mask bit to dst[:0] in
+// ascending order and returns the filled slice (reusing dst's backing array
+// when it is large enough). It replaces the ForEach closure on per-record
+// paths: the group-by executor iterates the returned slab with a plain
+// range loop. Dense words use a branchless conditional append; sparse words
+// walk set bits.
+func Indices(mask []uint64, dst []int32) []int32 {
+	need := int(Count(mask))
+	// One slack element lets the dense path's unconditional store run past
+	// the last set bit without bounds trouble.
+	if cap(dst) < need+1 {
+		dst = make([]int32, need+1)
+	}
+	dst = dst[:need+1]
+	k := 0
+	for wi, w := range mask {
+		base := int32(wi * 64)
+		if bits.OnesCount64(w) >= denseCutoff {
+			for j := 0; j < 64; j++ {
+				dst[k] = base + int32(j)
+				k += int(w >> uint(j) & 1)
+			}
+			continue
+		}
+		for w != 0 {
+			dst[k] = base + int32(bits.TrailingZeros64(w))
+			k++
+			w &= w - 1
+		}
+	}
+	return dst[:k]
 }

@@ -1,0 +1,244 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// allOps enumerates every compare operator.
+var allOps = []CmpOp{Lt, Le, Gt, Ge, Eq, Ne}
+
+// propWidths covers full words, sub-word tails, and empty input.
+var propWidths = []int{0, 1, 7, 63, 64, 65, 100, 127, 128, 191, 1024 + 17}
+
+// specialFloats are the IEEE-754 edge values every float column draws from.
+var specialFloats = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1),
+	0.0, math.Copysign(0, -1),
+	1.5, -1.5, math.MaxFloat64, math.SmallestNonzeroFloat64,
+}
+
+func checkMask(t *testing.T, kind string, op CmpOp, n int, mask []uint64, ref func(i int) bool) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		got := mask[i/64]>>(uint(i)%64)&1 == 1
+		if want := ref(i); got != want {
+			t.Fatalf("%s %v n=%d bit %d: got %v want %v", kind, op, n, i, got, want)
+		}
+	}
+	// Tail bits past n and trailing words must be zero so masks compose.
+	for i := n; i < len(mask)*64; i++ {
+		if mask[i/64]>>(uint(i)%64)&1 == 1 {
+			t.Fatalf("%s %v n=%d: stray bit %d set past n", kind, op, n, i)
+		}
+	}
+}
+
+// TestCmpKernelsMatchScalarReference checks every specialized word-loop
+// against the scalar one-element reference for all six operators, all three
+// types, across widths including non-multiple-of-64 tails.
+func TestCmpKernelsMatchScalarReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range propWidths {
+		words := MaskWords(n)
+		if words == 0 {
+			words = 1 // exercise trailing-word zeroing even for n=0
+		}
+		mask := make([]uint64, words+1) // one extra word: must come back zero
+		for i := range mask {
+			mask[i] = ^uint64(0) // pre-poison
+		}
+
+		icol := make([]uint64, n)
+		ucol := make([]uint64, n)
+		fcol := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			// Small domains force plenty of Eq/Ne hits.
+			icol[i] = uint64(rng.Int63n(16) - 8)
+			ucol[i] = uint64(rng.Intn(16))
+			fcol[i] = math.Float64bits(specialFloats[rng.Intn(len(specialFloats))])
+		}
+		iv := int64(rng.Int63n(16) - 8)
+		uv := uint64(rng.Intn(16))
+		fv := specialFloats[rng.Intn(len(specialFloats))]
+
+		for _, op := range allOps {
+			op := op
+			CmpInt(icol, n, op, iv, mask)
+			checkMask(t, "int", op, n, mask, func(i int) bool { return cmpIntOne(int64(icol[i]), op, iv) })
+
+			CmpUint(ucol, n, op, uv, mask)
+			checkMask(t, "uint", op, n, mask, func(i int) bool { return cmpUintOne(ucol[i], op, uv) })
+
+			CmpFloat(fcol, n, op, fv, mask)
+			checkMask(t, "float", op, n, mask, func(i int) bool {
+				return cmpFloatOne(math.Float64frombits(fcol[i]), op, fv)
+			})
+		}
+	}
+}
+
+// TestCmpFloatNaN pins the IEEE-754 contract: a NaN operand — on either
+// side — satisfies Ne and fails every other operator.
+func TestCmpFloatNaN(t *testing.T) {
+	nan := math.Float64bits(math.NaN())
+	// NaN in the column at a full-word position and in the scalar tail.
+	n := 70
+	col := make([]uint64, n)
+	for i := range col {
+		col[i] = math.Float64bits(1.0)
+	}
+	col[3] = nan  // word-loop position
+	col[67] = nan // tail position
+	mask := make([]uint64, MaskWords(n))
+	for _, op := range allOps {
+		CmpFloat(col, n, op, 1.0, mask)
+		for _, i := range []int{3, 67} {
+			got := mask[i/64]>>(uint(i)%64)&1 == 1
+			want := op == Ne
+			if got != want {
+				t.Fatalf("NaN column value, op %v, bit %d: got %v want %v", op, i, got, want)
+			}
+		}
+	}
+	// NaN as the comparison constant: every lane is Ne-only.
+	for i := range col {
+		col[i] = math.Float64bits(float64(i))
+	}
+	for _, op := range allOps {
+		CmpFloat(col, n, op, math.NaN(), mask)
+		want := int64(0)
+		if op == Ne {
+			want = int64(n)
+		}
+		if got := Count(mask); got != want {
+			t.Fatalf("NaN constant, op %v: %d bits set, want %d", op, got, want)
+		}
+	}
+}
+
+// FuzzCmpKernels drives all three kernels with fuzz-chosen seeds, widths,
+// and comparison constants against the scalar references.
+func FuzzCmpKernels(f *testing.F) {
+	f.Add(int64(1), uint(65), uint64(3))
+	f.Add(int64(99), uint(128), math.Float64bits(math.NaN()))
+	f.Add(int64(-7), uint(1), uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, seed int64, width uint, vbits uint64) {
+		n := int(width % 300)
+		rng := rand.New(rand.NewSource(seed))
+		col := make([]uint64, n)
+		for i := range col {
+			if rng.Intn(4) == 0 {
+				col[i] = vbits // force equality hits
+			} else {
+				col[i] = rng.Uint64()
+			}
+		}
+		mask := make([]uint64, MaskWords(n))
+		fv := math.Float64frombits(vbits)
+		for _, op := range allOps {
+			op := op
+			CmpInt(col, n, op, int64(vbits), mask)
+			checkMask(t, "int", op, n, mask, func(i int) bool { return cmpIntOne(int64(col[i]), op, int64(vbits)) })
+			CmpUint(col, n, op, vbits, mask)
+			checkMask(t, "uint", op, n, mask, func(i int) bool { return cmpUintOne(col[i], op, vbits) })
+			CmpFloat(col, n, op, fv, mask)
+			checkMask(t, "float", op, n, mask, func(i int) bool {
+				return cmpFloatOne(math.Float64frombits(col[i]), op, fv)
+			})
+		}
+	})
+}
+
+// TestAggDensityAdaptive checks the density-adaptive aggregation kernels
+// against naive references across the sparse/dense crossover, including the
+// partial last word where the dense path must not run past the column.
+func TestAggDensityAdaptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 64, 65, 200, 1024 + 63} {
+		for _, density := range []float64{0, 0.05, 0.2, 0.3, 0.6, 1.0} {
+			icol := make([]uint64, n)
+			fcol := make([]uint64, n)
+			mask := make([]uint64, MaskWords(n))
+			for i := 0; i < n; i++ {
+				icol[i] = uint64(rng.Int63n(2000) - 1000)
+				fcol[i] = math.Float64bits(float64(rng.Int63n(2000)-1000) / 8)
+				if rng.Float64() < density {
+					mask[i/64] |= 1 << (uint(i) % 64)
+				}
+			}
+			var wantSumI int64
+			var wantSumF float64
+			wantMinI, wantMaxI := int64(math.MaxInt64), int64(math.MinInt64)
+			wantMinF, wantMaxF := math.Inf(1), math.Inf(-1)
+			anyWant := false
+			for i := 0; i < n; i++ {
+				if mask[i/64]>>(uint(i)%64)&1 == 0 {
+					continue
+				}
+				anyWant = true
+				wantSumI += int64(icol[i])
+				wantSumF += math.Float64frombits(fcol[i])
+				if v := int64(icol[i]); v < wantMinI {
+					wantMinI = v
+				}
+				if v := int64(icol[i]); v > wantMaxI {
+					wantMaxI = v
+				}
+				if v := math.Float64frombits(fcol[i]); v < wantMinF {
+					wantMinF = v
+				}
+				if v := math.Float64frombits(fcol[i]); v > wantMaxF {
+					wantMaxF = v
+				}
+			}
+			if got := SumInt(icol, mask); got != wantSumI {
+				t.Fatalf("SumInt n=%d density=%.2f: got %d want %d", n, density, got, wantSumI)
+			}
+			if got := SumFloat(fcol, mask); got != wantSumF {
+				t.Fatalf("SumFloat n=%d density=%.2f: got %v want %v (must be bit-identical)", n, density, got, wantSumF)
+			}
+			if got, any := MinInt(icol, mask); any != anyWant || (any && got != wantMinI) {
+				t.Fatalf("MinInt n=%d density=%.2f: got %d,%v want %d,%v", n, density, got, any, wantMinI, anyWant)
+			}
+			if got, any := MaxInt(icol, mask); any != anyWant || (any && got != wantMaxI) {
+				t.Fatalf("MaxInt n=%d density=%.2f: got %d,%v want %d,%v", n, density, got, any, wantMaxI, anyWant)
+			}
+			if got, any := MinFloat(fcol, mask); any != anyWant || (any && got != wantMinF) {
+				t.Fatalf("MinFloat n=%d density=%.2f: got %v,%v want %v,%v", n, density, got, any, wantMinF, anyWant)
+			}
+			if got, any := MaxFloat(fcol, mask); any != anyWant || (any && got != wantMaxF) {
+				t.Fatalf("MaxFloat n=%d density=%.2f: got %v,%v want %v,%v", n, density, got, any, wantMaxF, anyWant)
+			}
+		}
+	}
+}
+
+// TestIndices checks the index-slab builder across densities, widths, and
+// slab reuse.
+func TestIndices(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var slab []int32 // reused across cases, as the executor does
+	for _, n := range []int{0, 1, 63, 64, 65, 500} {
+		for _, density := range []float64{0, 0.1, 0.5, 1.0} {
+			mask := make([]uint64, MaskWords(n))
+			var want []int32
+			for i := 0; i < n; i++ {
+				if rng.Float64() < density {
+					mask[i/64] |= 1 << (uint(i) % 64)
+					want = append(want, int32(i))
+				}
+			}
+			slab = Indices(mask, slab)
+			if len(slab) != len(want) {
+				t.Fatalf("Indices n=%d density=%.2f: %d indices, want %d", n, density, len(slab), len(want))
+			}
+			for k := range want {
+				if slab[k] != want[k] {
+					t.Fatalf("Indices n=%d density=%.2f: [%d]=%d want %d", n, density, k, slab[k], want[k])
+				}
+			}
+		}
+	}
+}

