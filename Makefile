@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench obs-guard ingest-guard kernel-guard crash fuzz-smoke ci
+.PHONY: build test race bench obs-guard ingest-guard kernel-guard crash replica-crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -34,6 +34,10 @@ kernel-guard:
 crash:
 	AIM_CRASH_KILLS=100 $(GO) test -run TestCrashRecoveryRandomKillPoints -v -timeout 30m ./internal/crashharness/
 
+## replica-crash: failover campaign — kill the primary 50 times under live ingest, verify the promoted follower record for record
+replica-crash:
+	AIM_REPL_KILLS=50 $(GO) test -run TestReplicaFailoverKillCampaign -v -timeout 30m ./internal/crashharness/
+
 ## fuzz-smoke: 10s of fuzzing per durability decoder (archive frames, checkpoint files, event codec)
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpenSegment -fuzztime 10s ./internal/archive/
@@ -50,3 +54,4 @@ ci:
 	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard ./internal/bench/
 	$(MAKE) fuzz-smoke
 	$(MAKE) crash
+	$(MAKE) replica-crash

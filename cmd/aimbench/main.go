@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"kernels", "scan & apply kernel micro: compares, masked agg, split-phase apply", bench.KernelMicro},
 	{"chaos", "fault-tolerance drill: flaky/dead node, strict vs degraded RTA", bench.FaultTolerance},
 	{"recover", "durability: recovery time vs archive tail length & checkpoint cadence", bench.RecoveryTime},
+	{"replica", "replication: WAL-shipped follower, kill-the-primary failover blackout", bench.ReplicaFailover},
 	{"mixed", "instrumented mixed load: freshness & latency histograms", bench.MixedWorkload},
 }
 

@@ -54,6 +54,8 @@ func main() {
 		ingestLinger = flag.Duration("ingest-linger", time.Millisecond, "max time a partial client-side event batch may wait before it is flushed")
 
 		metricsDump = flag.String("metrics-dump", "", `after the run, dump metrics: "local" = this process's client-side registry (Prometheus text on stdout); anything else = a server -debug-addr to fetch /metrics from`)
+
+		promote = flag.String("promote", "", "one-shot: tell this follower aimserver to promote itself (seal its replay and accept ingest), print the sealed LSN, and exit")
 	)
 	flag.Parse()
 
@@ -66,6 +68,21 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("aimload: schema: %v", err)
+	}
+
+	// Manual failover: one promote RPC, no load.
+	if *promote != "" {
+		cli, err := netproto.Dial(*promote, sch)
+		if err != nil {
+			log.Fatalf("aimload: dial %s: %v", *promote, err)
+		}
+		defer cli.Close()
+		sealed, err := cli.Promote()
+		if err != nil {
+			log.Fatalf("aimload: promote %s: %v", *promote, err)
+		}
+		fmt.Printf("aimload: %s promoted, sealed at LSN %d\n", *promote, sealed)
+		return
 	}
 
 	// The load driver keeps its own registry for the client side of the

@@ -8,6 +8,7 @@
 //	aimserver -addr :7070
 //	aimserver -addr :7070 -partitions 5 -esp 1 -bucket 3072 -full -rules 300
 //	aimserver -addr :7070 -data-dir /var/lib/aim -checkpoint-every 10s -recover auto
+//	aimserver -addr :7071 -data-dir /var/lib/aim-f -follow 127.0.0.1:7070
 //
 // All aimservers in a cluster must use identical schema flags. With
 // -data-dir, every ingested event is write-ahead-logged to the archive,
@@ -33,6 +34,7 @@ import (
 	"repro/internal/crashpoint"
 	"repro/internal/netproto"
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/rules"
 	"repro/internal/schema"
 	"repro/internal/workload"
@@ -124,6 +126,9 @@ func main() {
 		ingestBatch  = flag.Int("ingest-batch", 256, "coalesce per-event frames server-side into batches of up to N events (0 or 1 = apply per event)")
 		ingestLinger = flag.Duration("ingest-linger", time.Millisecond, "max time a partial server-side ingest batch may wait for more events")
 
+		follow        = flag.String("follow", "", "run as a follower replica: tail this primary aimserver's WAL stream (resumes from the local WAL frontier with -data-dir)")
+		replHeartbeat = flag.Duration("repl-heartbeat", 25*time.Millisecond, "replication stream heartbeat interval served to subscribers")
+
 		dataDir   = flag.String("data-dir", "", "durability directory (event archive + checkpoints; \"\" = in-memory only)")
 		ckptEvery = flag.Duration("checkpoint-every", 10*time.Second, "background fuzzy-checkpoint interval (0 = no background checkpoints)")
 		baseEvery = flag.Int("base-every", 8, "every Nth checkpoint is a full base (drives retention GC)")
@@ -202,10 +207,53 @@ func main() {
 			log.Fatalf("aimserver: %v", err)
 		}
 	}
+	// Follower mode: tail the primary's WAL stream into this node via the
+	// batched apply path. With -data-dir the subscription resumes from the
+	// local WAL frontier, so a restarted follower re-ships only what it
+	// missed; the Reopen hook redials a bounced primary from the watermark.
+	var follower *repl.Follower
+	if *follow != "" {
+		fromLSN := uint64(0)
+		if arch != nil {
+			fromLSN = arch.NextLSN()
+		}
+		follower = repl.NewFollower(node, fromLSN, repl.FollowerConfig{
+			Metrics: reg,
+			Label:   *follow,
+			Reopen: func(from uint64) (repl.Source, error) {
+				return netproto.DialReplica(*follow, from, netproto.ReplicaConfig{})
+			},
+		})
+		src, err := netproto.DialReplica(*follow, fromLSN, netproto.ReplicaConfig{})
+		if err != nil {
+			log.Fatalf("aimserver: follow %s: %v", *follow, err)
+		}
+		if src.StartLSN() != fromLSN {
+			// The primary GC'd the log past our frontier; silently applying
+			// from the clamp would hide a hole in the replica.
+			log.Fatalf("aimserver: follow %s: primary log starts at LSN %d, local WAL ends at %d — gap; wipe -data-dir and re-seed",
+				*follow, src.StartLSN(), fromLSN)
+		}
+		if err := follower.Start(src); err != nil {
+			log.Fatalf("aimserver: follow %s: %v", *follow, err)
+		}
+		fmt.Printf("aimserver: following %s from LSN %d\n", *follow, fromLSN)
+	}
 	scfg := netproto.ServerConfig{
-		Metrics:      netproto.NewServerMetrics(reg),
-		IngestBatch:  *ingestBatch,
-		IngestLinger: *ingestLinger,
+		Metrics:       netproto.NewServerMetrics(reg),
+		IngestBatch:   *ingestBatch,
+		IngestLinger:  *ingestLinger,
+		ReplArchive:   arch, // durable servers serve the WAL stream to subscribers
+		ReplHeartbeat: *replHeartbeat,
+	}
+	if follower != nil {
+		scfg.OnPromote = func() (uint64, error) {
+			sealed, err := follower.Promote()
+			if err == nil {
+				fmt.Printf("aimserver: promoted at LSN %d; now accepting ingest as primary\n", sealed)
+			}
+			return sealed, err
+		}
 	}
 	if *faultResetEvery > 0 || *faultReadDelay > 0 || *faultWriteDelay > 0 || *faultDrop {
 		plan := netproto.NewFaultPlan()
@@ -270,6 +318,9 @@ func main() {
 		dbg.Close()
 	}
 	srv.Close()
+	if follower != nil {
+		follower.Stop()
+	}
 	if ckptr != nil {
 		ckptr.Stop()
 	}

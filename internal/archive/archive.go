@@ -732,14 +732,36 @@ func (s *segment) readFrame(ordinal int) (uint64, event.Event, error) {
 	return lsn, ev, nil
 }
 
-// Replay invokes fn for every archived event with LSN >= fromLSN, in LSN
-// order. This is the recovery tail-replay path. Frame checksums are
-// re-verified (the file may have rotted since Open).
-func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) error) error {
+// segSnap is an immutable view of one segment's committed extent, taken
+// under the archive lock so Replay/ReadFrom can run concurrently with
+// appends (a live append mutates segment.n; a tailing reader must only see
+// the frame count that was committed when it looked).
+type segSnap struct {
+	path     string
+	firstLSN uint64
+	n        int
+	v1       bool
+}
+
+// snapshotSegments captures the committed extent of every segment.
+func (a *Archive) snapshotSegments() []segSnap {
 	a.mu.Lock()
-	segs := append([]*segment(nil), a.segments...)
-	a.mu.Unlock()
-	for _, s := range segs {
+	defer a.mu.Unlock()
+	segs := make([]segSnap, len(a.segments))
+	for i, s := range a.segments {
+		segs[i] = segSnap{path: s.path, firstLSN: s.firstLSN, n: s.n, v1: s.v1}
+	}
+	return segs
+}
+
+// Replay invokes fn for every archived event with LSN >= fromLSN, in LSN
+// order. This is the recovery tail-replay path, also safe to call against a
+// live archive (log-shipping catch-up): the per-segment committed frame
+// count is snapshotted under the lock, so frames appended — or torn —
+// after the snapshot are never surfaced. Frame checksums are re-verified
+// (the file may have rotted since Open).
+func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) error) error {
+	for _, s := range a.snapshotSegments() {
 		if s.firstLSN+uint64(s.n) <= fromLSN {
 			continue
 		}
@@ -747,7 +769,10 @@ func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) err
 		if err != nil {
 			return fmt.Errorf("archive: replay %s: %w", s.path, err)
 		}
-		fs, off := s.frameSize(), s.dataOff()
+		fs, off := frameSizeV2, headerSizeV2
+		if s.v1 {
+			fs, off = frameSizeV1, 0
+		}
 		if len(data) > off+s.n*fs {
 			data = data[:off+s.n*fs]
 		}
@@ -773,6 +798,86 @@ func (a *Archive) Replay(fromLSN uint64, fn func(lsn uint64, ev event.Event) err
 		}
 	}
 	return nil
+}
+
+// ErrTruncated reports a ReadFrom below the retention floor: the requested
+// LSN was garbage-collected by checkpoint-driven truncation, so the log can
+// no longer serve it. A follower hitting this must bootstrap from a
+// checkpoint instead of the log.
+var ErrTruncated = errors.New("archive: read below retention floor")
+
+// ReadFrom reads up to max committed events starting at fromLSN, in LSN
+// order, re-verifying frame checksums. It returns the events plus the
+// archive's committed frontier (the next LSN a future append will get) as
+// observed at read time — the pair a log-shipping tail loop needs: an empty
+// batch with frontier == fromLSN means the reader is caught up.
+//
+// ReadFrom is safe against concurrent appends and rotations: the segment
+// extent is snapshotted under the archive lock, and only frames below the
+// committed count are read, so a torn tail (in-flight or crash-truncated
+// write) is never surfaced — a tailing follower stops cleanly at the last
+// committed frame. One call reads from a single segment; callers loop to
+// cross segment boundaries (the returned batch simply ends early).
+//
+// Reading below FirstLSN returns ErrTruncated: retention GC removed the
+// segment and the log cannot serve the gap.
+func (a *Archive) ReadFrom(fromLSN uint64, max int) ([]event.Event, uint64, error) {
+	if max <= 0 {
+		max = 1
+	}
+	a.mu.Lock()
+	frontier := a.nextLSN
+	if fromLSN >= frontier {
+		a.mu.Unlock()
+		return nil, frontier, nil
+	}
+	var path string
+	var firstLSN uint64
+	var n int
+	var v1 bool
+	found := false
+	for _, s := range a.segments {
+		if s.firstLSN <= fromLSN && fromLSN < s.firstLSN+uint64(s.n) {
+			path, firstLSN, n, v1, found = s.path, s.firstLSN, s.n, s.v1, true
+			break
+		}
+	}
+	a.mu.Unlock()
+	if !found {
+		return nil, frontier, fmt.Errorf("%w: lsn %d (floor %d)", ErrTruncated, fromLSN, a.FirstLSN())
+	}
+	fs, off := frameSizeV2, headerSizeV2
+	if v1 {
+		fs, off = frameSizeV1, 0
+	}
+	ord := int(fromLSN - firstLSN)
+	count := min(max, n-ord)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, frontier, fmt.Errorf("archive: read %s: %w", path, err)
+	}
+	defer f.Close()
+	buf := make([]byte, count*fs)
+	if _, err := f.ReadAt(buf, int64(off+ord*fs)); err != nil {
+		return nil, frontier, fmt.Errorf("archive: read %s: %w", path, err)
+	}
+	evs := make([]event.Event, count)
+	for i := 0; i < count; i++ {
+		fr := buf[i*fs:]
+		if !v1 {
+			want := binary.LittleEndian.Uint32(fr[crcOffset:])
+			if crc32.Checksum(fr[:crcOffset], castagnoli) != want {
+				return nil, frontier, fmt.Errorf("%w: %s: frame %d checksum during read", ErrCorrupt, path, ord+i)
+			}
+		}
+		if lsn := binary.LittleEndian.Uint64(fr); lsn != fromLSN+uint64(i) {
+			return nil, frontier, fmt.Errorf("%w: %s: frame %d has lsn %d, want %d", ErrCorrupt, path, ord+i, lsn, fromLSN+uint64(i))
+		}
+		if err := evs[i].Decode(fr[8:]); err != nil {
+			return nil, frontier, err
+		}
+	}
+	return evs, frontier, nil
 }
 
 // EntityHistory returns the archived events of one entity with timestamps

@@ -40,6 +40,20 @@ type Cluster struct {
 	bcfg    BatchConfig
 	batches []*nodeBatch // nil unless batching is enabled
 
+	// Follower-replica state (see replica.go). repMu guards the follower
+	// lists and the per-shard promotion flag; the scan-pick and promotion
+	// paths take it briefly and never across deliveries.
+	rcfg         ReplicaConfig
+	repMu        sync.Mutex
+	followers    [][]*shardFollower
+	promoting    []bool
+	rr           []atomic.Uint32 // round-robin cursor per shard
+	downSince    []atomic.Int64  // unix nanos the primary breaker went unhealthy
+	promotions   atomic.Uint64
+	replicaScans atomic.Uint64
+	staleScans   atomic.Uint64
+	monitorOnce  sync.Once
+
 	drainOnce sync.Once // drainer starts lazily on first spill
 	closeOnce sync.Once
 	quit      chan struct{}
@@ -49,8 +63,9 @@ type Cluster struct {
 // Options bundles the cluster's optional tuning knobs. Zero values select
 // the defaults (health tracking on, batching off).
 type Options struct {
-	Health HealthConfig
-	Batch  BatchConfig
+	Health   HealthConfig
+	Batch    BatchConfig
+	Replicas ReplicaConfig
 }
 
 // New builds a cluster over the given storage handles (in-process nodes,
@@ -71,11 +86,16 @@ func NewWithOptions(nodes []core.Storage, opts Options) (*Cluster, error) {
 		return nil, errors.New("cluster: need at least one storage node")
 	}
 	c := &Cluster{
-		nodes:  make([]atomic.Pointer[core.Storage], len(nodes)),
-		hcfg:   opts.Health.withDefaults(),
-		health: make([]*nodeHealth, len(nodes)),
-		bcfg:   opts.Batch.withDefaults(),
-		quit:   make(chan struct{}),
+		nodes:     make([]atomic.Pointer[core.Storage], len(nodes)),
+		hcfg:      opts.Health.withDefaults(),
+		health:    make([]*nodeHealth, len(nodes)),
+		bcfg:      opts.Batch.withDefaults(),
+		rcfg:      opts.Replicas.withDefaults(),
+		followers: make([][]*shardFollower, len(nodes)),
+		promoting: make([]bool, len(nodes)),
+		rr:        make([]atomic.Uint32, len(nodes)),
+		downSince: make([]atomic.Int64, len(nodes)),
+		quit:      make(chan struct{}),
 	}
 	for i := range nodes {
 		if nodes[i] == nil {
@@ -109,6 +129,27 @@ func (c *Cluster) ReplaceNode(idx int, n core.Storage) error {
 	}
 	if n == nil {
 		return errors.New("cluster: ReplaceNode needs a handle")
+	}
+	if c.batches != nil {
+		// The in-flight coalescing buffer holds events accepted for the OLD
+		// handle but not yet delivered. Move them to the spill queue's tail
+		// (they are newer than anything spilled during the outage, so
+		// spill-then-buffer preserves stream order) before the new handle
+		// goes live — otherwise a racing linger flush could deliver them to
+		// the new node ahead of the older spilled events. sendMu is held so
+		// no delivery of this buffer is in flight while we take it.
+		b := c.batches[idx]
+		b.sendMu.Lock()
+		if evs := b.take(); len(evs) > 0 {
+			if c.disabled() {
+				// No spill queue to merge into; keep them buffered for the
+				// next flush against the new handle.
+				b.requeueFront(evs)
+			} else {
+				c.spillBatch(idx, evs)
+			}
+		}
+		b.sendMu.Unlock()
 	}
 	c.nodes[idx].Store(&n)
 	if !c.disabled() {

@@ -41,5 +41,22 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 				s := h.snapshot()
 				return float64(s.Dropped)
 			})
+		shard := i
+		reg.GaugeFunc(obs.Label("aim_cluster_followers", "target", node),
+			"Follower replicas currently attached to the shard.",
+			func() float64 {
+				c.repMu.Lock()
+				defer c.repMu.Unlock()
+				return float64(len(c.followers[shard]))
+			})
 	}
+	reg.CounterFunc("aim_cluster_promotions_total",
+		"Followers promoted to primary (automatic and manual failovers).",
+		func() float64 { return float64(c.promotions.Load()) })
+	reg.CounterFunc("aim_cluster_replica_scans_total",
+		"Shard scans routed to follower replicas instead of primaries.",
+		func() float64 { return float64(c.replicaScans.Load()) })
+	reg.CounterFunc("aim_cluster_stale_replica_scans_total",
+		"Replica-routed scans served with the freshness bound waived because the primary breaker was open.",
+		func() float64 { return float64(c.staleScans.Load()) })
 }

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+)
+
+// TestReplaceNodeRacesLingerFlush is the -race regression for the
+// ReplaceNode batch-buffer reset: a handle swap must move the node's
+// in-flight coalescing buffer into the spill queue under the delivery lock,
+// so racing a swap against the linger flusher neither loses nor duplicates
+// buffered events.
+func TestReplaceNodeRacesLingerFlush(t *testing.T) {
+	sink := &flakyStorage{}
+	c, err := NewWithOptions([]core.Storage{sink}, Options{
+		Health: HealthConfig{RetryInterval: time.Millisecond},
+		Batch:  BatchConfig{MaxEvents: 8, Linger: 100 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const total = 4000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if err := c.ProcessEventAsync(event.Event{Caller: 1, Timestamp: int64(i + 1), Duration: 1}); err != nil {
+				t.Errorf("event %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := c.ReplaceNode(0, sink); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Wait()
+
+	// FlushEvents drains the remaining buffer AND whatever ReplaceNode moved
+	// to the spill queue; afterwards every event must have been delivered
+	// exactly once.
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.delivered) != total {
+		t.Fatalf("delivered %d events, want %d", len(sink.delivered), total)
+	}
+	seen := make(map[int64]bool, total)
+	for _, ev := range sink.delivered {
+		if seen[ev.Timestamp] {
+			t.Fatalf("event %d delivered twice", ev.Timestamp)
+		}
+		seen[ev.Timestamp] = true
+	}
+}

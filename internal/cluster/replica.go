@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/repl"
+	"repro/internal/rta"
+)
+
+// ErrNoFollower is returned by Promote when the shard has no promotable
+// follower attached.
+var ErrNoFollower = errors.New("cluster: no promotable follower")
+
+// DefaultMaxLagEvents is the replica-read freshness bound selected by
+// ReplicaConfig.MaxLagEvents: 0.
+const DefaultMaxLagEvents = 4096
+
+// ReplicaConfig tunes follower replicas attached to the cluster's shards:
+// the freshness/availability trade for replica-served scans, and the
+// automatic-promotion policy that replaces a dead primary with its
+// most-caught-up follower.
+type ReplicaConfig struct {
+	// MaxLagEvents bounds how stale (in events behind the primary's
+	// frontier) a follower may be and still serve RTA scans while its
+	// primary is healthy. 0 selects DefaultMaxLagEvents; negative means
+	// followers never serve scans (pure hot standbys). While the primary's
+	// breaker is open the bound is waived: a stale answer from the
+	// most-caught-up follower beats no answer, and the result still says
+	// which shards a replica served.
+	MaxLagEvents int
+	// AutoPromote turns on the failure monitor: when a shard's primary
+	// breaker stays non-closed for PromoteAfter, the shard auto-promotes.
+	// It needs health tracking enabled to observe the breaker.
+	AutoPromote bool
+	// PromoteAfter is how long a primary must stay unhealthy before
+	// auto-promotion fires (default 1s). Longer values ride out restarts
+	// that ReplaceNode would recover; shorter values shrink the blackout.
+	PromoteAfter time.Duration
+	// CheckInterval paces the failure monitor (default 50ms).
+	CheckInterval time.Duration
+	// ReplayTail, when set, tops a sealed follower up during promotion: it
+	// must feed every surviving primary WAL event at/after fromLSN to emit
+	// in LSN order (repl.ReplayArchiveTail over the dead primary's salvaged
+	// archive). Nil skips the top-up — acknowledged events past the
+	// follower's watermark are then lost on failover.
+	ReplayTail func(shard int, fromLSN uint64, emit func(evs []event.Event) error) error
+	// OnPromote, when set, is called after a successful promotion with the
+	// shard and the follower's sealed watermark (before tail top-up).
+	OnPromote func(shard int, sealedLSN uint64)
+}
+
+func (cfg ReplicaConfig) withDefaults() ReplicaConfig {
+	if cfg.MaxLagEvents == 0 {
+		cfg.MaxLagEvents = DefaultMaxLagEvents
+	}
+	if cfg.PromoteAfter <= 0 {
+		cfg.PromoteAfter = time.Second
+	}
+	if cfg.CheckInterval <= 0 {
+		cfg.CheckInterval = 50 * time.Millisecond
+	}
+	return cfg
+}
+
+// shardFollower pairs a follower with its own scan breaker, so a broken
+// replica stops serving queries without affecting its siblings.
+type shardFollower struct {
+	f *repl.Follower
+	h *nodeHealth
+}
+
+// AttachFollower registers f as a follower replica of shard. The follower
+// (and its storage node) stays owned by the caller; the cluster routes
+// freshness-bounded scans at it and may seal it via Promote.
+func (c *Cluster) AttachFollower(shard int, f *repl.Follower) error {
+	if shard < 0 || shard >= len(c.nodes) {
+		return fmt.Errorf("cluster: no shard %d", shard)
+	}
+	if f == nil {
+		return errors.New("cluster: AttachFollower needs a follower")
+	}
+	c.repMu.Lock()
+	c.followers[shard] = append(c.followers[shard], &shardFollower{f: f, h: &nodeHealth{}})
+	c.repMu.Unlock()
+	if c.rcfg.AutoPromote && !c.disabled() {
+		c.startPromoteMonitor()
+	}
+	return nil
+}
+
+// Followers returns the shard's currently attached followers (a promoted
+// follower is no longer listed).
+func (c *Cluster) Followers(shard int) []*repl.Follower {
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	out := make([]*repl.Follower, len(c.followers[shard]))
+	for i, sf := range c.followers[shard] {
+		out[i] = sf.f
+	}
+	return out
+}
+
+// Promotions reports how many shards promoted a follower so far.
+func (c *Cluster) Promotions() uint64 { return c.promotions.Load() }
+
+var _ rta.Backends = (*Cluster)(nil)
+
+// NumShards implements rta.Backends.
+func (c *Cluster) NumShards() int { return len(c.nodes) }
+
+// Handle implements rta.Backends: it picks the scan handle for one shard.
+// With a healthy primary, scans round-robin across followers within the
+// MaxLagEvents freshness bound (offloading the primary, PolarDB-IMCI
+// style) and fall back to the primary when none qualifies. With the
+// primary's breaker open, the lag bound is waived and the most-caught-up
+// live follower serves — a stale-but-correct answer flagged Replica in the
+// result — so RTA keeps answering through the failover blackout.
+func (c *Cluster) Handle(shard int) (core.Storage, rta.HandleInfo) {
+	primary := c.node(shard)
+	c.repMu.Lock()
+	fols := c.followers[shard]
+	c.repMu.Unlock()
+	if len(fols) == 0 || c.rcfg.MaxLagEvents < 0 {
+		return primary, rta.HandleInfo{}
+	}
+	primaryUp := c.disabled() || c.health[shard].snapshot().State == BreakerClosed
+	var pick *shardFollower
+	if primaryUp {
+		start := int(c.rr[shard].Add(1))
+		for i := 0; i < len(fols); i++ {
+			sf := fols[(start+i)%len(fols)]
+			if !c.scanServable(sf) {
+				continue
+			}
+			if sf.f.Lag() <= uint64(c.rcfg.MaxLagEvents) {
+				pick = sf
+				break
+			}
+		}
+	} else {
+		for _, sf := range fols {
+			if !c.scanServable(sf) {
+				continue
+			}
+			if pick == nil || sf.f.AppliedLSN() > pick.f.AppliedLSN() {
+				pick = sf
+			}
+		}
+		if pick != nil {
+			c.staleScans.Add(1)
+		}
+	}
+	if pick == nil {
+		return primary, rta.HandleInfo{}
+	}
+	c.replicaScans.Add(1)
+	return trackedStorage{Storage: pick.f.Node(), h: pick.h, cfg: c.hcfg},
+		rta.HandleInfo{Replica: true, LagEvents: pick.f.Lag()}
+}
+
+// scanServable reports whether a follower may serve scans right now: not
+// sealed by a promotion, tail loop live (a never-started or dead tail has
+// no trustworthy lag reading), and its own breaker closed.
+func (c *Cluster) scanServable(sf *shardFollower) bool {
+	if sf.f.Sealed() || !sf.f.Running() || sf.f.Err() != nil {
+		return false
+	}
+	return sf.h.snapshot().State == BreakerClosed
+}
+
+// trackedStorage routes a follower's scan outcomes into its breaker, so a
+// replica that starts failing queries is dropped from the rotation.
+type trackedStorage struct {
+	core.Storage
+	h   *nodeHealth
+	cfg HealthConfig
+}
+
+func (t trackedStorage) SubmitQuery(q *query.Query) (*query.Partial, error) {
+	p, err := t.Storage.SubmitQuery(q)
+	t.h.record(err, t.cfg.FailureThreshold, t.cfg.ProbeInterval)
+	return p, err
+}
+
+func (t trackedStorage) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	ch, err := t.Storage.SubmitQueryAsync(q)
+	if err != nil {
+		t.h.record(err, t.cfg.FailureThreshold, t.cfg.ProbeInterval)
+		return nil, err
+	}
+	out := make(chan core.QueryResponse, 1)
+	go func() {
+		r := <-ch
+		t.h.record(r.Err, t.cfg.FailureThreshold, t.cfg.ProbeInterval)
+		out <- r
+	}()
+	return out, nil
+}
+
+// startPromoteMonitor lazily launches the failure monitor driving
+// auto-promotion.
+func (c *Cluster) startPromoteMonitor() {
+	c.monitorOnce.Do(func() {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(c.rcfg.CheckInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.quit:
+					return
+				case <-tick.C:
+					for shard := range c.nodes {
+						c.checkPromote(shard)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// checkPromote promotes shard once its primary breaker has been
+// continuously non-closed for PromoteAfter.
+func (c *Cluster) checkPromote(shard int) {
+	c.repMu.Lock()
+	hasFollower := len(c.followers[shard]) > 0
+	c.repMu.Unlock()
+	if !hasFollower {
+		return
+	}
+	if c.health[shard].snapshot().State == BreakerClosed {
+		c.downSince[shard].Store(0)
+		return
+	}
+	now := time.Now().UnixNano()
+	since := c.downSince[shard].Load()
+	if since == 0 {
+		c.downSince[shard].CompareAndSwap(0, now)
+		return
+	}
+	if time.Duration(now-since) < c.rcfg.PromoteAfter {
+		return
+	}
+	c.downSince[shard].Store(0)
+	_, _ = c.Promote(shard) // a failed attempt re-arms via the breaker staying open
+}
+
+// Promote replaces shard's primary with its most-caught-up follower — the
+// zero-loss failover handshake:
+//
+//  1. The follower is picked and removed from the scan rotation under the
+//     promotion lock (one promotion per shard at a time).
+//  2. Its replay is sealed at the applied watermark W (repl.Follower.Promote
+//     drains the ESP pipeline), so its own WAL is exactly the primary's
+//     prefix [0, W).
+//  3. ReplayTail tops it up with the dead primary's surviving WAL suffix
+//     [W, frontier) — every event the primary durably acknowledged lands on
+//     the follower exactly once, in order.
+//  4. ReplaceNode re-points ingest at the follower's node; the breaker
+//     resets and the outage's spill queue replays after the suffix, keeping
+//     the at-least-once redelivery contract for in-flight events.
+//
+// Manual invocations work the same way (forced failover / maintenance).
+func (c *Cluster) Promote(shard int) (uint64, error) {
+	if shard < 0 || shard >= len(c.nodes) {
+		return 0, fmt.Errorf("cluster: no shard %d", shard)
+	}
+	c.repMu.Lock()
+	if c.promoting[shard] {
+		c.repMu.Unlock()
+		return 0, fmt.Errorf("cluster: shard %d promotion already in flight", shard)
+	}
+	fols := c.followers[shard]
+	best := -1
+	for i, sf := range fols {
+		if sf.f.Sealed() {
+			continue
+		}
+		if best < 0 || sf.f.AppliedLSN() > fols[best].f.AppliedLSN() {
+			best = i
+		}
+	}
+	if best < 0 {
+		c.repMu.Unlock()
+		return 0, ErrNoFollower
+	}
+	chosen := fols[best]
+	c.promoting[shard] = true
+	rest := make([]*shardFollower, 0, len(fols)-1)
+	rest = append(append(rest, fols[:best]...), fols[best+1:]...)
+	c.followers[shard] = rest
+	c.repMu.Unlock()
+	defer func() {
+		c.repMu.Lock()
+		c.promoting[shard] = false
+		c.repMu.Unlock()
+	}()
+
+	sealed, err := chosen.f.Promote()
+	if err != nil {
+		return sealed, fmt.Errorf("cluster: promote shard %d: seal: %w", shard, err)
+	}
+	node := chosen.f.Node()
+	if c.rcfg.ReplayTail != nil {
+		err := c.rcfg.ReplayTail(shard, sealed, func(evs []event.Event) error {
+			// Through the node's durable batch path: the suffix lands in the
+			// promoted node's own WAL right after its shipped prefix.
+			return node.ProcessEventBatch(evs)
+		})
+		if err != nil {
+			return sealed, fmt.Errorf("cluster: promote shard %d: tail replay: %w", shard, err)
+		}
+		if err := node.FlushEvents(); err != nil {
+			return sealed, fmt.Errorf("cluster: promote shard %d: drain: %w", shard, err)
+		}
+	}
+	if err := c.ReplaceNode(shard, node); err != nil {
+		return sealed, err
+	}
+	c.promotions.Add(1)
+	if c.rcfg.OnPromote != nil {
+		c.rcfg.OnPromote(shard, sealed)
+	}
+	return sealed, nil
+}

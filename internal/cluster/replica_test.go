@@ -1,0 +1,496 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/event"
+	"repro/internal/query"
+	"repro/internal/repl"
+	"repro/internal/rta"
+	"repro/internal/schema"
+)
+
+// durableNode builds a storage node whose events are WAL-logged to its own
+// archive under dir — the shape both a replication primary and a follower
+// replica have.
+func durableNode(t *testing.T, dir string) (*core.StorageNode, *archive.Archive) {
+	t.Helper()
+	arch, err := archive.Open(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := core.NewNode(core.Config{
+		Schema: clusterSchema(t), Partitions: 2, BucketSize: 32,
+		Archive: arch, IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		arch.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		node.Stop()
+		arch.Close()
+	})
+	return node, arch
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func replEvent(i int) event.Event {
+	return event.Event{Caller: uint64(i%10) + 1, Timestamp: int64(i + 1), Duration: int64(i), Cost: 1}
+}
+
+// startedFollower wires a follower tailing the primary's archive in process
+// and attaches it to shard 0.
+func startedFollower(t *testing.T, c *Cluster, fnode *core.StorageNode, parch *archive.Archive) *repl.Follower {
+	t.Helper()
+	f := repl.NewFollower(fnode, 0, repl.FollowerConfig{})
+	if err := f.Start(repl.NewArchiveSource(parch, 0, repl.ArchiveSourceConfig{Heartbeat: 5 * time.Millisecond})); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	if err := c.AttachFollower(0, f); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFollowerServesFreshScans: a caught-up follower takes the shard's RTA
+// scans off the primary, and the replica-served result matches what the
+// primary would answer.
+func TestFollowerServesFreshScans(t *testing.T) {
+	pnode, parch := durableNode(t, t.TempDir())
+	fnode, _ := durableNode(t, t.TempDir())
+	c, err := New([]core.Storage{pnode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := startedFollower(t, c, fnode, parch)
+
+	const events = 400
+	for i := 0; i < events; i++ {
+		if err := c.ProcessEventAsync(replEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "follower catch-up", func() bool {
+		return f.AppliedLSN() == uint64(events) && f.Lag() == 0
+	})
+
+	if _, info := c.Handle(0); !info.Replica {
+		t.Fatalf("caught-up follower not picked for the scan: %+v", info)
+	}
+
+	coord, err := rta.NewCoordinatorBackends(c, rta.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := clusterSchema(t)
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+	waitFor(t, "replica-served query convergence", func() bool {
+		res, err := coord.Execute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ReplicaShards != 1 {
+			t.Fatalf("result not replica-served: %+v", res)
+		}
+		return len(res.Rows) > 0 && res.Rows[0].Values[0] == events
+	})
+}
+
+// stubSource hand-feeds batches to a follower, for driving lag and
+// staleness states deterministically.
+type stubSource struct {
+	ch   chan repl.Batch
+	quit chan struct{}
+}
+
+func newStubSource() *stubSource {
+	return &stubSource{ch: make(chan repl.Batch, 16), quit: make(chan struct{})}
+}
+
+func (s *stubSource) Next() (repl.Batch, error) {
+	select {
+	case b := <-s.ch:
+		return b, nil
+	case <-s.quit:
+		return repl.Batch{}, repl.ErrSourceClosed
+	}
+}
+
+func (s *stubSource) Close() error {
+	select {
+	case <-s.quit:
+	default:
+		close(s.quit)
+	}
+	return nil
+}
+
+// TestLaggyFollowerFallsBackToPrimary: with a healthy primary, a follower
+// past the freshness bound must not serve scans.
+func TestLaggyFollowerFallsBackToPrimary(t *testing.T) {
+	pnode, _ := durableNode(t, t.TempDir())
+	fnode, _ := durableNode(t, t.TempDir())
+	c, err := NewWithOptions([]core.Storage{pnode}, Options{
+		Replicas: ReplicaConfig{MaxLagEvents: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	f := repl.NewFollower(fnode, 0, repl.FollowerConfig{})
+	src := newStubSource()
+	src.ch <- repl.Batch{Frontier: 50_000, Origin: time.Now()} // heartbeat: way behind
+	if err := f.Start(src); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	if err := c.AttachFollower(0, f); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "lag observation", func() bool { return f.Lag() > 100 })
+
+	h, info := c.Handle(0)
+	if info.Replica {
+		t.Fatalf("laggy follower served a scan (lag %d)", info.LagEvents)
+	}
+	if h != core.Storage(pnode) {
+		t.Fatal("fallback handle is not the primary")
+	}
+}
+
+// toggleStorage delegates to a real node until down is set — the in-process
+// stand-in for a primary that dies while its WAL survives.
+type toggleStorage struct {
+	inner core.Storage
+	down  atomic.Bool
+}
+
+func (s *toggleStorage) ProcessEventAsync(ev event.Event) error {
+	if s.down.Load() {
+		return errInjected
+	}
+	return s.inner.ProcessEventAsync(ev)
+}
+
+func (s *toggleStorage) ProcessEvent(ev event.Event) (int, error) {
+	if s.down.Load() {
+		return 0, errInjected
+	}
+	return s.inner.ProcessEvent(ev)
+}
+
+func (s *toggleStorage) FlushEvents() error {
+	if s.down.Load() {
+		return errInjected
+	}
+	return s.inner.FlushEvents()
+}
+
+func (s *toggleStorage) Get(entityID uint64) (schema.Record, uint64, bool, error) {
+	if s.down.Load() {
+		return nil, 0, false, errInjected
+	}
+	return s.inner.Get(entityID)
+}
+
+func (s *toggleStorage) Put(rec schema.Record) error {
+	if s.down.Load() {
+		return errInjected
+	}
+	return s.inner.Put(rec)
+}
+
+func (s *toggleStorage) ConditionalPut(rec schema.Record, expected uint64) error {
+	if s.down.Load() {
+		return errInjected
+	}
+	return s.inner.ConditionalPut(rec, expected)
+}
+
+func (s *toggleStorage) SubmitQueryAsync(q *query.Query) (<-chan core.QueryResponse, error) {
+	if s.down.Load() {
+		return nil, errInjected
+	}
+	return s.inner.SubmitQueryAsync(q)
+}
+
+func (s *toggleStorage) SubmitQuery(q *query.Query) (*query.Partial, error) {
+	if s.down.Load() {
+		return nil, errInjected
+	}
+	return s.inner.SubmitQuery(q)
+}
+
+// TestStaleFollowerServesDuringOutage: once the primary's breaker opens,
+// the freshness bound is waived and the most-caught-up follower answers.
+func TestStaleFollowerServesDuringOutage(t *testing.T) {
+	pnode, _ := durableNode(t, t.TempDir())
+	fnode, _ := durableNode(t, t.TempDir())
+	wrap := &toggleStorage{inner: pnode}
+	c, err := NewWithOptions([]core.Storage{wrap}, Options{
+		Health:   HealthConfig{FailureThreshold: 2, ProbeInterval: time.Minute},
+		Replicas: ReplicaConfig{MaxLagEvents: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Hand-fed follower: 50 events applied, then a frontier far ahead, so
+	// its lag is pinned past the bound.
+	f := repl.NewFollower(fnode, 0, repl.FollowerConfig{})
+	src := newStubSource()
+	evs := make([]event.Event, 50)
+	for i := range evs {
+		evs[i] = replEvent(i)
+	}
+	src.ch <- repl.Batch{FirstLSN: 0, Frontier: 50, Origin: time.Now(), Events: evs}
+	src.ch <- repl.Batch{FirstLSN: 50, Frontier: 150, Origin: time.Now()}
+	if err := f.Start(src); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Stop)
+	if err := c.AttachFollower(0, f); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "lag past the bound", func() bool {
+		return f.AppliedLSN() == 50 && f.Lag() > 10
+	})
+	if _, info := c.Handle(0); info.Replica {
+		t.Fatal("follower past the bound served with a healthy primary")
+	}
+
+	// Kill the primary; its breaker opens on the failing sends.
+	wrap.down.Store(true)
+	for i := 0; i < 5; i++ {
+		_ = c.ProcessEventAsync(replEvent(1000 + i))
+	}
+	waitFor(t, "breaker open", func() bool { return c.Health(0).State == BreakerOpen })
+	_, info := c.Handle(0)
+	if !info.Replica {
+		t.Fatal("stale follower refused the scan during the outage")
+	}
+	if info.LagEvents == 0 {
+		t.Fatal("stale pick should report its lag")
+	}
+}
+
+// TestPromoteAtWatermarkEquivalence is the zero-loss promotion check: a
+// follower sealed mid-stream and topped up from the primary's surviving WAL
+// must end with (a) a WAL identical to the primary's, LSN for LSN, and (b)
+// a matrix identical to a synchronous replay oracle of that WAL.
+func TestPromoteAtWatermarkEquivalence(t *testing.T) {
+	pnode, parch := durableNode(t, t.TempDir())
+	fnode, farch := durableNode(t, t.TempDir())
+	c, err := NewWithOptions([]core.Storage{pnode}, Options{
+		Replicas: ReplicaConfig{
+			ReplayTail: func(_ int, from uint64, emit func([]event.Event) error) error {
+				return repl.ReplayArchiveTail(parch, from, 64, emit)
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := startedFollower(t, c, fnode, parch)
+
+	const head, tail = 300, 120
+	for i := 0; i < head; i++ {
+		if err := c.ProcessEventAsync(replEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "head catch-up", func() bool { return f.AppliedLSN() == head })
+	// Freeze the follower's watermark, then keep the primary going — these
+	// tail events are durably acked on the primary but never shipped.
+	f.Stop()
+	for i := head; i < head+tail; i++ {
+		if err := c.ProcessEventAsync(replEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+
+	sealed, err := c.Promote(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed != head {
+		t.Fatalf("sealed at %d, want watermark %d", sealed, head)
+	}
+	if c.Promotions() != 1 {
+		t.Fatalf("promotions = %d", c.Promotions())
+	}
+	if got := c.Nodes()[0]; got != core.Storage(fnode) {
+		t.Fatal("ingest not re-pointed at the promoted follower")
+	}
+	if len(c.Followers(0)) != 0 {
+		t.Fatal("promoted follower still listed as a follower")
+	}
+
+	// (a) WAL equivalence: the promoted node's own archive carries exactly
+	// the primary's log — zero acknowledged events lost, none duplicated,
+	// in order.
+	if got, want := farch.NextLSN(), parch.NextLSN(); got != want {
+		t.Fatalf("promoted WAL frontier %d, primary %d", got, want)
+	}
+	want := make(map[uint64]event.Event)
+	if err := parch.Replay(0, func(lsn uint64, ev event.Event) error {
+		want[lsn] = ev
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err = farch.Replay(0, func(lsn uint64, ev event.Event) error {
+		if ev != want[lsn] {
+			t.Fatalf("lsn %d: promoted WAL %+v, primary %+v", lsn, ev, want[lsn])
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != head+tail {
+		t.Fatalf("promoted WAL has %d events, want %d", n, head+tail)
+	}
+
+	// (b) Matrix equivalence against a synchronous replay oracle.
+	oracle, err := core.NewNode(core.Config{
+		Schema: clusterSchema(t), Partitions: 2, BucketSize: 32,
+		IdleMergePause: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Stop()
+	if err := parch.Replay(0, func(_ uint64, ev event.Event) error {
+		return oracle.ProcessEventAsync(ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fnode.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	sch := clusterSchema(t)
+	for e := uint64(1); e <= 10; e++ {
+		got, _, gok, err := fnode.Get(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, _, rok, err := oracle.Get(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gok != rok {
+			t.Fatalf("entity %d: promoted present=%v oracle=%v", e, gok, rok)
+		}
+		if !gok {
+			continue
+		}
+		for s := 0; s < sch.Slots; s++ {
+			if s == sch.VersionSlot {
+				continue
+			}
+			if got[s] != ref[s] {
+				t.Fatalf("entity %d slot %d: promoted %#x, oracle %#x", e, s, got[s], ref[s])
+			}
+		}
+	}
+}
+
+// TestAutoPromoteFailoverPreservesAckedEvents: when the primary dies under
+// live ingest, the monitor promotes the follower, the surviving WAL tops it
+// up, and the outage's spilled events replay onto it — nothing acked is
+// lost.
+func TestAutoPromoteFailoverPreservesAckedEvents(t *testing.T) {
+	pnode, parch := durableNode(t, t.TempDir())
+	fnode, _ := durableNode(t, t.TempDir())
+	wrap := &toggleStorage{inner: pnode}
+	var promotedShard atomic.Int64
+	promotedShard.Store(-1)
+	c, err := NewWithOptions([]core.Storage{wrap}, Options{
+		Health: HealthConfig{FailureThreshold: 2, ProbeInterval: time.Minute, RetryInterval: 2 * time.Millisecond},
+		Replicas: ReplicaConfig{
+			AutoPromote:   true,
+			PromoteAfter:  30 * time.Millisecond,
+			CheckInterval: 5 * time.Millisecond,
+			ReplayTail: func(_ int, from uint64, emit func([]event.Event) error) error {
+				return repl.ReplayArchiveTail(parch, from, 64, emit)
+			},
+			OnPromote: func(shard int, _ uint64) { promotedShard.Store(int64(shard)) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	f := startedFollower(t, c, fnode, parch)
+
+	const acked = 200
+	for i := 0; i < acked; i++ {
+		if err := c.ProcessEventAsync(replEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "catch-up", func() bool { return f.AppliedLSN() == acked })
+
+	// Primary dies; ingest keeps going and spills.
+	wrap.down.Store(true)
+	const inflight = 40
+	for i := 0; i < inflight; i++ {
+		if err := c.ProcessEventAsync(replEvent(acked + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "auto-promotion", func() bool { return c.Promotions() == 1 })
+	if promotedShard.Load() != 0 {
+		t.Fatalf("OnPromote shard = %d", promotedShard.Load())
+	}
+	if got := c.Nodes()[0]; got != core.Storage(fnode) {
+		t.Fatal("ingest not re-pointed at the promoted follower")
+	}
+
+	// The spill queue replays onto the promoted node; everything lands.
+	if err := c.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fnode.Stats().EventsProcessed; got != acked+inflight {
+		t.Fatalf("promoted node processed %d events, want %d", got, acked+inflight)
+	}
+}

@@ -460,6 +460,34 @@ func (c *Client) FlushEvents() error {
 	return err
 }
 
+// ReplProbe asks the server for its log frontier (next LSN) — the lag
+// probe: frontier minus a follower's applied watermark is its lag in
+// events. Idempotent, so transport faults are retried.
+func (c *Client) ReplProbe() (uint64, error) {
+	payload, err := c.call(msgReplProbe, nil, true)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) < 8 {
+		return 0, errors.New("netproto: short repl probe reply")
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// Promote asks a follower server to seal its replay at its watermark and
+// returns the sealed LSN (the manual-promotion handshake). Idempotent: the
+// server returns the same watermark on a repeat.
+func (c *Client) Promote() (uint64, error) {
+	payload, err := c.call(msgReplPromote, nil, true)
+	if err != nil {
+		return 0, err
+	}
+	if len(payload) < 8 {
+		return 0, errors.New("netproto: short promote reply")
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
 // Get fetches a record; idempotent, so transport faults are retried.
 func (c *Client) Get(entityID uint64) (schema.Record, uint64, bool, error) {
 	var body [8]byte

@@ -22,9 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/event"
+	"repro/internal/repl"
 )
 
 // Message types.
@@ -40,6 +42,12 @@ const (
 	// msgEventBatch must stay above msgResp: the metrics latency arrays are
 	// sized [msgResp] and indexed by the synchronous types below it.
 	msgEventBatch // body: u32 count, count x 64 B events; fire-and-forget
+	// Replication frames (WAL log shipping; DESIGN.md §12). Like
+	// msgEventBatch they must stay above msgResp.
+	msgReplSubscribe // body: u64 fromLSN; resp: u64 startLSN, u64 frontier; the conn then streams msgReplBatch frames
+	msgReplBatch     // server→subscriber push: u64 firstLSN, u64 frontier, i64 origin unix-nanos, u32 count, count x 64 B events
+	msgReplProbe     // lag/heartbeat probe; resp: u64 frontier (the primary's next LSN)
+	msgReplPromote   // seal a follower's replay at its watermark; resp: u64 sealed LSN
 )
 
 // maxFrame bounds a frame to keep a malformed peer from allocating
@@ -166,6 +174,48 @@ func decodeEventBatch(body []byte) ([]event.Event, error) {
 		}
 	}
 	return evs, nil
+}
+
+// replBatchHdr is the fixed prefix of a msgReplBatch body: firstLSN,
+// frontier, origin nanos, event count.
+const replBatchHdr = 8 + 8 + 8 + 4
+
+// encodeReplBatch packs one shipped log chunk into a msgReplBatch body.
+func encodeReplBatch(b repl.Batch) []byte {
+	body := make([]byte, replBatchHdr+len(b.Events)*event.WireSize)
+	binary.LittleEndian.PutUint64(body[0:], b.FirstLSN)
+	binary.LittleEndian.PutUint64(body[8:], b.Frontier)
+	binary.LittleEndian.PutUint64(body[16:], uint64(b.Origin.UnixNano()))
+	binary.LittleEndian.PutUint32(body[24:], uint32(len(b.Events)))
+	for i := range b.Events {
+		b.Events[i].Encode(body[replBatchHdr+i*event.WireSize:])
+	}
+	return body
+}
+
+// decodeReplBatch unpacks a msgReplBatch body.
+func decodeReplBatch(body []byte) (repl.Batch, error) {
+	if len(body) < replBatchHdr {
+		return repl.Batch{}, errors.New("netproto: short repl batch frame")
+	}
+	n := int(binary.LittleEndian.Uint32(body[24:]))
+	if n < 0 || len(body) != replBatchHdr+n*event.WireSize {
+		return repl.Batch{}, fmt.Errorf("netproto: repl batch count %d does not match body length %d", n, len(body))
+	}
+	b := repl.Batch{
+		FirstLSN: binary.LittleEndian.Uint64(body[0:]),
+		Frontier: binary.LittleEndian.Uint64(body[8:]),
+		Origin:   time.Unix(0, int64(binary.LittleEndian.Uint64(body[16:]))),
+	}
+	if n > 0 {
+		b.Events = make([]event.Event, n)
+		for i := range b.Events {
+			if err := b.Events[i].Decode(body[replBatchHdr+i*event.WireSize:]); err != nil {
+				return repl.Batch{}, err
+			}
+		}
+	}
+	return b, nil
 }
 
 // okBody prefixes a payload with the ok status.

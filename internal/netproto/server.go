@@ -9,9 +9,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/core"
 	"repro/internal/event"
 	"repro/internal/query"
+	"repro/internal/repl"
 	"repro/internal/schema"
 )
 
@@ -26,10 +28,11 @@ type Server struct {
 	ln   net.Listener
 	cfg  ServerConfig
 
-	mu    sync.Mutex
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
-	quit  chan struct{}
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+	quit      chan struct{}
+	closeOnce sync.Once
 }
 
 // ServerConfig tunes server behavior; the zero value is the default.
@@ -52,6 +55,19 @@ type ServerConfig struct {
 	// traffic while the connection is idle. 0 selects DefaultEventLinger;
 	// only meaningful when IngestBatch > 1.
 	IngestLinger time.Duration
+	// ReplArchive, when set, enables the WAL log-shipping stream
+	// (DESIGN.md §12): msgReplSubscribe subscribers tail this archive —
+	// normally the served node's own event WAL.
+	ReplArchive *archive.Archive
+	// ReplHeartbeat bounds how long a quiet subscription goes without a
+	// frontier heartbeat (0 selects the repl package default).
+	ReplHeartbeat time.Duration
+	// ReplBatch caps events per shipped msgReplBatch frame (0 = default).
+	ReplBatch int
+	// OnPromote, when set, answers msgReplPromote: it seals the local
+	// follower's replay and returns the sealed watermark. Nil rejects
+	// promote requests (this server is not a follower).
+	OnPromote func() (uint64, error)
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") backed by node.
@@ -82,14 +98,17 @@ func ServeWithConfig(addr string, node core.Storage, sch *schema.Schema, cfg Ser
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops accepting, closes every connection and waits for handlers.
+// Idempotent: extra calls just wait for the first shutdown to finish.
 func (s *Server) Close() {
-	close(s.quit)
-	s.ln.Close()
-	s.mu.Lock()
-	for c := range s.conns {
-		c.Close()
-	}
-	s.mu.Unlock()
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
 	s.wg.Wait()
 }
 
@@ -134,6 +153,22 @@ func (s *Server) handleConn(conn net.Conn) {
 	}
 	var pendingQueries sync.WaitGroup
 	defer pendingQueries.Wait()
+
+	// Replication stream state: at most one subscription per connection.
+	// The teardown defer runs before pendingQueries.Wait (LIFO) so the
+	// sender goroutine is unblocked — Close on the source wakes a pending
+	// Next, Close on the conn fails its next write.
+	var replMu sync.Mutex
+	var replSrc repl.Source
+	defer func() {
+		replMu.Lock()
+		src := replSrc
+		replMu.Unlock()
+		if src != nil {
+			conn.Close()
+			src.Close()
+		}
+	}()
 
 	// Reads are buffered: one kernel read can surface many 77 B event
 	// frames. With IngestBatch > 1 consecutive msgEvent frames additionally
@@ -303,6 +338,64 @@ func (s *Server) handleConn(conn net.Conn) {
 				reply(reqID, okBody(query.EncodePartial(r.Partial)))
 				s.cfg.Metrics.observe(msgQuery, t0)
 			}(f.reqID, ch)
+		case msgReplSubscribe:
+			if s.cfg.ReplArchive == nil {
+				reply(f.reqID, errBody(errors.New("replication not enabled on this server")))
+				continue
+			}
+			if len(f.body) < 8 {
+				reply(f.reqID, errBody(errors.New("short repl subscribe frame")))
+				continue
+			}
+			from := binary.LittleEndian.Uint64(f.body)
+			// Clamp a request below the retention floor up to the floor: the
+			// follower sees the jump as a typed ErrGap at apply time instead
+			// of a string error here.
+			if floor := s.cfg.ReplArchive.FirstLSN(); from < floor {
+				from = floor
+			}
+			replMu.Lock()
+			if replSrc != nil {
+				replMu.Unlock()
+				reply(f.reqID, errBody(errors.New("connection already subscribed")))
+				continue
+			}
+			src := repl.NewArchiveSource(s.cfg.ReplArchive, from, repl.ArchiveSourceConfig{
+				MaxEvents: s.cfg.ReplBatch,
+				Heartbeat: s.cfg.ReplHeartbeat,
+			})
+			replSrc = src
+			replMu.Unlock()
+			var out [16]byte
+			binary.LittleEndian.PutUint64(out[0:], from)
+			binary.LittleEndian.PutUint64(out[8:], s.cfg.ReplArchive.NextLSN())
+			reply(f.reqID, okBody(out[:]))
+			pendingQueries.Add(1)
+			go func() {
+				defer pendingQueries.Done()
+				streamRepl(conn, &writeMu, src)
+			}()
+		case msgReplProbe:
+			if s.cfg.ReplArchive == nil {
+				reply(f.reqID, errBody(errors.New("replication not enabled on this server")))
+				continue
+			}
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], s.cfg.ReplArchive.NextLSN())
+			reply(f.reqID, okBody(out[:]))
+		case msgReplPromote:
+			if s.cfg.OnPromote == nil {
+				reply(f.reqID, errBody(errors.New("promotion not supported on this server")))
+				continue
+			}
+			sealed, err := s.cfg.OnPromote()
+			if err != nil {
+				reply(f.reqID, errBody(err))
+				continue
+			}
+			var out [8]byte
+			binary.LittleEndian.PutUint64(out[:], sealed)
+			reply(f.reqID, okBody(out[:]))
 		default:
 			reply(f.reqID, errBody(fmt.Errorf("unknown message type %d", f.typ)))
 		}
@@ -312,6 +405,27 @@ func (s *Server) handleConn(conn net.Conn) {
 		switch f.typ {
 		case msgEventSync, msgFlush, msgGet, msgPut, msgCondPut:
 			s.cfg.Metrics.observe(f.typ, t0)
+		}
+	}
+}
+
+// streamRepl pushes msgReplBatch frames to a subscriber until the source or
+// the connection dies. A failure closes the connection so the read loop ends
+// with it; the subscriber resubscribes from its applied watermark.
+func streamRepl(conn net.Conn, writeMu *sync.Mutex, src repl.Source) {
+	defer src.Close()
+	for {
+		b, err := src.Next()
+		if err != nil {
+			conn.Close()
+			return
+		}
+		writeMu.Lock()
+		werr := writeFrame(conn, frame{typ: msgReplBatch, body: encodeReplBatch(b)})
+		writeMu.Unlock()
+		if werr != nil {
+			conn.Close()
+			return
 		}
 	}
 }

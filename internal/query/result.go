@@ -141,6 +141,9 @@ type Result struct {
 	// came from a multi-node coordinator (both zero otherwise).
 	CoveredNodes int
 	TotalNodes   int
+	// ReplicaShards counts the shards whose partial was answered by a
+	// follower replica (freshness-bounded reads) instead of the primary.
+	ReplicaShards int
 }
 
 // Finalize converts the merged partial into ordered result rows, resolving

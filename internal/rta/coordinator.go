@@ -61,12 +61,42 @@ type Config struct {
 	Metrics *Metrics
 }
 
+// HandleInfo describes the handle a Backends provider picked for a shard.
+type HandleInfo struct {
+	// Replica marks a handle served by a follower replica rather than the
+	// shard's primary.
+	Replica bool
+	// LagEvents is the follower's replication lag at pick time (0 for a
+	// primary).
+	LagEvents uint64
+}
+
+// Backends provides the coordinator's per-shard scan handles. A static
+// node list satisfies it trivially; the cluster implements it with
+// freshness-bounded follower routing: a shard's scan goes to a follower
+// replica when one is healthy and within the configured lag bound, and
+// falls back to (or away from) the primary as breakers open and close.
+// Handle is called per shard per attempt, so a retry after a node failure
+// may be re-routed to a different handle.
+type Backends interface {
+	NumShards() int
+	Handle(shard int) (core.Storage, HandleInfo)
+}
+
+// staticBackends adapts a fixed handle list (one primary per shard).
+type staticBackends []core.Storage
+
+func (s staticBackends) NumShards() int { return len(s) }
+func (s staticBackends) Handle(shard int) (core.Storage, HandleInfo) {
+	return s[shard], HandleInfo{}
+}
+
 // Coordinator is one stateless RTA processing node. It holds handles to
 // every storage server; Execute fans a query out to all of them
 // asynchronously and merges the partials (the "merge partial results"
 // responsibility of Figure 4).
 type Coordinator struct {
-	backends []core.Storage
+	backends Backends
 	cfg      Config
 }
 
@@ -78,7 +108,18 @@ func NewCoordinator(backends []core.Storage) (*Coordinator, error) {
 
 // NewCoordinatorConfig returns a coordinator with explicit failure policy.
 func NewCoordinatorConfig(backends []core.Storage, cfg Config) (*Coordinator, error) {
-	if len(backends) == 0 {
+	for i, b := range backends {
+		if b == nil {
+			return nil, fmt.Errorf("rta: backend %d is nil", i)
+		}
+	}
+	return NewCoordinatorBackends(staticBackends(backends), cfg)
+}
+
+// NewCoordinatorBackends returns a coordinator over a dynamic handle
+// provider (replica-aware routing).
+func NewCoordinatorBackends(backends Backends, cfg Config) (*Coordinator, error) {
+	if backends == nil || backends.NumShards() == 0 {
 		return nil, errors.New("rta: coordinator needs at least one storage server")
 	}
 	return &Coordinator{backends: backends, cfg: cfg}, nil
@@ -99,10 +140,13 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 		defer m.latency.ObserveSince(t0)
 		m.queries.Inc()
 	}
-	total := len(c.backends)
+	total := c.backends.NumShards()
 	chans := make([]<-chan core.QueryResponse, total)
 	errs := make([]error, total)
-	for i, b := range c.backends {
+	replica := make([]bool, total)
+	for i := 0; i < total; i++ {
+		b, info := c.backends.Handle(i)
+		replica[i] = info.Replica
 		ch, err := b.SubmitQueryAsync(q)
 		if err != nil {
 			// Keep scattering: the other nodes' channels must still be
@@ -113,7 +157,7 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 		chans[i] = ch
 	}
 	merged := query.NewPartial(q)
-	covered := 0
+	covered, replicaServed := 0, 0
 	for i, ch := range chans {
 		if ch == nil {
 			continue
@@ -125,6 +169,9 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 		}
 		merged.Merge(r.Partial, q)
 		covered++
+		if replica[i] {
+			replicaServed++
+		}
 	}
 	if !c.cfg.DisableRetry {
 		for i, err := range errs {
@@ -134,7 +181,11 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 			if m != nil {
 				m.retries.Inc()
 			}
-			p, rerr := c.backends[i].SubmitQuery(q)
+			// Re-pick the handle: a replica-aware provider may route the
+			// retry away from the handle that just failed (primary breaker
+			// opened mid-query, or a follower was promoted).
+			b, info := c.backends.Handle(i)
+			p, rerr := b.SubmitQuery(q)
 			if rerr != nil {
 				errs[i] = rerr
 				continue
@@ -142,6 +193,9 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 			errs[i] = nil
 			merged.Merge(p, q)
 			covered++
+			if info.Replica {
+				replicaServed++
+			}
 		}
 	}
 	var firstErr error
@@ -167,8 +221,14 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 	res := merged.Finalize(q)
 	res.CoveredNodes, res.TotalNodes = covered, total
 	res.Incomplete = covered < total
-	if res.Incomplete && m != nil {
-		m.degraded.Inc()
+	res.ReplicaShards = replicaServed
+	if m != nil {
+		if res.Incomplete {
+			m.degraded.Inc()
+		}
+		if replicaServed > 0 {
+			m.replicaPartials.Add(uint64(replicaServed))
+		}
 	}
 	return res, nil
 }

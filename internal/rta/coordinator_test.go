@@ -1,4 +1,8 @@
-package rta
+// External test package: the tests drive the coordinator through cluster,
+// and cluster itself imports rta (it implements rta.Backends), so an
+// in-package test would be an import cycle. The dot-import keeps the
+// existing unqualified references compiling.
+package rta_test
 
 import (
 	"errors"
@@ -12,6 +16,8 @@ import (
 	"repro/internal/event"
 	"repro/internal/query"
 	"repro/internal/schema"
+
+	. "repro/internal/rta"
 )
 
 func rtaSchema(t testing.TB) *schema.Schema {

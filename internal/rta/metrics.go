@@ -11,8 +11,9 @@ type Metrics struct {
 	queries  *obs.Counter
 	failures *obs.Counter
 	degraded *obs.Counter
-	retries  *obs.Counter
-	nodeErrs *obs.Counter
+	retries         *obs.Counter
+	nodeErrs        *obs.Counter
+	replicaPartials *obs.Counter
 }
 
 // NewMetrics registers the coordinator instruments on reg.
@@ -30,5 +31,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Per-node partials re-submitted after a first failure."),
 		nodeErrs: reg.Counter("aim_rta_node_errors_total",
 			"Per-node scatter/gather failures after retry."),
+		replicaPartials: reg.Counter("aim_rta_replica_partials_total",
+			"Per-shard partials answered by follower replicas instead of primaries."),
 	}
 }
