@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench obs-guard ingest-guard kernel-guard crash replica-crash fuzz-smoke ci
+.PHONY: build test race bench bench-check bench-baseline obs-guard ingest-guard kernel-guard crash replica-crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -17,6 +17,15 @@ race:
 ## bench: fused shared-scan batch microbenchmark (single vs naive vs fused)
 bench:
 	$(GO) test -bench BenchmarkSharedScanBatch -benchmem -run '^$$' ./internal/query/
+
+## bench-check: regression gate — run the smoke scenario and compare against the checked-in CI baseline (wide noise band; catches collapses, not drift)
+bench-check:
+	$(GO) run ./cmd/aimbench -scenario smoke -compare -fingerprint ci -noise-floor 1.5
+
+## bench-baseline: record + promote scenario baselines for THIS host (run after intentional perf changes)
+bench-baseline:
+	$(GO) run ./cmd/aimbench -scenario smoke -record -promote
+	$(GO) run ./cmd/aimbench -scenario steady -record -promote
 
 ## obs-guard: check the metrics layer keeps scan-round overhead within 3%
 obs-guard:
@@ -52,6 +61,7 @@ ci:
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/
 	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard ./internal/bench/
 	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard ./internal/bench/
+	$(MAKE) bench-check
 	$(MAKE) fuzz-smoke
 	$(MAKE) crash
 	$(MAKE) replica-crash

@@ -43,6 +43,7 @@ func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, 
 		MaxBatch:   p.MaxBatch,
 		Rules:      w.Rules,
 		Metrics:    reg,
+		Archive:    p.Archive,
 	}
 	cl, nodes, err := cluster.NewLocal(servers, cfg)
 	if err != nil {

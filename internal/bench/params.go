@@ -19,6 +19,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/archive"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/schema"
@@ -55,6 +56,11 @@ type Params struct {
 	// of the started system registers its instruments on (per-node series
 	// get {node="i"} labels). Nil keeps the system uninstrumented.
 	Metrics *obs.Registry
+	// Archive, when set, write-ahead-logs every ingested event on the
+	// storage node so follower replicas can tail it. Only meaningful for
+	// single-server systems (all nodes would share one log otherwise); the
+	// scenario runner uses it for replica-toggle scenarios.
+	Archive *archive.Archive
 }
 
 // Defaults returns laptop-scale parameters, honouring the AIM_* overrides.

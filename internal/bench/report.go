@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// Reporter routes experiment output through the scenario result schema, so
+// `aimbench -exp … -record` leaves the same timestamped, fingerprinted,
+// schema-versioned files under benchmarks/results/ as scenario runs do —
+// experiments just carry a rendered table and the registry dump instead of
+// multi-trial gating metrics.
+type Reporter struct {
+	// Dir is the results root (scenario.DefaultResultsDir normally).
+	Dir string
+	env scenario.Env
+}
+
+// NewReporter captures the environment once for all emissions of a run.
+func NewReporter(dir string) *Reporter {
+	if dir == "" {
+		dir = scenario.DefaultResultsDir
+	}
+	return &Reporter{Dir: dir, env: scenario.CaptureEnv()}
+}
+
+// EmitExperiment writes one experiment's table (plus the shared registry
+// dump, when the run was instrumented) as an "experiment"-kind result file
+// named exp-<name>, returning the path.
+func (r *Reporter) EmitExperiment(name string, tbl *Table, reg *obs.Registry) (string, error) {
+	res := scenario.NewResult("experiment", "exp-"+name, r.env)
+	res.Table = &scenario.TableDump{
+		Title:  tbl.Title,
+		Header: tbl.Header,
+		Rows:   tbl.Rows,
+		Notes:  tbl.Notes,
+	}
+	if reg != nil {
+		res.Obs = obs.StatsJSON(reg)
+	}
+	return scenario.WriteResult(r.Dir, res)
+}

@@ -1,0 +1,421 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/core"
+	"repro/internal/esp"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/repl"
+	"repro/internal/rta"
+	"repro/internal/scenario"
+	"repro/internal/workload"
+)
+
+// SlowdownPerEvent is a test hook: when positive, every event handed to the
+// ingest sink first sleeps this many nanoseconds, simulating a hot-path
+// slowdown. The scenario gate test uses it to prove the compare mode fails
+// on a real regression; it must stay zero in production runs.
+var SlowdownPerEvent atomic.Int64
+
+// RunScenario executes one declarative load scenario against a freshly
+// started system per trial: preload, warmup, then the phase envelope as the
+// measurement window. Per-trial metrics come from registry snapshots diffed
+// across the window (warmup and preload excluded), aggregated into
+// median+MAD stats in a schema-versioned scenario.Result.
+func RunScenario(sp *scenario.Spec) (*scenario.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	p := paramsFromSpec(sp)
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	res := scenario.NewResult("scenario", sp.Name, scenario.CaptureEnv())
+	res.Spec = sp
+	res.Trials = sp.Trials
+
+	trials := make(map[string][]float64)
+	var lastReg *obs.Registry
+	for t := 0; t < sp.Trials; t++ {
+		tp := p
+		tp.Seed = p.Seed + int64(t)*7919 // distinct event streams per trial
+		vals, reg, err := runScenarioTrial(sp, tp, w)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s trial %d: %w", sp.Name, t, err)
+		}
+		for name, v := range vals {
+			trials[name] = append(trials[name], v)
+		}
+		lastReg = reg
+	}
+	for name, vals := range trials {
+		unit, dir := metricMeta(name)
+		res.AddMetric(name, unit, dir, vals)
+	}
+	if lastReg != nil {
+		res.Obs = obs.StatsJSON(lastReg)
+	}
+	return res, nil
+}
+
+// paramsFromSpec maps the declarative spec onto the harness Params.
+func paramsFromSpec(sp *scenario.Spec) Params {
+	p := Defaults()
+	p.Entities = sp.Entities
+	p.EventRate = sp.EventRate
+	p.Clients = sp.Clients
+	p.Rules = sp.Rules
+	p.FullSchema = sp.FullSchema
+	if sp.Partitions > 0 {
+		p.Partitions = sp.Partitions
+	}
+	if sp.ESPThreads > 0 {
+		p.ESPThreads = sp.ESPThreads
+	}
+	if sp.BucketSize > 0 {
+		p.BucketSize = sp.BucketSize
+	}
+	if sp.MaxBatch > 0 {
+		p.MaxBatch = sp.MaxBatch
+	}
+	if sp.Seed != 0 {
+		p.Seed = sp.Seed
+	}
+	return p
+}
+
+// trialSystem is one trial's deployment plus its replica attachments.
+type trialSystem struct {
+	sys       *System
+	reg       *obs.Registry
+	followers []*repl.Follower
+	fnodes    []*core.StorageNode
+	arch      *archive.Archive
+	dir       string
+}
+
+func (ts *trialSystem) stop() {
+	for _, f := range ts.followers {
+		f.Stop()
+	}
+	for _, n := range ts.fnodes {
+		n.Stop()
+	}
+	if ts.sys != nil {
+		ts.sys.Stop()
+	}
+	if ts.arch != nil {
+		ts.arch.Close()
+	}
+	if ts.dir != "" {
+		os.RemoveAll(ts.dir)
+	}
+}
+
+func startTrialSystem(sp *scenario.Spec, p Params, w *Workload) (*trialSystem, error) {
+	ts := &trialSystem{reg: obs.NewRegistry()}
+	obs.RegisterBuildInfo(ts.reg)
+	p.Metrics = ts.reg
+	if sp.Replicas > 0 {
+		dir, err := os.MkdirTemp("", "aim-scenario-*")
+		if err != nil {
+			return nil, err
+		}
+		ts.dir = dir
+		ts.arch, err = archive.Open(dir, archive.Options{})
+		if err != nil {
+			ts.stop()
+			return nil, err
+		}
+		p.Archive = ts.arch
+	}
+	sys, err := StartSystem(p, w, 1, sp.Entities)
+	if err != nil {
+		ts.stop()
+		return nil, err
+	}
+	ts.sys = sys
+	for i := 0; i < sp.Replicas; i++ {
+		fnode, err := core.NewNode(core.Config{
+			Schema:     w.Schema,
+			Dims:       w.Dims.Store,
+			Partitions: p.Partitions,
+			ESPThreads: p.ESPThreads,
+			BucketSize: p.BucketSize,
+			Factory:    w.Dims.Factory(w.Schema),
+			MaxBatch:   p.MaxBatch,
+			Rules:      w.Rules,
+		})
+		if err != nil {
+			ts.stop()
+			return nil, err
+		}
+		ts.fnodes = append(ts.fnodes, fnode)
+		f := repl.NewFollower(fnode, 0, repl.FollowerConfig{
+			Metrics: ts.reg, Label: fmt.Sprintf("f%d", i),
+		})
+		if err := f.Start(repl.NewArchiveSource(ts.arch, 0, repl.ArchiveSourceConfig{})); err != nil {
+			ts.stop()
+			return nil, err
+		}
+		ts.followers = append(ts.followers, f)
+	}
+	return ts, nil
+}
+
+// runScenarioTrial boots a fresh system, warms it up, runs the phase
+// envelope, and extracts the trial's metric values from the windowed
+// registry delta.
+func runScenarioTrial(sp *scenario.Spec, p Params, w *Workload) (map[string]float64, *obs.Registry, error) {
+	ts, err := startTrialSystem(sp, p, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ts.stop()
+
+	// Warmup at the steady shape, then drain so nothing smears into the
+	// measured window.
+	warm := scenario.Phase{Name: "warmup", Duration: sp.Warmup, RateFactor: 1, ClientFactor: 1}
+	if err := runPhase(ts, sp, p, warm, 0); err != nil {
+		return nil, nil, err
+	}
+	if err := ts.sys.Router.Flush(); err != nil {
+		return nil, nil, err
+	}
+
+	before := ts.reg.Snapshot()
+	t0 := time.Now()
+	for i, ph := range sp.Phases {
+		if err := runPhase(ts, sp, p, ph, i+1); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The drain is part of the window: a system that falls behind pays for
+	// it in achieved rate, which is exactly the regression signal.
+	if err := ts.sys.Router.Flush(); err != nil {
+		return nil, nil, err
+	}
+	waitFollowersCaughtUp(ts, 2*time.Second)
+	window := time.Since(t0)
+	after := ts.reg.Snapshot()
+
+	delta := obs.DeltaSnapshot(before, after)
+	return extractTrialMetrics(sp, delta, window), ts.reg, nil
+}
+
+func waitFollowersCaughtUp(ts *trialSystem, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for _, f := range ts.followers {
+		for f.Lag() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// runPhase drives one phase: the ingest driver mix and the closed-loop RTA
+// clients run concurrently for the phase duration. phaseIdx seeds the
+// generators so every phase (and warmup, idx 0) draws a distinct stream.
+func runPhase(ts *trialSystem, sp *scenario.Spec, p Params, ph scenario.Phase, phaseIdx int) error {
+	rate := sp.EventRate * ph.RateFactor
+	clients := scaleClients(sp.Clients, ph.ClientFactor)
+
+	mix := sp.IngestBatchMix
+	if len(mix) == 0 {
+		mix = []int{0} // one driver at the default pacing
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mix))
+	if rate > 0 {
+		for di, batch := range mix {
+			wg.Add(1)
+			go func(di, batch int) {
+				defer wg.Done()
+				seed := p.Seed + int64(phaseIdx)*100 + int64(di) + 999
+				driver := &esp.Driver{
+					Gen:   event.NewGenerator(sp.Entities, seed),
+					Rate:  rate / float64(len(mix)),
+					Sink:  ingestSink(ts.sys, sp, seed),
+					Batch: batch,
+				}
+				if _, err := driver.Run(ph.Duration.D(), 0); err != nil {
+					errs <- err
+				}
+			}(di, batch)
+		}
+	}
+
+	var rtaErr error
+	if clients > 0 {
+		if ph.ReconnectEvery > 0 {
+			rtaErr = runReconnectStorm(ts, sp, p, ph, clients, phaseIdx)
+		} else {
+			sources, err := querySources(ts.sys, p, clients, phaseIdx)
+			if err != nil {
+				rtaErr = err
+			} else {
+				rta.RunClosedLoop(ts.sys.Coord, sources, ph.Duration.D())
+			}
+		}
+	} else if rate == 0 {
+		time.Sleep(ph.Duration.D())
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("phase %s: driver: %w", ph.Name, err)
+	}
+	if rtaErr != nil {
+		return fmt.Errorf("phase %s: rta: %w", ph.Name, rtaErr)
+	}
+	return nil
+}
+
+// runReconnectStorm tears the whole closed-loop client set down and rebuilds
+// it every ReconnectEvery for the phase duration — client churn against the
+// coordinator. Reconnect counts land on the registry so they show up in the
+// result's obs dump.
+func runReconnectStorm(ts *trialSystem, sp *scenario.Spec, p Params, ph scenario.Phase, clients, phaseIdx int) error {
+	reconnects := ts.reg.Counter("aim_scenario_client_reconnects_total",
+		"RTA client set teardown/rebuild cycles driven by reconnect-storm phases.")
+	deadline := time.Now().Add(ph.Duration.D())
+	gen := 0
+	for time.Now().Before(deadline) {
+		seg := time.Until(deadline)
+		if every := ph.ReconnectEvery.D(); seg > every {
+			seg = every
+		}
+		sources, err := querySources(ts.sys, p, clients, phaseIdx*1000+gen)
+		if err != nil {
+			return err
+		}
+		rta.RunClosedLoop(ts.sys.Coord, sources, seg)
+		reconnects.Add(uint64(clients))
+		gen++
+	}
+	return nil
+}
+
+func querySources(s *System, p Params, clients, salt int) ([]rta.QuerySource, error) {
+	sources := make([]rta.QuerySource, clients)
+	for i := range sources {
+		g, err := workload.NewQueryGen(s.wl.Schema, p.Seed+int64(salt)*31+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = g
+	}
+	return sources, nil
+}
+
+func scaleClients(base int, factor float64) int {
+	if base <= 0 {
+		return 0
+	}
+	c := int(math.Ceil(float64(base) * factor))
+	if c < 1 && factor > 0 {
+		c = 1
+	}
+	return c
+}
+
+// ingestSink wraps the router with the spec's caller-skew rewrite and the
+// slowdown test hook. Each driver gets its own closure (the skew RNG is not
+// safe for concurrent use).
+func ingestSink(s *System, sp *scenario.Spec, seed int64) func(event.Event) error {
+	skew := callerSkew(sp, seed)
+	return func(ev event.Event) error {
+		if d := SlowdownPerEvent.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if skew != nil {
+			ev.Caller = skew()
+		}
+		return s.Router.Ingest(ev)
+	}
+}
+
+// callerSkew returns the spec's caller redraw: Zipf over the population, or
+// hot-set routing, or nil for the generator's uniform draw.
+func callerSkew(sp *scenario.Spec, seed int64) func() uint64 {
+	switch {
+	case sp.ZipfS > 1:
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		z := rand.NewZipf(rng, sp.ZipfS, 1, sp.Entities-1)
+		return func() uint64 { return z.Uint64() + 1 }
+	case sp.HotKeyFraction > 0:
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		hot, frac, n := sp.HotKeySetSize, sp.HotKeyFraction, sp.Entities
+		return func() uint64 {
+			if rng.Float64() < frac {
+				return 1 + uint64(rng.Int63n(int64(hot)))
+			}
+			return 1 + uint64(rng.Int63n(int64(n)))
+		}
+	}
+	return nil
+}
+
+// extractTrialMetrics reduces the windowed registry delta to the comparable
+// metric surface. Every value is computed from the same delta, so warmup and
+// preload activity is excluded by construction.
+func extractTrialMetrics(sp *scenario.Spec, delta []obs.MetricSnapshot, window time.Duration) map[string]float64 {
+	ws := window.Seconds()
+	out := map[string]float64{
+		"ingest_events_per_sec": obs.SumCounters(delta, "aim_core_events_total") / ws,
+	}
+	if sp.Clients > 0 {
+		out["rta_qps"] = obs.SumCounters(delta, "aim_rta_queries_total") / ws
+		out["rta_errors"] = obs.SumCounters(delta, "aim_rta_query_failures_total")
+		if h := obs.MergeHistograms(delta, "aim_rta_query_seconds"); h.Count > 0 {
+			out["rta_p50_ms"] = histMS(h, 0.50)
+			out["rta_p95_ms"] = histMS(h, 0.95)
+		}
+	}
+	if h := obs.MergeHistograms(delta, "aim_core_freshness_seconds"); h.Count > 0 {
+		out["fresh_p95_ms"] = histMS(h, 0.95)
+	}
+	if h := obs.MergeHistograms(delta, "aim_core_event_apply_seconds"); h.Count > 0 {
+		out["apply_p95_us"] = float64(h.QuantileDuration(0.95).Nanoseconds()) / 1e3
+	}
+	if h := obs.MergeHistograms(delta, "aim_query_scan_round_seconds"); h.Count > 0 {
+		out["scan_round_p95_ms"] = histMS(h, 0.95)
+	}
+	if sp.Replicas > 0 {
+		out["repl_events_per_sec"] = obs.SumCounters(delta, "aim_repl_events_total") / ws
+		if h := obs.MergeHistograms(delta, "aim_repl_staleness_seconds"); h.Count > 0 {
+			out["repl_staleness_p95_ms"] = histMS(h, 0.95)
+		}
+	}
+	return out
+}
+
+func histMS(h obs.HistSnapshot, q float64) float64 {
+	return float64(h.QuantileDuration(q).Nanoseconds()) / 1e6
+}
+
+// metricMeta maps a metric name to its display unit and better-direction.
+func metricMeta(name string) (unit, dir string) {
+	switch name {
+	case "ingest_events_per_sec", "repl_events_per_sec":
+		return "ev/s", scenario.HigherIsBetter
+	case "rta_qps":
+		return "q/s", scenario.HigherIsBetter
+	case "rta_errors":
+		return "count", scenario.LowerIsBetter
+	case "apply_p95_us":
+		return "us", scenario.LowerIsBetter
+	default: // *_ms latency/staleness quantiles
+		return "ms", scenario.LowerIsBetter
+	}
+}

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// gateSpec is a deliberately tiny scenario so the gate test stays fast: the
+// point is the machinery (record → baseline → compare → breach), not the
+// numbers.
+func gateSpec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:       "gate-test",
+		Entities:   512,
+		Rules:      8,
+		BucketSize: 256,
+		EventRate:  3000,
+		Clients:    1,
+		Seed:       7,
+		Warmup:     scenario.Duration(100 * time.Millisecond),
+		Trials:     2,
+		Phases: []scenario.Phase{
+			{Name: "steady", Duration: scenario.Duration(300 * time.Millisecond)},
+		},
+	}
+}
+
+// TestScenarioCompareGateCatchesSlowdown is the acceptance drill for the
+// benchmark observatory: record a baseline, inject an artificial hot-path
+// slowdown through the test hook, re-run, and assert the compare gate fails
+// with the ingest-rate metric flagged.
+func TestScenarioCompareGateCatchesSlowdown(t *testing.T) {
+	base, err := RunScenario(gateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SchemaVersion != scenario.SchemaVersion || base.Kind != "scenario" {
+		t.Fatalf("result envelope wrong: %+v", base)
+	}
+	m := base.Metrics["ingest_events_per_sec"]
+	if m == nil || len(m.Trials) != 2 || m.Median <= 0 {
+		t.Fatalf("ingest metric not recorded: %+v", m)
+	}
+	if base.Metrics["rta_qps"] == nil || base.Metrics["rta_p95_ms"] == nil {
+		t.Fatalf("rta metrics missing: %v", metricNames(base))
+	}
+	if len(base.Obs) == 0 {
+		t.Fatal("obs registry dump missing from result")
+	}
+	if _, ok := base.Obs["aim_process_uptime_seconds"]; !ok {
+		t.Fatal("build-info/uptime metrics not embedded in result obs dump")
+	}
+	if base.Env.Fingerprint == "" || base.Env.GoVersion == "" || base.Env.GitSHA == "" {
+		t.Fatalf("env fingerprint incomplete: %+v", base.Env)
+	}
+
+	// Promote the baseline to disk and reload it — the gate must work on
+	// the persisted artifact, not the in-memory struct.
+	dir := t.TempDir()
+	bp, err := scenario.Promote(filepath.Join(dir, "baselines"), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := scenario.LoadResult(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the slowdown: 1ms per event caps the driver near 1000 ev/s
+	// against a 3000 ev/s target — far outside any reasonable noise band.
+	SlowdownPerEvent.Store(int64(time.Millisecond))
+	defer SlowdownPerEvent.Store(0)
+	slow, err := RunScenario(gateSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Metrics["ingest_events_per_sec"].Median > 0.6*baseline.Metrics["ingest_events_per_sec"].Median {
+		t.Fatalf("slowdown hook ineffective: baseline %.0f ev/s, slow %.0f ev/s",
+			baseline.Metrics["ingest_events_per_sec"].Median, slow.Metrics["ingest_events_per_sec"].Median)
+	}
+
+	rep, err := scenario.Compare(baseline, slow, scenario.CompareOptions{NoiseFloor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions == 0 {
+		var sb strings.Builder
+		rep.Fprint(&sb)
+		t.Fatalf("compare gate did not fail under injected slowdown:\n%s", sb.String())
+	}
+	flagged := false
+	for _, d := range rep.Deltas {
+		if d.Name == "ingest_events_per_sec" && d.Regression {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("ingest_events_per_sec not among the flagged regressions: %+v", rep.Deltas)
+	}
+	// And the regression table must actually say so.
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report missing REGRESSION verdict:\n%s", sb.String())
+	}
+}
+
+// TestScenarioReplicaToggle runs a miniature replica scenario and checks the
+// follower lag/staleness series land in both the gating metrics and the obs
+// dump.
+func TestScenarioReplicaToggle(t *testing.T) {
+	sp := &scenario.Spec{
+		Name:       "replica-mini",
+		Entities:   256,
+		Rules:      4,
+		BucketSize: 128,
+		EventRate:  2000,
+		Clients:    1,
+		Replicas:   1,
+		Seed:       11,
+		Warmup:     scenario.Duration(80 * time.Millisecond),
+		Trials:     1,
+		Phases: []scenario.Phase{
+			{Name: "steady", Duration: scenario.Duration(250 * time.Millisecond)},
+		},
+	}
+	res, err := RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := res.Metrics["repl_events_per_sec"]
+	if re == nil || re.Median <= 0 {
+		t.Fatalf("follower applied no events: %+v", metricNames(res))
+	}
+	found := false
+	for name := range res.Obs {
+		if strings.HasPrefix(name, `aim_repl_staleness_seconds{follower="f0"}`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("follower staleness series missing from obs dump")
+	}
+}
+
+// TestScenarioPhaseEnvelopeAndSkew exercises the burst envelope, hot-key
+// skew and reconnect churn paths in one short run — the shape knobs must not
+// crash and the churn counter must land in the dump.
+func TestScenarioPhaseEnvelopeAndSkew(t *testing.T) {
+	sp := &scenario.Spec{
+		Name:           "shapes-mini",
+		Entities:       256,
+		Rules:          4,
+		BucketSize:     128,
+		EventRate:      2000,
+		Clients:        2,
+		HotKeyFraction: 0.7,
+		HotKeySetSize:  8,
+		IngestBatchMix: []int{1, 32},
+		Seed:           13,
+		Warmup:         scenario.Duration(60 * time.Millisecond),
+		Trials:         1,
+		Phases: []scenario.Phase{
+			{Name: "steady", Duration: scenario.Duration(120 * time.Millisecond)},
+			{Name: "burst", Duration: scenario.Duration(100 * time.Millisecond), RateFactor: 3},
+			{Name: "storm", Duration: scenario.Duration(150 * time.Millisecond),
+				ReconnectEvery: scenario.Duration(50 * time.Millisecond)},
+		},
+	}
+	res, err := RunScenario(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics["ingest_events_per_sec"].Median <= 0 {
+		t.Fatal("no events ingested")
+	}
+	rc, ok := res.Obs["aim_scenario_client_reconnects_total"].(float64)
+	if !ok || rc < 2 {
+		t.Fatalf("reconnect churn counter = %v, want >= 2", res.Obs["aim_scenario_client_reconnects_total"])
+	}
+}
+
+// TestReporterEmitsExperimentResults covers the -exp -record bridge: a
+// table run lands as a schema-versioned experiment result file.
+func TestReporterEmitsExperimentResults(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewReporter(dir)
+	tbl := &Table{Title: "t", Header: []string{"a"}}
+	tbl.AddRow(1)
+	reg := obs.NewRegistry()
+	reg.Counter("x_total", "").Add(3)
+	path, err := rep.EmitExperiment("fused", tbl, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "experiment" || got.Scenario != "exp-fused" {
+		t.Fatalf("envelope: %+v", got)
+	}
+	if got.Table == nil || got.Table.Rows[0][0] != "1" {
+		t.Fatalf("table lost: %+v", got.Table)
+	}
+	if got.Obs["x_total"].(float64) != 3 {
+		t.Fatalf("obs dump lost: %v", got.Obs)
+	}
+}
+
+func metricNames(r *scenario.Result) []string {
+	names := make([]string, 0, len(r.Metrics))
+	for n := range r.Metrics {
+		names = append(names, n)
+	}
+	return names
+}

@@ -26,6 +26,8 @@ func Serve(addr string, reg *Registry, tracer *RingTracer) (*DebugServer, error)
 	if err != nil {
 		return nil, err
 	}
+	// Every debug endpoint carries the build identity and process uptime.
+	RegisterBuildInfo(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,159 @@
+package scenario
+
+import "time"
+
+// ms is a literal-friendly Duration constructor for the builtin table.
+func msec(n int) Duration { return Duration(time.Duration(n) * time.Millisecond) }
+
+// Builtins returns the named scenario library, freshly validated copies so
+// callers can tweak trial counts without aliasing. The set mirrors the
+// paper's §6 evaluation matrix plus the failure-shape scenarios the cluster
+// layer grew in PRs 2–7.
+func Builtins() []*Spec {
+	specs := []*Spec{
+		{
+			Name:        "smoke",
+			Description: "CI gate: small steady mixed load, short window, wide-band comparable",
+			Entities:    4_000,
+			Rules:       50,
+			BucketSize:  1024,
+			EventRate:   4_000,
+			Clients:     2,
+			Warmup:      msec(200),
+			Trials:      2,
+			Phases:      []Phase{{Name: "steady", Duration: msec(500)}},
+		},
+		{
+			Name:        "steady",
+			Description: "baseline mixed load: uniform callers, flat rate, Q1-Q7 client mix",
+			Entities:    20_000,
+			Rules:       100,
+			EventRate:   10_000,
+			Clients:     4,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases:      []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+		{
+			Name:           "hotkey",
+			Description:    "skewed ingest: 60% of events hit a 1% hot entity set (caller-coalescing stressor)",
+			Entities:       20_000,
+			Rules:          100,
+			EventRate:      10_000,
+			Clients:        4,
+			HotKeyFraction: 0.6,
+			HotKeySetSize:  200,
+			Warmup:         msec(400),
+			Trials:         3,
+			Phases:         []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+		{
+			Name:        "zipf",
+			Description: "Zipf(1.2) caller skew over the full population",
+			Entities:    20_000,
+			Rules:       100,
+			EventRate:   10_000,
+			Clients:     4,
+			ZipfS:       1.2,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases:      []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+		{
+			Name:        "diurnal",
+			Description: "diurnal envelope: valley / peak / valley rate factors in one window",
+			Entities:    20_000,
+			Rules:       100,
+			EventRate:   10_000,
+			Clients:     4,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases: []Phase{
+				{Name: "valley", Duration: msec(400), RateFactor: 0.3},
+				{Name: "peak", Duration: msec(600), RateFactor: 1.0},
+				{Name: "valley2", Duration: msec(400), RateFactor: 0.3},
+			},
+		},
+		{
+			Name:        "burst",
+			Description: "burst envelope: steady load with a 4x ingest spike mid-window",
+			Entities:    20_000,
+			Rules:       100,
+			EventRate:   8_000,
+			Clients:     4,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases: []Phase{
+				{Name: "steady", Duration: msec(500)},
+				{Name: "burst", Duration: msec(300), RateFactor: 4},
+				{Name: "recover", Duration: msec(500)},
+			},
+		},
+		{
+			Name:        "rulestorm",
+			Description: "rule storm: full 300-rule set evaluated on every event",
+			Entities:    20_000,
+			Rules:       300,
+			EventRate:   8_000,
+			Clients:     4,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases:      []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+		{
+			Name:        "reconnect-storm",
+			Description: "RTA client churn: every client reconnects every 150ms through the middle phase",
+			Entities:    20_000,
+			Rules:       100,
+			EventRate:   8_000,
+			Clients:     6,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases: []Phase{
+				{Name: "steady", Duration: msec(400)},
+				{Name: "storm", Duration: msec(600), ReconnectEvery: msec(150)},
+				{Name: "recover", Duration: msec(400)},
+			},
+		},
+		{
+			Name:           "batchmix",
+			Description:    "ingest arrival-granularity mix: concurrent drivers pacing at 1/16/256-event groups",
+			Entities:       20_000,
+			Rules:          100,
+			EventRate:      10_000,
+			Clients:        4,
+			IngestBatchMix: []int{1, 16, 256},
+			Warmup:         msec(400),
+			Trials:         3,
+			Phases:         []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+		{
+			Name:        "replica",
+			Description: "WAL-shipped follower attached to the primary; lag/staleness recorded under mixed load",
+			Entities:    10_000,
+			Rules:       50,
+			EventRate:   8_000,
+			Clients:     4,
+			Replicas:    1,
+			Warmup:      msec(400),
+			Trials:      3,
+			Phases:      []Phase{{Name: "steady", Duration: msec(1200)}},
+		},
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			panic("scenario: bad builtin " + s.Name + ": " + err.Error())
+		}
+	}
+	return specs
+}
+
+// Lookup returns the builtin spec with the given name, or nil.
+func Lookup(name string) *Spec {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CompareOptions tunes the regression gate.
+type CompareOptions struct {
+	// NoiseFloor is the minimum relative noise band (fraction of the
+	// baseline median) every metric is granted regardless of how tight its
+	// recorded trial spread was. Default 0.25 — a 1-core VM under other
+	// tenants never measures tighter than that. CI compares against a
+	// checked-in baseline use a much wider floor (see make bench-check).
+	NoiseFloor float64
+	// BandMADs scales the trial-spread term: the band is
+	// max(NoiseFloor, BandMADs * MAD / |median|). Default 5 (MAD
+	// understates a normal sigma by ~1.48x, and three trials understate the
+	// tails further; 5 MADs is roughly a 3-sigma band).
+	BandMADs float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.NoiseFloor <= 0 {
+		o.NoiseFloor = 0.25
+	}
+	if o.BandMADs <= 0 {
+		o.BandMADs = 5
+	}
+	return o
+}
+
+// Delta is one metric's baseline-vs-current comparison.
+type Delta struct {
+	Name      string  `json:"name"`
+	Unit      string  `json:"unit"`
+	Direction string  `json:"direction"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	// Change is the signed relative move (current-baseline)/|baseline|;
+	// NaN when the baseline median is zero (the absolute rule applied).
+	Change float64 `json:"change"`
+	// Band is the relative noise band granted to this metric.
+	Band       float64 `json:"band"`
+	Regression bool    `json:"regression"`
+	Improved   bool    `json:"improved"`
+	// MissingFrom marks metrics present on only one side ("baseline" or
+	// "current"); such metrics never gate but are reported.
+	MissingFrom string `json:"missing_from,omitempty"`
+}
+
+// Report is the outcome of one Compare.
+type Report struct {
+	Scenario            string
+	BaselineFingerprint string
+	CurrentFingerprint  string
+	BaselineRecordedAt  string
+	Options             CompareOptions
+	Deltas              []Delta
+	Regressions         int
+	Improvements        int
+}
+
+// Compare diffs current against baseline metric by metric. A metric
+// regresses when its median moved in the worse direction by more than its
+// noise band — max(NoiseFloor, BandMADs·MAD/median), MAD taken from the
+// baseline's recorded trial spread, so noisy metrics earn wide bands and
+// stable ones stay tight. Metrics with a zero baseline median (e.g. error
+// counts) use the absolute rule: any worse-direction move beyond
+// BandMADs·MAD flags.
+func Compare(baseline, current *Result, opts CompareOptions) (*Report, error) {
+	if err := baseline.CheckVersion(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if err := current.CheckVersion(); err != nil {
+		return nil, fmt.Errorf("current: %w", err)
+	}
+	if baseline.Scenario != current.Scenario {
+		return nil, fmt.Errorf("scenario: comparing %q against baseline for %q", current.Scenario, baseline.Scenario)
+	}
+	o := opts.withDefaults()
+	rep := &Report{
+		Scenario:            current.Scenario,
+		BaselineFingerprint: baseline.Env.Fingerprint,
+		CurrentFingerprint:  current.Env.Fingerprint,
+		BaselineRecordedAt:  baseline.RecordedAt,
+		Options:             o,
+	}
+
+	names := make([]string, 0, len(baseline.Metrics)+len(current.Metrics))
+	seen := make(map[string]bool)
+	for n := range baseline.Metrics {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range current.Metrics {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		b, inB := baseline.Metrics[name]
+		c, inC := current.Metrics[name]
+		switch {
+		case !inB:
+			rep.Deltas = append(rep.Deltas, Delta{Name: name, Unit: c.Unit, Direction: c.Direction,
+				Current: c.Median, Change: math.NaN(), MissingFrom: "baseline"})
+			continue
+		case !inC:
+			rep.Deltas = append(rep.Deltas, Delta{Name: name, Unit: b.Unit, Direction: b.Direction,
+				Baseline: b.Median, Change: math.NaN(), MissingFrom: "current"})
+			continue
+		}
+		d := Delta{Name: name, Unit: b.Unit, Direction: b.Direction,
+			Baseline: b.Median, Current: c.Median}
+		worse := (d.Direction == HigherIsBetter && d.Current < d.Baseline) ||
+			(d.Direction == LowerIsBetter && d.Current > d.Baseline)
+		better := d.Current != d.Baseline && !worse
+		if math.Abs(d.Baseline) > 1e-12 {
+			d.Change = (d.Current - d.Baseline) / math.Abs(d.Baseline)
+			d.Band = math.Max(o.NoiseFloor, o.BandMADs*b.MAD/math.Abs(d.Baseline))
+			if worse && math.Abs(d.Change) > d.Band {
+				d.Regression = true
+			}
+			if better && math.Abs(d.Change) > d.Band {
+				d.Improved = true
+			}
+		} else {
+			// Zero baseline: relative change is undefined; apply the
+			// absolute spread rule.
+			d.Change = math.NaN()
+			if worse && math.Abs(d.Current-d.Baseline) > o.BandMADs*b.MAD {
+				d.Regression = true
+			}
+			d.Improved = better
+		}
+		if d.Regression {
+			rep.Regressions++
+		}
+		if d.Improved {
+			rep.Improvements++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep, nil
+}
+
+// Fprint renders the regression table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== compare: %s (baseline %s, recorded %s) ==\n",
+		r.Scenario, r.BaselineFingerprint, r.BaselineRecordedAt)
+	if r.BaselineFingerprint != r.CurrentFingerprint {
+		fmt.Fprintf(w, "WARNING: host fingerprint mismatch (current %s) — cross-machine compare, trust only wide bands\n",
+			r.CurrentFingerprint)
+	}
+	rows := [][]string{{"metric", "unit", "baseline", "current", "change", "band", "verdict"}}
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		switch {
+		case d.MissingFrom != "":
+			verdict = "missing in " + d.MissingFrom
+		case d.Regression:
+			verdict = "REGRESSION"
+		case d.Improved:
+			verdict = "improved"
+		}
+		rows = append(rows, []string{
+			d.Name, d.Unit,
+			fmt.Sprintf("%.3f", d.Baseline),
+			fmt.Sprintf("%.3f", d.Current),
+			pct(d.Change), pct(d.Band), verdict,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for i, row := range rows {
+		parts := make([]string, len(row))
+		for j, c := range row {
+			parts[j] = fmt.Sprintf("%-*s", widths[j], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		if i == 0 {
+			sep := make([]string, len(row))
+			for j := range sep {
+				sep[j] = strings.Repeat("-", widths[j])
+			}
+			fmt.Fprintln(w, strings.Join(sep, "  "))
+		}
+	}
+	fmt.Fprintf(w, "%d regression(s), %d improvement(s), noise floor %.0f%%, %.1f MADs\n",
+		r.Regressions, r.Improvements, r.Options.NoiseFloor*100, r.Options.BandMADs)
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

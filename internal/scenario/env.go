@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// CaptureEnv fingerprints the current machine and build. The fingerprint is
+// the directory key under benchmarks/results/ and benchmarks/baselines/ —
+// results recorded under different fingerprints are different machines and
+// must not gate each other (except through an explicit override like the
+// checked-in "ci" baseline, which pairs with a wide noise band).
+func CaptureEnv() Env {
+	cpu := cpuModel()
+	e := Env{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUModel:   cpu,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  obs.GoVersion(),
+		GitSHA:     obs.GitSHA(),
+	}
+	e.Fingerprint = fmt.Sprintf("%s-%s-%s-c%d-p%d",
+		e.GOOS, e.GOARCH, slug(cpu), e.NumCPU, e.GOMAXPROCS)
+	return e
+}
+
+// cpuModel best-effort reads the CPU model name (linux /proc/cpuinfo;
+// "unknown-cpu" elsewhere — the goos/goarch/core-count parts of the
+// fingerprint still separate machines).
+func cpuModel() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return "unknown-cpu"
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return "unknown-cpu"
+}
+
+// slug flattens free text into a filesystem- and URL-safe token:
+// "Intel(R) Xeon(R) Processor @ 2.10GHz" -> "intel-r-xeon-r-processor-2-10ghz".
+func slug(s string) string {
+	var b strings.Builder
+	dash := true // swallow leading separators
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash {
+				b.WriteByte('-')
+				dash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

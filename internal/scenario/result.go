@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// SchemaVersion stamps every result file; bump it when the shape changes so
+// compare can refuse cross-version diffs instead of misreading them.
+const SchemaVersion = 1
+
+// Metric directions: which way "better" points. Compare only flags moves in
+// the worse direction.
+const (
+	HigherIsBetter = "higher"
+	LowerIsBetter  = "lower"
+)
+
+// Metric is one measured series across a result's trials.
+type Metric struct {
+	// Unit is display-only ("ev/s", "ms", "count").
+	Unit string `json:"unit"`
+	// Direction is HigherIsBetter or LowerIsBetter.
+	Direction string `json:"direction"`
+	// Trials holds the raw per-trial values, in trial order.
+	Trials []float64 `json:"trials"`
+	// Median and MAD (median absolute deviation) summarize the trials; MAD
+	// is the robust spread the noise band derives from.
+	Median float64 `json:"median"`
+	MAD    float64 `json:"mad"`
+}
+
+// NewMetric builds a Metric from per-trial values, computing median + MAD.
+func NewMetric(unit, direction string, trials []float64) *Metric {
+	m := &Metric{Unit: unit, Direction: direction, Trials: append([]float64(nil), trials...)}
+	m.Median = Median(trials)
+	m.MAD = MAD(trials)
+	return m
+}
+
+// Median returns the middle value (mean of the middle pair for even counts).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MAD returns the median absolute deviation from the median — the robust
+// trial-spread statistic the noise band is derived from (a single outlier
+// trial cannot inflate it the way a standard deviation would).
+func MAD(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// Env fingerprints the machine and build a result was recorded on. Results
+// are only comparable within one fingerprint (same CPU, same parallelism);
+// the CLI warns when fingerprints differ.
+type Env struct {
+	Fingerprint string `json:"fingerprint"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUModel    string `json:"cpu_model"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GoVersion   string `json:"go_version"`
+	GitSHA      string `json:"git_sha"`
+}
+
+// Result is one recorded run — the schema-versioned JSON under
+// benchmarks/results/. Kind distinguishes full scenario runs (multi-trial
+// metrics) from single-shot experiment emissions (table + obs dump only).
+type Result struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"` // "scenario" | "experiment"
+	Scenario      string `json:"scenario"`
+	RecordedAt    string `json:"recorded_at"`
+	Env           Env    `json:"env"`
+	Spec          *Spec  `json:"spec,omitempty"`
+	Trials        int    `json:"trials,omitempty"`
+	// Metrics is the comparable surface: per-metric multi-trial stats.
+	Metrics map[string]*Metric `json:"metrics,omitempty"`
+	// Obs is the final trial's full observability-registry dump
+	// (obs.StatsJSON shape): every counter/gauge/histogram the run touched.
+	Obs map[string]any `json:"obs,omitempty"`
+	// Table carries an experiment's rendered rows (Kind == "experiment").
+	Table *TableDump `json:"table,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
+}
+
+// TableDump is the JSON shape of a bench.Table.
+type TableDump struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// NewResult stamps a scenario result skeleton with schema version, time and
+// environment.
+func NewResult(kind, name string, env Env) *Result {
+	return &Result{
+		SchemaVersion: SchemaVersion,
+		Kind:          kind,
+		Scenario:      name,
+		RecordedAt:    time.Now().UTC().Format(time.RFC3339),
+		Env:           env,
+		Metrics:       make(map[string]*Metric),
+	}
+}
+
+// AddMetric computes stats for trials and stores them under name.
+func (r *Result) AddMetric(name, unit, direction string, trials []float64) {
+	r.Metrics[name] = NewMetric(unit, direction, trials)
+}
+
+// CheckVersion rejects results this code cannot interpret.
+func (r *Result) CheckVersion() error {
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("scenario: result schema v%d, this build speaks v%d", r.SchemaVersion, SchemaVersion)
+	}
+	return nil
+}

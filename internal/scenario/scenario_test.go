@@ -1,0 +1,278 @@
+package scenario
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMedianMAD(t *testing.T) {
+	cases := []struct {
+		xs          []float64
+		median, mad float64
+	}{
+		{[]float64{3}, 3, 0},
+		{[]float64{1, 2, 3}, 2, 1},
+		{[]float64{1, 2, 3, 100}, 2.5, 1},  // outlier barely moves MAD
+		{[]float64{10, 10, 10}, 10, 0},
+		{[]float64{4, 2}, 3, 1},
+		{nil, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.median {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.median)
+		}
+		if got := MAD(c.xs); got != c.mad {
+			t.Errorf("MAD(%v) = %v, want %v", c.xs, got, c.mad)
+		}
+	}
+}
+
+func TestBuiltinsValidateAndLookup(t *testing.T) {
+	specs := Builtins()
+	if len(specs) < 8 {
+		t.Fatalf("builtin library shrank to %d scenarios", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate builtin %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.MeasuredWindow() <= 0 {
+			t.Fatalf("builtin %q has no measured window", s.Name)
+		}
+	}
+	for _, want := range []string{"smoke", "steady", "hotkey", "diurnal", "burst", "rulestorm", "reconnect-storm", "batchmix", "replica"} {
+		if Lookup(want) == nil {
+			t.Fatalf("builtin %q missing", want)
+		}
+	}
+	if Lookup("no-such") != nil {
+		t.Fatal("Lookup invented a scenario")
+	}
+}
+
+func TestSpecJSONRoundTripAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "custom.json")
+	body := `{
+	  "name": "custom",
+	  "entities": 5000,
+	  "event_rate": 2000,
+	  "clients": 3,
+	  "warmup": "150ms",
+	  "trials": 2,
+	  "hot_key_fraction": 0.5,
+	  "phases": [
+	    {"name": "a", "duration": "200ms", "rate_factor": 0.5},
+	    {"name": "b", "duration": 100000000}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Phases[0].Duration.D() != 200*time.Millisecond || s.Phases[1].Duration.D() != 100*time.Millisecond {
+		t.Fatalf("durations parsed wrong: %+v", s.Phases)
+	}
+	if s.Phases[1].RateFactor != 1 || s.Phases[0].RateFactor != 0.5 {
+		t.Fatalf("rate factor defaulting wrong: %+v", s.Phases)
+	}
+	if s.HotKeySetSize != 50 { // 1% of entities
+		t.Fatalf("hot key set default = %d, want 50", s.HotKeySetSize)
+	}
+	if s.MeasuredWindow() != 300*time.Millisecond {
+		t.Fatalf("window = %v", s.MeasuredWindow())
+	}
+
+	bad := Spec{Name: "bad", Entities: 10, EventRate: 1, Phases: []Phase{{Name: "p"}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "duration") {
+		t.Fatalf("zero-duration phase accepted: %v", err)
+	}
+}
+
+func TestEnvFingerprintStableAndSafe(t *testing.T) {
+	a, b := CaptureEnv(), CaptureEnv()
+	if a.Fingerprint == "" || a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint unstable: %q vs %q", a.Fingerprint, b.Fingerprint)
+	}
+	if strings.ContainsAny(a.Fingerprint, " /()@") {
+		t.Fatalf("fingerprint not filesystem-safe: %q", a.Fingerprint)
+	}
+	if slug("Intel(R) Xeon(R) @ 2.10GHz") != "intel-r-xeon-r-2-10ghz" {
+		t.Fatalf("slug: %q", slug("Intel(R) Xeon(R) @ 2.10GHz"))
+	}
+}
+
+func mkResult(name string, metrics map[string][3]any) *Result {
+	r := NewResult("scenario", name, Env{Fingerprint: "test-fp"})
+	for n, spec := range metrics {
+		r.AddMetric(n, spec[0].(string), spec[1].(string), spec[2].([]float64))
+	}
+	return r
+}
+
+func TestCompareGating(t *testing.T) {
+	base := mkResult("s", map[string][3]any{
+		"qps":     {"q/s", HigherIsBetter, []float64{100, 102, 98}},
+		"lat_ms":  {"ms", LowerIsBetter, []float64{10, 11, 9}},
+		"errors":  {"count", LowerIsBetter, []float64{0, 0, 0}},
+		"dropped": {"count", LowerIsBetter, []float64{5, 5, 5}},
+	})
+
+	// Identical run: no regressions.
+	rep, err := Compare(base, base, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("self-compare found %d regressions", rep.Regressions)
+	}
+
+	// Throughput collapse breaches; latency within band does not.
+	cur := mkResult("s", map[string][3]any{
+		"qps":     {"q/s", HigherIsBetter, []float64{50, 51, 49}},   // -50%
+		"lat_ms":  {"ms", LowerIsBetter, []float64{11, 12, 11}},     // +10%, inside 25% floor
+		"errors":  {"count", LowerIsBetter, []float64{3, 3, 3}},     // zero baseline, absolute rule
+		"dropped": {"count", LowerIsBetter, []float64{2, 2, 2}},     // improvement
+	})
+	rep, err = Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Delta{}
+	for _, d := range rep.Deltas {
+		byName[d.Name] = d
+	}
+	if !byName["qps"].Regression {
+		t.Fatal("qps collapse not flagged")
+	}
+	if byName["lat_ms"].Regression {
+		t.Fatal("in-band latency move flagged")
+	}
+	if !byName["errors"].Regression {
+		t.Fatal("errors appearing over a zero baseline not flagged")
+	}
+	if !byName["dropped"].Improved || byName["dropped"].Regression {
+		t.Fatalf("dropped should improve: %+v", byName["dropped"])
+	}
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2", rep.Regressions)
+	}
+
+	// A noisy baseline earns a wider band than the floor: MAD 10 on median
+	// 100 with 5 MADs = 50% band, so a -40% move stays in band.
+	noisy := mkResult("s", map[string][3]any{
+		"qps": {"q/s", HigherIsBetter, []float64{90, 100, 110}},
+	})
+	cur2 := mkResult("s", map[string][3]any{
+		"qps": {"q/s", HigherIsBetter, []float64{60, 60, 60}},
+	})
+	rep, err = Compare(noisy, cur2, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("in-MAD-band move flagged (band should be 50%%): %+v", rep.Deltas)
+	}
+
+	// Mismatched scenarios refuse to compare.
+	if _, err := Compare(base, mkResult("other", nil), CompareOptions{}); err == nil {
+		t.Fatal("cross-scenario compare accepted")
+	}
+	// Version skew refuses.
+	v2 := mkResult("s", nil)
+	v2.SchemaVersion = SchemaVersion + 1
+	if _, err := Compare(base, v2, CompareOptions{}); err == nil {
+		t.Fatal("version-skewed compare accepted")
+	}
+}
+
+func TestCompareReportsMissingMetrics(t *testing.T) {
+	base := mkResult("s", map[string][3]any{"a": {"x", HigherIsBetter, []float64{1}}})
+	cur := mkResult("s", map[string][3]any{"b": {"x", HigherIsBetter, []float64{1}}})
+	rep, err := Compare(base, cur, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatal("missing metrics must not gate")
+	}
+	miss := map[string]string{}
+	for _, d := range rep.Deltas {
+		miss[d.Name] = d.MissingFrom
+	}
+	if miss["a"] != "current" || miss["b"] != "baseline" {
+		t.Fatalf("missing-from wrong: %v", miss)
+	}
+	var sb strings.Builder
+	rep.Fprint(&sb)
+	if !strings.Contains(sb.String(), "missing in") {
+		t.Fatalf("report does not show missing metrics:\n%s", sb.String())
+	}
+}
+
+func TestStoreRoundTripAndPromote(t *testing.T) {
+	dir := t.TempDir()
+	r := mkResult("smoke", map[string][3]any{"qps": {"q/s", HigherIsBetter, []float64{10, 12}}})
+	path, err := WriteResult(filepath.Join(dir, "results"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(path, filepath.Join("results", "test-fp")) || !strings.Contains(filepath.Base(path), "smoke-") {
+		t.Fatalf("result path layout wrong: %s", path)
+	}
+	got, err := LoadResult(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics["qps"].Median != 11 || got.Metrics["qps"].MAD != 1 {
+		t.Fatalf("round trip lost stats: %+v", got.Metrics["qps"])
+	}
+	if got.Kind != "scenario" || got.RecordedAt == "" {
+		t.Fatalf("round trip lost envelope: %+v", got)
+	}
+
+	bp, err := Promote(filepath.Join(dir, "baselines"), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp != BaselinePath(filepath.Join(dir, "baselines"), "test-fp", "smoke") {
+		t.Fatalf("baseline path: %s", bp)
+	}
+	if _, err := LoadResult(bp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unknown schema versions refuse to load.
+	raw, _ := os.ReadFile(bp)
+	mut := strings.Replace(string(raw), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if mut == string(raw) {
+		t.Fatal("fixture: version field not found")
+	}
+	if err := os.WriteFile(bp, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(bp); err == nil {
+		t.Fatal("future schema version loaded")
+	}
+}
+
+func TestNewMetricDoesNotAliasTrials(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	m := NewMetric("x", HigherIsBetter, xs)
+	xs[0] = 100
+	if m.Trials[0] != 1 {
+		t.Fatal("NewMetric aliased caller slice")
+	}
+	if math.IsNaN(m.Median) {
+		t.Fatal("median NaN")
+	}
+}

@@ -1,0 +1,196 @@
+// Package scenario is the declarative layer of the benchmark observatory:
+// workload scenarios described as data (entity population and skew, event
+// rate with burst/diurnal envelopes, rule storms, reconnect churn, ingest
+// batch mixes, RTA query concurrency, replica toggles), schema-versioned
+// result files with an environment fingerprint and multi-trial median+MAD
+// statistics, and a compare mode that diffs a fresh run against the recorded
+// baseline for the host and fails on regression beyond a per-metric noise
+// band.
+//
+// The package is deliberately free of the execution machinery — it only
+// knows shapes, files and math. internal/bench executes specs against the
+// core/cluster/repl stack and cmd/aimbench is the CLI
+// (record/compare/promote); this split keeps the result schema importable
+// from tests and tools without dragging the whole system in.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("250ms") so specs and result files stay hand-editable.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts both "250ms" strings and raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("scenario: duration must be a string or nanoseconds: %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// D unwraps to time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// Phase is one measured segment of a scenario. Phases run back to back
+// inside every trial; the rate/client factors shape the load envelope
+// (diurnal valleys, bursts) without restarting the system.
+type Phase struct {
+	Name string `json:"name"`
+	// Duration is this phase's share of the measurement window.
+	Duration Duration `json:"duration"`
+	// RateFactor scales Spec.EventRate for this phase (0 = 1.0). A diurnal
+	// envelope is a list of phases with factors like 0.3, 1.0, 0.3; a burst
+	// is a short phase with a factor like 5.
+	RateFactor float64 `json:"rate_factor,omitempty"`
+	// ClientFactor scales Spec.Clients for this phase (0 = 1.0), rounding
+	// up so a nonzero client count never drops to zero.
+	ClientFactor float64 `json:"client_factor,omitempty"`
+	// ReconnectEvery, when positive, tears every RTA client down and builds
+	// it back up at this period — the reconnect-storm knob.
+	ReconnectEvery Duration `json:"reconnect_every,omitempty"`
+}
+
+// Spec declares one load scenario. The zero value is not runnable; use a
+// builtin (Lookup), load a JSON file (LoadFile), or fill the fields and call
+// Validate.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Population / system shape.
+	Entities   uint64 `json:"entities"`
+	Rules      int    `json:"rules"`
+	FullSchema bool   `json:"full_schema,omitempty"`
+	Partitions int    `json:"partitions,omitempty"`
+	ESPThreads int    `json:"esp_threads,omitempty"`
+	BucketSize int    `json:"bucket_size,omitempty"`
+	MaxBatch   int    `json:"max_batch,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+
+	// Load shape.
+	EventRate float64 `json:"event_rate"`
+	Clients   int     `json:"clients"`
+	// HotKeyFraction routes this fraction of events into a hot set of
+	// HotKeySetSize entities (0 disables). ZipfS > 1 instead draws callers
+	// from a Zipf distribution with that exponent; the two are exclusive,
+	// Zipf wins.
+	HotKeyFraction float64 `json:"hot_key_fraction,omitempty"`
+	HotKeySetSize  uint64  `json:"hot_key_set_size,omitempty"`
+	ZipfS          float64 `json:"zipf_s,omitempty"`
+	// IngestBatchMix splits the event rate over one concurrent driver per
+	// entry, each pacing in groups of that size — a mix of arrival
+	// granularities. Empty means one driver at the default pacing.
+	IngestBatchMix []int `json:"ingest_batch_mix,omitempty"`
+	// Replicas attaches this many WAL-tailing follower replicas to the
+	// (single) primary; their lag/staleness series land in the result.
+	Replicas int `json:"replicas,omitempty"`
+
+	// Measurement protocol.
+	Warmup Duration `json:"warmup"`
+	Trials int      `json:"trials"`
+	Phases []Phase  `json:"phases"`
+}
+
+// Validate fills defaults and rejects nonsense. It mutates the receiver.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec needs a name")
+	}
+	if s.Entities == 0 {
+		return fmt.Errorf("scenario %s: entities must be positive", s.Name)
+	}
+	if s.EventRate < 0 || s.Clients < 0 || s.Replicas < 0 {
+		return fmt.Errorf("scenario %s: negative load knob", s.Name)
+	}
+	if s.Trials <= 0 {
+		s.Trials = 3
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = Duration(300 * time.Millisecond)
+	}
+	if len(s.Phases) == 0 {
+		s.Phases = []Phase{{Name: "steady", Duration: Duration(time.Second)}}
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Duration <= 0 {
+			return fmt.Errorf("scenario %s: phase %d (%s) needs a positive duration", s.Name, i, p.Name)
+		}
+		if p.RateFactor < 0 || p.ClientFactor < 0 {
+			return fmt.Errorf("scenario %s: phase %d (%s): negative factor", s.Name, i, p.Name)
+		}
+		if p.RateFactor == 0 {
+			p.RateFactor = 1
+		}
+		if p.ClientFactor == 0 {
+			p.ClientFactor = 1
+		}
+	}
+	if s.HotKeyFraction < 0 || s.HotKeyFraction > 1 {
+		return fmt.Errorf("scenario %s: hot_key_fraction must be in [0,1]", s.Name)
+	}
+	if s.HotKeyFraction > 0 && s.HotKeySetSize == 0 {
+		s.HotKeySetSize = s.Entities / 100
+		if s.HotKeySetSize == 0 {
+			s.HotKeySetSize = 1
+		}
+	}
+	if s.ZipfS != 0 && s.ZipfS <= 1 {
+		return fmt.Errorf("scenario %s: zipf_s must be > 1", s.Name)
+	}
+	for _, b := range s.IngestBatchMix {
+		if b <= 0 {
+			return fmt.Errorf("scenario %s: ingest_batch_mix entries must be positive", s.Name)
+		}
+	}
+	if s.Replicas > 0 && s.FullSchema {
+		return fmt.Errorf("scenario %s: replicas currently require the compact schema", s.Name)
+	}
+	return nil
+}
+
+// MeasuredWindow is the per-trial measurement duration (the phase sum).
+func (s *Spec) MeasuredWindow() time.Duration {
+	var total time.Duration
+	for _, p := range s.Phases {
+		total += p.Duration.D()
+	}
+	return total
+}
+
+// LoadFile reads and validates a JSON spec.
+func LoadFile(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

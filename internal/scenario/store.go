@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Default on-disk layout (repo-relative):
+//
+//	benchmarks/results/<fingerprint>/<scenario>-<timestamp>.json   every -record
+//	benchmarks/baselines/<fingerprint>/<scenario>.json             the promoted baseline
+//	benchmarks/results/legacy/                                     pre-observatory BENCH_*.json
+const (
+	DefaultResultsDir   = "benchmarks/results"
+	DefaultBaselinesDir = "benchmarks/baselines"
+)
+
+// WriteResult persists r under dir/<fingerprint>/<scenario>-<timestamp>.json
+// and returns the path.
+func WriteResult(dir string, r *Result) (string, error) {
+	ts := time.Now().UTC().Format("20060102T150405Z")
+	path := filepath.Join(dir, r.Env.Fingerprint, fmt.Sprintf("%s-%s.json", r.Scenario, ts))
+	if err := writeJSON(path, r); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// BaselinePath is where the promoted baseline for (fingerprint, scenario)
+// lives.
+func BaselinePath(dir, fingerprint, scenarioName string) string {
+	return filepath.Join(dir, fingerprint, scenarioName+".json")
+}
+
+// Promote records r as the baseline for its fingerprint, overwriting any
+// previous one, and returns the path.
+func Promote(dir string, r *Result) (string, error) {
+	path := BaselinePath(dir, r.Env.Fingerprint, r.Scenario)
+	if err := writeJSON(path, r); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadResult reads and version-checks one result file.
+func LoadResult(path string) (*Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("scenario: parse %s: %w", path, err)
+	}
+	if err := r.CheckVersion(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func writeJSON(path string, v any) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encode: %w", err)
+	}
+	b = append(b, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
