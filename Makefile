@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-check bench-baseline obs-guard ingest-guard kernel-guard crash replica-crash fuzz-smoke ci
+.PHONY: build test race bench bench-check bench-baseline obs-guard ingest-guard kernel-guard overload-guard crash replica-crash fuzz-smoke ci
 
 ## build: compile every package and the aimbench binary
 build:
@@ -39,6 +39,10 @@ ingest-guard:
 kernel-guard:
 	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard -v ./internal/bench/
 
+## overload-guard: overload drill — drive an admission-controlled node at 2x capacity and saturation; fails on silent event loss, delta past the hard watermark, missing typed sheds, or no recovery
+overload-guard:
+	AIM_OVERLOAD_GUARD=1 $(GO) test -run TestOverloadGuard -v ./internal/bench/
+
 ## crash: crash-injection campaign — kill aimserver at 100 random points, verify every recovery
 crash:
 	AIM_CRASH_KILLS=100 $(GO) test -run TestCrashRecoveryRandomKillPoints -v -timeout 30m ./internal/crashharness/
@@ -61,6 +65,7 @@ ci:
 	AIM_OBS_GUARD=1 $(GO) test -run TestMetricsOverheadGuard ./internal/query/
 	AIM_INGEST_GUARD=1 $(GO) test -run TestIngestBatchGuard ./internal/bench/
 	AIM_KERNEL_GUARD=1 $(GO) test -run TestKernelGuard ./internal/bench/
+	AIM_OVERLOAD_GUARD=1 $(GO) test -run TestOverloadGuard ./internal/bench/
 	$(MAKE) bench-check
 	$(MAKE) fuzz-smoke
 	$(MAKE) crash

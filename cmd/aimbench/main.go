@@ -53,6 +53,7 @@ var experiments = []experiment{
 	{"cow", "§6: differential updates vs copy-on-write", bench.COWvsDelta},
 	{"ingest", "batched ingest: wire batch-size sweep over TCP", bench.IngestBatchSweep},
 	{"kernels", "scan & apply kernel micro: compares, masked agg, split-phase apply", bench.KernelMicro},
+	{"overload", "overload sweep: admission control and shedding vs offered load", bench.OverloadSweep},
 	{"chaos", "fault-tolerance drill: flaky/dead node, strict vs degraded RTA", bench.FaultTolerance},
 	{"recover", "durability: recovery time vs archive tail length & checkpoint cadence", bench.RecoveryTime},
 	{"replica", "replication: WAL-shipped follower, kill-the-primary failover blackout", bench.ReplicaFailover},

@@ -50,6 +50,9 @@ func main() {
 		retries     = flag.Int("retries", netproto.DefaultMaxRetries, "retry budget for idempotent RPCs")
 		degraded    = flag.Bool("degraded", false, "tolerate node failures: accept incomplete RTA results")
 
+		queryDeadline = flag.Duration("query-deadline", 0, "per-query deadline stamped on every RTA query; past-deadline queries are shed server-side (0 = none, implies -degraded semantics for shed partials)")
+		spillPolicy   = flag.String("spill-policy", "reject", "full-spill-queue policy: reject (typed overload error), drop-oldest, or block")
+
 		ingestBatch  = flag.Int("ingest-batch", 256, "coalesce outgoing events client-side into wire batches of up to N events (0 or 1 = one frame per event)")
 		ingestLinger = flag.Duration("ingest-linger", time.Millisecond, "max time a partial client-side event batch may wait before it is flushed")
 
@@ -107,7 +110,11 @@ func main() {
 		conns = append(conns, cli)
 		handles = append(handles, cli)
 	}
-	cl, err := cluster.New(handles)
+	pol, err := cluster.ParseSpillPolicy(*spillPolicy)
+	if err != nil {
+		log.Fatalf("aimload: %v", err)
+	}
+	cl, err := cluster.NewWithHealth(handles, cluster.HealthConfig{SpillPolicy: pol})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -155,8 +162,8 @@ func main() {
 
 	var rtaStats rta.ClientStats
 	if *clients > 0 {
-		rcfg := rta.Config{Metrics: rta.NewMetrics(reg)}
-		if *degraded {
+		rcfg := rta.Config{Metrics: rta.NewMetrics(reg), QueryTimeout: *queryDeadline}
+		if *degraded || *queryDeadline > 0 {
 			rcfg.Policy = rta.PolicyDegraded
 		}
 		coord, err := rta.NewCoordinatorConfig(cl.Nodes(), rcfg)

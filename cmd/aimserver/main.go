@@ -136,6 +136,13 @@ func main() {
 		ckptGC    = flag.Bool("checkpoint-gc", true, "delete superseded checkpoints and truncate the archive below each base")
 		recovery  = flag.String("recover", "auto", "recovery mode with -data-dir: auto, strict, or salvage")
 
+		overload        = flag.Bool("overload", false, "enable overload protection: typed reject-with-retry-after ingest admission, delta watermarks, bounded scan admission")
+		queueLen        = flag.Int("esp-queue", 0, "per-ESP-worker request queue capacity (0 = default 4096)")
+		queueSoft       = flag.Int("queue-soft", 0, "with -overload: reject fire-and-forget ingest past this ESP queue depth (0 = 7/8 of -esp-queue)")
+		deltaSoft       = flag.Int("delta-soft", 0, "with -overload: per-partition delta records past which merges are prioritized (0 = 32768)")
+		deltaHard       = flag.Int("delta-hard", 0, "with -overload: per-partition delta records past which ingest rejects (0 = 2x -delta-soft)")
+		retryAfter      = flag.Duration("retry-after", 0, "with -overload: backoff hint attached to overload rejections (0 = 2ms)")
+		maxPendingQ     = flag.Int("max-pending-queries", 0, "with -overload: reject query submissions past this many pending (0 = submit queue capacity)")
 		faultResetEvery = flag.Int("fault-reset-every", 0, "fault injection: reset every connection after N writes (0 = off)")
 		faultReadDelay  = flag.Duration("fault-read-delay", 0, "fault injection: delay before every read")
 		faultWriteDelay = flag.Duration("fault-write-delay", 0, "fault injection: delay before every write")
@@ -179,10 +186,21 @@ func main() {
 		BucketSize:   *bucket,
 		Factory:      dims.Factory(sch),
 		MaxBatch:     *maxBatch,
+		ESPQueueLen:  *queueLen,
 		Rules:        ruleSet,
 		UseRuleIndex: *ruleIndex,
 		Metrics:      reg,
 		Tracer:       tracer,
+	}
+	if *overload {
+		cfg.Overload = core.OverloadConfig{
+			Enabled:           true,
+			ESPQueueSoftLimit: *queueSoft,
+			DeltaSoftRecords:  *deltaSoft,
+			DeltaHardRecords:  *deltaHard,
+			RetryAfter:        *retryAfter,
+			MaxPendingQueries: *maxPendingQ,
+		}
 	}
 	var node *core.StorageNode
 	var arch *archive.Archive

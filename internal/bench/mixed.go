@@ -34,16 +34,18 @@ func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, 
 		reg = obs.NewRegistry()
 	}
 	cfg := core.Config{
-		Schema:     w.Schema,
-		Dims:       w.Dims.Store,
-		Partitions: p.Partitions,
-		ESPThreads: p.ESPThreads,
-		BucketSize: p.BucketSize,
-		Factory:    w.Dims.Factory(w.Schema),
-		MaxBatch:   p.MaxBatch,
-		Rules:      w.Rules,
-		Metrics:    reg,
-		Archive:    p.Archive,
+		Schema:      w.Schema,
+		Dims:        w.Dims.Store,
+		Partitions:  p.Partitions,
+		ESPThreads:  p.ESPThreads,
+		BucketSize:  p.BucketSize,
+		Factory:     w.Dims.Factory(w.Schema),
+		MaxBatch:    p.MaxBatch,
+		ESPQueueLen: p.ESPQueueLen,
+		Overload:    p.Overload,
+		Rules:       w.Rules,
+		Metrics:     reg,
+		Archive:     p.Archive,
 	}
 	cl, nodes, err := cluster.NewLocal(servers, cfg)
 	if err != nil {
@@ -52,18 +54,32 @@ func StartSystem(p Params, w *Workload, servers int, entities uint64) (*System, 
 	cl.Instrument(reg)
 	s := &System{Cluster: cl, Nodes: nodes, Registry: reg, wl: w}
 	s.Router = esp.NewRouter(cl)
-	s.Coord, err = rta.NewCoordinatorConfig(cl.Nodes(), rta.Config{Metrics: rta.NewMetrics(reg)})
+	rcfg := rta.Config{Metrics: rta.NewMetrics(reg), QueryTimeout: p.QueryTimeout}
+	if p.DegradedRTA {
+		rcfg.Policy = rta.PolicyDegraded
+	}
+	s.Coord, err = rta.NewCoordinatorConfig(cl.Nodes(), rcfg)
 	if err != nil {
 		s.Stop()
 		return nil, err
 	}
 	// Preload: materialize every entity with one event so scans touch the
-	// full population.
+	// full population. With admission control on, a preload burst can
+	// outrun the spill queue; honor the retry-after hints instead of
+	// failing the boot.
 	gen := event.NewGenerator(entities, p.Seed)
 	var ev event.Event
 	for e := uint64(1); e <= entities; e++ {
 		gen.NextFor(&ev, e)
-		if err := s.Router.Ingest(ev); err != nil {
+		for {
+			err := s.Router.Ingest(ev)
+			if err == nil {
+				break
+			}
+			if retry, ok := core.RetryAfterHint(err); ok {
+				time.Sleep(retry)
+				continue
+			}
 			s.Stop()
 			return nil, err
 		}

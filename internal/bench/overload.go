@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/esp"
+	"repro/internal/event"
+	"repro/internal/obs"
+	"repro/internal/rta"
+	"repro/internal/workload"
+)
+
+// OverloadSweep measures the admission-control stack end to end: a fresh
+// overload-protected system per row is driven at a multiple of the base
+// event rate while closed-loop RTA clients run with a per-query deadline.
+// The table shows where typed shedding engages (ingest rejections, scan
+// sheds), that the delta high-watermark bounds memory, and that ingest
+// availability degrades gracefully instead of collapsing — the paper's
+// "event processing is the SLA" ordering: analytics sheds first, ingest
+// sheds last, nothing is lost silently.
+func OverloadSweep(p Params) (*Table, error) {
+	w, err := BuildWorkload(p)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Overload sweep: admission control and shedding vs offered load",
+		Header: []string{"load_x", "offered_ev/s", "applied_ev/s", "rejected_%",
+			"avail", "peak_delta", "rta_qps", "scan_sheds", "lost"},
+	}
+	base := p.EventRate
+	if base <= 0 {
+		base = 10_000
+	}
+	for _, factor := range []float64{0.5, 1, 2, 4, 8} {
+		pp := p
+		pp.Metrics = nil // fresh registry per row so counters are per-run
+		pp.Overload = core.OverloadConfig{
+			Enabled:          true,
+			DeltaSoftRecords: 2_000,
+			DeltaHardRecords: 8_000,
+			// Leave one query slot per client short so scan admission
+			// visibly engages at the higher factors.
+			MaxPendingQueries: maxInt(1, p.Clients-1),
+		}
+		pp.ESPQueueLen = 512
+		pp.QueryTimeout = 8 * time.Millisecond
+		pp.DegradedRTA = true
+		sys, err := StartSystem(pp, w, 1, p.Entities)
+		if err != nil {
+			return nil, err
+		}
+		row, err := runOverloadPoint(sys, pp, p.Entities, base*factor, p.Clients)
+		sys.Stop()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(factor, row.offeredRate, row.appliedRate, row.rejectedPct,
+			row.availability, row.peakDelta, row.rtaQPS, row.scanSheds, row.lost)
+	}
+	t.Note("lost must be 0 at every factor: offered == applied + rejected exactly after the final flush")
+	t.Note("availability = accepted/offered; rejections are typed ErrOverloaded with a retry-after hint, not silent drops")
+	return t, nil
+}
+
+type overloadPoint struct {
+	offeredRate  float64
+	appliedRate  float64
+	rejectedPct  float64
+	availability float64
+	peakDelta    int64
+	rtaQPS       float64
+	scanSheds    float64
+	lost         float64
+}
+
+// runOverloadPoint drives one measured window at the given offered rate with
+// a rejection-tolerant sink, sampling the delta high-watermark throughout,
+// and settles the zero-silent-loss ledger after a final flush.
+func runOverloadPoint(s *System, p Params, entities uint64, rate float64, clients int) (overloadPoint, error) {
+	before := s.Registry.Snapshot()
+	var offered, rejected uint64
+	sink := func(ev event.Event) error {
+		atomic.AddUint64(&offered, 1)
+		err := s.Router.Ingest(ev)
+		if err != nil && errors.Is(err, core.ErrOverloaded) {
+			// Typed admission rejection: the caller keeps the event; for
+			// the sweep we count it instead of retrying so the row shows
+			// the raw shed fraction at this offered rate.
+			atomic.AddUint64(&rejected, 1)
+			return nil
+		}
+		return err
+	}
+	driver := &esp.Driver{
+		Gen:  event.NewGenerator(entities, p.Seed+999),
+		Rate: rate,
+		Sink: sink,
+	}
+
+	// Sample the watermark quantity while the load runs: the peak pending
+	// delta is the memory bound the hard watermark is supposed to enforce.
+	var peak int64
+	sampleDone := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sampleDone:
+				return
+			case <-tick.C:
+				for _, n := range s.Nodes {
+					if v := n.MaxPendingDelta(); v > peak {
+						peak = v
+					}
+				}
+			}
+		}
+	}()
+
+	sources := make([]rta.QuerySource, clients)
+	for i := range sources {
+		g, err := workload.NewQueryGen(s.wl.Schema, p.Seed+int64(i)+1)
+		if err != nil {
+			close(sampleDone)
+			sampleWG.Wait()
+			return overloadPoint{}, err
+		}
+		sources[i] = g
+	}
+
+	var wg sync.WaitGroup
+	var espErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, espErr = driver.Run(p.Duration, 0)
+	}()
+	var rtaStats rta.ClientStats
+	if clients > 0 {
+		rtaStats = rta.RunClosedLoop(s.Coord, sources, p.Duration)
+	}
+	wg.Wait()
+	close(sampleDone)
+	sampleWG.Wait()
+	if espErr != nil {
+		return overloadPoint{}, espErr
+	}
+	// Settle the ledger: everything accepted must reach the delta before
+	// counting applied events, or in-flight events would read as lost.
+	if err := s.Router.Flush(); err != nil {
+		return overloadPoint{}, err
+	}
+	delta := obs.DeltaSnapshot(before, s.Registry.Snapshot())
+	applied := obs.SumCounters(delta, "aim_core_events_total")
+	sheds := obs.SumCounters(delta, "aim_query_scan_rejections_total")
+
+	secs := p.Duration.Seconds()
+	off, rej := float64(offered), float64(rejected)
+	pt := overloadPoint{
+		offeredRate: off / secs,
+		appliedRate: applied / secs,
+		peakDelta:   peak,
+		rtaQPS:      rtaStats.Throughput,
+		scanSheds:   sheds,
+		lost:        off - rej - applied,
+	}
+	if off > 0 {
+		pt.rejectedPct = 100 * rej / off
+		pt.availability = (off - rej) / off
+	}
+	return pt, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/archive"
+	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/rules"
 	"repro/internal/schema"
@@ -44,6 +45,18 @@ type Params struct {
 	BucketSize int
 	// MaxBatch caps shared-scan batches.
 	MaxBatch int
+	// ESPQueueLen is the per-ESP-worker request queue capacity (0 = the
+	// core default).
+	ESPQueueLen int
+	// Overload configures storage-node admission control (zero = off,
+	// legacy blocking behavior).
+	Overload core.OverloadConfig
+	// QueryTimeout stamps RTA queries with a deadline so storage nodes can
+	// evict them from scan rounds under overload (0 = no deadlines).
+	QueryTimeout time.Duration
+	// DegradedRTA selects the coordinator's degraded gather policy, letting
+	// queries return partial coverage when nodes shed instead of failing.
+	DegradedRTA bool
 	// MaxServers bounds the scale-out experiments.
 	MaxServers int
 	// Rules is the Business Rule count.

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -90,6 +91,21 @@ func paramsFromSpec(sp *scenario.Spec) Params {
 	}
 	if sp.Seed != 0 {
 		p.Seed = sp.Seed
+	}
+	if sp.OverloadProtect {
+		p.Overload = core.OverloadConfig{
+			Enabled:           true,
+			DeltaSoftRecords:  sp.DeltaSoftRecords,
+			DeltaHardRecords:  sp.DeltaHardRecords,
+			MaxPendingQueries: sp.MaxPendingQueries,
+		}
+		if sp.ESPQueueLen > 0 {
+			p.ESPQueueLen = sp.ESPQueueLen
+		}
+	}
+	if d := sp.QueryDeadline.D(); d > 0 {
+		p.QueryTimeout = d
+		p.DegradedRTA = true
 	}
 	return p
 }
@@ -331,9 +347,17 @@ func scaleClients(base int, factor float64) int {
 
 // ingestSink wraps the router with the spec's caller-skew rewrite and the
 // slowdown test hook. Each driver gets its own closure (the skew RNG is not
-// safe for concurrent use).
+// safe for concurrent use). Typed admission-control rejections are absorbed
+// into the offered/rejected counters instead of aborting the driver: a
+// shedding system is the phenomenon overload scenarios measure, and the
+// counter pair is what lets the result prove no event was lost silently
+// (offered == rejected + applied once the final flush drains).
 func ingestSink(s *System, sp *scenario.Spec, seed int64) func(event.Event) error {
 	skew := callerSkew(sp, seed)
+	offered := s.Registry.Counter("aim_scenario_events_offered_total",
+		"Events the scenario drivers handed to the ingest sink.")
+	rejected := s.Registry.Counter("aim_scenario_ingest_rejections_total",
+		"Offered events refused by admission control (typed overload errors).")
 	return func(ev event.Event) error {
 		if d := SlowdownPerEvent.Load(); d > 0 {
 			time.Sleep(time.Duration(d))
@@ -341,7 +365,13 @@ func ingestSink(s *System, sp *scenario.Spec, seed int64) func(event.Event) erro
 		if skew != nil {
 			ev.Caller = skew()
 		}
-		return s.Router.Ingest(ev)
+		offered.Inc()
+		err := s.Router.Ingest(ev)
+		if err != nil && errors.Is(err, core.ErrOverloaded) {
+			rejected.Inc()
+			return nil
+		}
+		return err
 	}
 }
 
@@ -397,6 +427,21 @@ func extractTrialMetrics(sp *scenario.Spec, delta []obs.MetricSnapshot, window t
 			out["repl_staleness_p95_ms"] = histMS(h, 0.95)
 		}
 	}
+	if sp.OverloadProtect {
+		offered := obs.SumCounters(delta, "aim_scenario_events_offered_total")
+		shed := obs.SumCounters(delta, "aim_scenario_ingest_rejections_total")
+		applied := obs.SumCounters(delta, "aim_core_events_total")
+		out["ingest_offered_per_sec"] = offered / ws
+		out["ingest_rejections"] = shed
+		// The window ends with a flush, so every offered event has either
+		// been applied or rejected back to its driver. Anything else is a
+		// silent loss — the one number that must be exactly zero.
+		out["lost_events"] = offered - shed - applied
+		if offered > 0 {
+			out["ingest_availability"] = (offered - shed) / offered
+		}
+		out["scan_sheds"] = obs.SumCounters(delta, "aim_query_scan_rejections_total")
+	}
 	return out
 }
 
@@ -407,12 +452,14 @@ func histMS(h obs.HistSnapshot, q float64) float64 {
 // metricMeta maps a metric name to its display unit and better-direction.
 func metricMeta(name string) (unit, dir string) {
 	switch name {
-	case "ingest_events_per_sec", "repl_events_per_sec":
+	case "ingest_events_per_sec", "repl_events_per_sec", "ingest_offered_per_sec":
 		return "ev/s", scenario.HigherIsBetter
 	case "rta_qps":
 		return "q/s", scenario.HigherIsBetter
-	case "rta_errors":
+	case "rta_errors", "ingest_rejections", "lost_events", "scan_sheds":
 		return "count", scenario.LowerIsBetter
+	case "ingest_availability":
+		return "frac", scenario.HigherIsBetter
 	case "apply_p95_us":
 		return "us", scenario.LowerIsBetter
 	default: // *_ms latency/staleness quantiles

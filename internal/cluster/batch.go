@@ -121,7 +121,11 @@ func (c *Cluster) flushBatch(idx int) error {
 // spill queue: the undelivered suffix goes back to the head of the node's
 // coalescing buffer (buffered events already reported success to their
 // callers and must not be dropped) and the error is returned so synchronous
-// flush triggers can observe it.
+// flush triggers can observe it. A spill shortfall (full queue under
+// SpillReject, or spilling disabled) likewise requeues the leftover suffix
+// into the coalescing buffer when one exists and returns a typed error —
+// never a silent drop; without a buffer the error reports the accepted
+// prefix via core.PartialBatchError so the caller can resubmit the rest.
 func (c *Cluster) deliverBatch(idx int, evs []event.Event) error {
 	if len(evs) == 0 {
 		return nil
@@ -135,29 +139,56 @@ func (c *Cluster) deliverBatch(idx int, evs []event.Event) error {
 	}
 	h := c.health[idx]
 	if !h.allow(time.Now()) {
-		c.spillBatch(idx, evs)
-		return nil
+		return c.spillTail(idx, evs, 0)
 	}
 	delivered, err := core.ProcessBatch(c.node(idx), evs)
 	h.record(err, c.hcfg.FailureThreshold, c.hcfg.ProbeInterval)
 	if err != nil {
-		c.spillBatch(idx, evs[delivered:])
+		return c.spillTail(idx, evs, delivered)
 	}
 	return nil
 }
 
-// spillBatch queues undelivered events for background replay. Events that
-// do not fit the bounded queue are counted as dropped (there is no caller
-// left to hand a NodeDownError to — the buffer accepted them already).
-func (c *Cluster) spillBatch(idx int, evs []event.Event) {
-	h := c.health[idx]
-	started := false
-	for _, ev := range evs {
-		if h.spill(ev, c.hcfg.RetryQueue) && !started {
-			c.startDrainer()
-			started = true
-		}
+// spillTail spills evs[delivered:] and accounts for any shortfall: with a
+// coalescing buffer the unspilled leftover goes back to the buffer head
+// (order-preserving, zero loss) and the typed spill error is returned so
+// flush-time callers observe the rejection; without a buffer the error
+// wraps the total accepted prefix in a core.PartialBatchError.
+func (c *Cluster) spillTail(idx int, evs []event.Event, delivered int) error {
+	spilled, err := c.spillBatch(idx, evs[delivered:])
+	if err == nil {
+		return nil
 	}
+	rest := evs[delivered+spilled:]
+	if c.batches != nil {
+		c.batches[idx].requeueFront(rest)
+		return err
+	}
+	return &core.PartialBatchError{Applied: delivered + spilled, Err: err}
+}
+
+// spillBatch queues undelivered events for background replay, returning how
+// many were accepted. Under SpillDropOldest overflow evicts the oldest
+// queued events (counted in NodeHealth.Dropped) and everything is accepted;
+// under SpillBlock overflow waits for the drainer to make room. Under
+// SpillReject — or with the queue disabled — events that do not fit are NOT
+// accepted: the caller gets a typed error and owns the unaccepted suffix.
+func (c *Cluster) spillBatch(idx int, evs []event.Event) (int, error) {
+	h := c.health[idx]
+	for i, ev := range evs {
+		if h.spill(ev, c.hcfg.RetryQueue, c.hcfg.SpillPolicy) {
+			c.startDrainer()
+			continue
+		}
+		if c.hcfg.RetryQueue < 0 {
+			return i, &NodeDownError{Node: idx, Err: c.lastErr(idx)}
+		}
+		if c.hcfg.SpillPolicy == SpillBlock && c.spillWait(idx, ev) {
+			continue
+		}
+		return i, c.spillRejection(idx)
+	}
+	return len(evs), nil
 }
 
 // startLinger launches the background loop that flushes non-empty buffers

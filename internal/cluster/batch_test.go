@@ -355,3 +355,54 @@ func TestClusterBatchBreakerOpenSpills(t *testing.T) {
 		t.Fatalf("health after replay = %+v, want queued 0, replayed 6", h)
 	}
 }
+
+// TestBatchSpillOverflowDoesNotDropEvents is the regression test for the
+// silent-loss bug in the coalescing path: when a flush-time spill overflows
+// the bounded retry queue under the default reject policy, the leftover
+// suffix used to be counted as dropped and discarded. It must instead stay
+// in the coalescing buffer and eventually reach the node.
+func TestBatchSpillOverflowDoesNotDropEvents(t *testing.T) {
+	fs := &flakyStorage{}
+	c, err := NewWithOptions([]core.Storage{fs}, Options{
+		Health: HealthConfig{
+			FailureThreshold: 1, ProbeInterval: 2 * time.Millisecond,
+			RetryQueue: 2, RetryInterval: time.Hour,
+			SpillRetryAfter: time.Millisecond,
+		},
+		Batch: BatchConfig{MaxEvents: 4, Linger: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fs.down.Store(true)
+	const events = 10
+	for i := 0; i < events; i++ {
+		if err := c.ProcessEventAsync(event.Event{Caller: uint64(i + 1)}); err != nil {
+			t.Fatalf("event %d: buffered ingest must accept, got %v", i, err)
+		}
+	}
+	h := c.Health(0)
+	if h.Dropped != 0 {
+		t.Fatalf("reject policy silently dropped %d events: %+v", h.Dropped, h)
+	}
+	// Every offered event is still owned somewhere: delivered to the node,
+	// parked in the spill queue, or retained in the coalescing buffer.
+	c.batches[0].mu.Lock()
+	buffered := len(c.batches[0].buf)
+	c.batches[0].mu.Unlock()
+	if got := fs.deliveredCount() + h.QueuedEvents + buffered; got != events {
+		t.Fatalf("accounted for %d/%d events (delivered=%d queued=%d buffered=%d)",
+			got, events, fs.deliveredCount(), h.QueuedEvents, buffered)
+	}
+
+	// Recovery: one flush lands everything, in spite of the full queue.
+	fs.down.Store(false)
+	if err := c.FlushEvents(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if got := fs.deliveredCount(); got != events {
+		t.Fatalf("delivered %d/%d events after recovery", got, events)
+	}
+}

@@ -145,8 +145,10 @@ func (c *Cluster) ReplaceNode(idx int, n core.Storage) error {
 				// No spill queue to merge into; keep them buffered for the
 				// next flush against the new handle.
 				b.requeueFront(evs)
-			} else {
-				c.spillBatch(idx, evs)
+			} else if n, err := c.spillBatch(idx, evs); err != nil {
+				// Spill queue full (or disabled): keep the leftover suffix
+				// buffered rather than losing it.
+				b.requeueFront(evs[n:])
 			}
 		}
 		b.sendMu.Unlock()
@@ -267,16 +269,52 @@ func (c *Cluster) ProcessEventAsync(ev event.Event) error {
 
 func (c *Cluster) spillOrFail(idx int, ev event.Event, cause error) error {
 	h := c.health[idx]
-	if h.spill(ev, c.hcfg.RetryQueue) {
+	if h.spill(ev, c.hcfg.RetryQueue, c.hcfg.SpillPolicy) {
 		c.startDrainer()
 		return nil
 	}
-	if cause == nil {
-		h.mu.Lock()
-		cause = h.lastErr
-		h.mu.Unlock()
+	if c.hcfg.RetryQueue < 0 {
+		// Spilling disabled by configuration: fail fast with the node's
+		// identity, as always.
+		if cause == nil {
+			cause = c.lastErr(idx)
+		}
+		return &NodeDownError{Node: idx, Err: cause}
 	}
-	return &NodeDownError{Node: idx, Err: cause}
+	if c.hcfg.SpillPolicy == SpillBlock && c.spillWait(idx, ev) {
+		return nil
+	}
+	// Full queue under SpillReject (or shutdown during SpillBlock): the
+	// caller keeps the event and gets a typed, retryable rejection.
+	return c.spillRejection(idx)
+}
+
+// spillRejection builds the typed overload error for a full spill queue.
+func (c *Cluster) spillRejection(idx int) error {
+	return fmt.Errorf("cluster: node %d: %w", idx,
+		&core.OverloadedError{RetryAfter: c.hcfg.SpillRetryAfter, Reason: "spill-queue"})
+}
+
+// spillWait blocks until ev fits node idx's spill queue (SpillBlock policy),
+// reporting false if the cluster shuts down first.
+func (c *Cluster) spillWait(idx int, ev event.Event) bool {
+	h := c.health[idx]
+	tick := c.hcfg.RetryInterval / 4
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	for {
+		if h.spill(ev, c.hcfg.RetryQueue, c.hcfg.SpillPolicy) {
+			c.startDrainer()
+			return true
+		}
+		c.startDrainer() // ensure someone is draining the queue we wait on
+		select {
+		case <-c.quit:
+			return false
+		case <-time.After(tick):
+		}
+	}
 }
 
 // startDrainer lazily launches the background goroutine that replays
@@ -364,19 +402,54 @@ func (c *Cluster) ProcessEvent(ev event.Event) (int, error) {
 	return n, err
 }
 
+// flushOverloadBudget bounds how long FlushEvents keeps retrying typed
+// admission-control rejections before surfacing one. Flush is a barrier:
+// a node shedding load is expected to drain within moments, so waiting it
+// out (paced by the server's retry-after hints) makes recovery automatic
+// for callers that treat flush errors as fatal.
+const flushOverloadBudget = 5 * time.Second
+
+// retryOverloaded runs op, retrying typed overload rejections with the
+// rejection's retry-after hint until the deadline passes or the cluster
+// shuts down. Non-overload errors return immediately.
+func (c *Cluster) retryOverloaded(deadline time.Time, op func() error) error {
+	err := op()
+	for err != nil && errors.Is(err, core.ErrOverloaded) && time.Now().Before(deadline) {
+		retry, ok := core.RetryAfterHint(err)
+		if !ok || retry <= 0 {
+			retry = c.hcfg.RetryInterval
+		}
+		select {
+		case <-c.quit:
+			return err
+		case <-time.After(retry):
+		}
+		err = op()
+	}
+	return err
+}
+
 // FlushEvents first synchronously replays every spilled event, then
 // flushes every server's ESP queues. If a node still refuses events its
 // queue is left intact and a NodeDownError is returned, so callers can
 // retry the flush after the node recovers without losing the stream.
+// Typed overload rejections are retried internally with the server's
+// retry-after pacing (bounded by flushOverloadBudget), so a flush issued
+// during a load spike resolves by waiting the spike out.
 func (c *Cluster) FlushEvents() error {
 	var firstErr error
+	deadline := time.Now().Add(flushOverloadBudget)
 	for idx := range c.batches {
-		if err := c.flushBatch(idx); err != nil && firstErr == nil {
+		idx := idx
+		err := c.retryOverloaded(deadline, func() error { return c.flushBatch(idx) })
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	for idx := range c.nodes {
-		if err := c.flushSpilled(idx); err != nil && firstErr == nil {
+		idx := idx
+		err := c.retryOverloaded(deadline, func() error { return c.flushSpilled(idx) })
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -393,6 +466,9 @@ func (c *Cluster) FlushEvents() error {
 }
 
 // flushSpilled synchronously drains node idx's retry queue in batches.
+// Admission-control rejections surface typed (the node is alive, just
+// shedding) so FlushEvents can pace its retries off the retry-after hint;
+// anything else means the node is down.
 func (c *Cluster) flushSpilled(idx int) error {
 	h := c.health[idx]
 	for {
@@ -405,6 +481,9 @@ func (c *Cluster) flushSpilled(idx int) error {
 		h.addReplayed(delivered)
 		if err != nil {
 			h.requeueFront(evs[delivered:])
+			if errors.Is(err, core.ErrOverloaded) {
+				return fmt.Errorf("cluster: node %d: %w", idx, err)
+			}
 			return &NodeDownError{Node: idx, Err: err}
 		}
 	}

@@ -59,6 +59,53 @@ func (s BreakerState) String() string {
 	return "unknown"
 }
 
+// SpillPolicy selects what the event spill path does when a node's bounded
+// retry queue is full.
+type SpillPolicy int
+
+const (
+	// SpillReject (the default) refuses the event with a typed overload
+	// error carrying a retry-after hint. The caller keeps the event —
+	// nothing is silently lost — and its own backoff/retry machinery
+	// decides when to resubmit.
+	SpillReject SpillPolicy = iota
+	// SpillDropOldest evicts the oldest queued events to admit new ones,
+	// preferring fresh data under sustained overload. Evictions are real
+	// losses, counted in NodeHealth.Dropped.
+	SpillDropOldest
+	// SpillBlock waits for the drainer to free queue space, applying
+	// head-of-line backpressure to the producer instead of shedding. If
+	// the node never recovers the producer blocks until the cluster is
+	// closed.
+	SpillBlock
+)
+
+// String implements fmt.Stringer.
+func (p SpillPolicy) String() string {
+	switch p {
+	case SpillReject:
+		return "reject"
+	case SpillDropOldest:
+		return "drop-oldest"
+	case SpillBlock:
+		return "block"
+	}
+	return "unknown"
+}
+
+// ParseSpillPolicy maps a flag string onto a SpillPolicy.
+func ParseSpillPolicy(s string) (SpillPolicy, error) {
+	switch s {
+	case "reject", "":
+		return SpillReject, nil
+	case "drop-oldest":
+		return SpillDropOldest, nil
+	case "block":
+		return SpillBlock, nil
+	}
+	return SpillReject, fmt.Errorf("cluster: unknown spill policy %q (want reject, drop-oldest or block)", s)
+}
+
 // HealthConfig tunes per-node failure tracking. The zero value selects the
 // defaults.
 type HealthConfig struct {
@@ -74,6 +121,13 @@ type HealthConfig struct {
 	RetryQueue int
 	// RetryInterval is the background drainer's pacing (default 20ms).
 	RetryInterval time.Duration
+	// SpillPolicy selects the overflow behavior of a full spill queue
+	// (default SpillReject: surface a typed overload error).
+	SpillPolicy SpillPolicy
+	// SpillRetryAfter is the retry hint attached to overflow rejections
+	// (default: RetryInterval, the drainer's pacing — the earliest a slot
+	// can plausibly free up).
+	SpillRetryAfter time.Duration
 }
 
 func (cfg HealthConfig) withDefaults() HealthConfig {
@@ -89,6 +143,9 @@ func (cfg HealthConfig) withDefaults() HealthConfig {
 	if cfg.RetryInterval <= 0 {
 		cfg.RetryInterval = 20 * time.Millisecond
 	}
+	if cfg.SpillRetryAfter <= 0 {
+		cfg.SpillRetryAfter = cfg.RetryInterval
+	}
 	return cfg
 }
 
@@ -99,7 +156,8 @@ type NodeHealth struct {
 	QueuedEvents int
 	Spilled      uint64 // events ever diverted to the spill queue
 	Replayed     uint64 // spilled events successfully delivered
-	Dropped      uint64 // events refused because the queue was full
+	Dropped      uint64 // events lost to drop-oldest evictions
+	Rejected     uint64 // events refused with a typed overload error (caller retains them)
 	LastErr      error
 }
 
@@ -115,6 +173,7 @@ type nodeHealth struct {
 	spilled  uint64
 	replayed uint64
 	dropped  uint64
+	rejected uint64
 }
 
 // allow reports whether an operation may be sent to the node right now.
@@ -143,9 +202,13 @@ func (h *nodeHealth) allow(now time.Time) bool {
 }
 
 // record folds an operation outcome into the breaker. Version conflicts
-// are application-level outcomes from a live node, not failures.
+// and admission-control rejections are application-level outcomes from a
+// live node, not failures: an overloaded node is shedding on purpose, and
+// opening the breaker for it would turn backpressure into an outage.
 func (h *nodeHealth) record(err error, threshold int, probeInterval time.Duration) {
-	isFailure := err != nil && !errors.Is(err, core.ErrVersionConflict)
+	isFailure := err != nil &&
+		!errors.Is(err, core.ErrVersionConflict) &&
+		!errors.Is(err, core.ErrOverloaded)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.probing = false
@@ -183,16 +246,27 @@ func (h *nodeHealth) releaseProbe() {
 }
 
 // spill queues ev for background replay; reports false when the queue is
-// full or disabled.
-func (h *nodeHealth) spill(ev event.Event, bound int) bool {
+// full or disabled. A full queue under SpillDropOldest evicts its oldest
+// events to admit ev (counted as dropped — those are real losses); under
+// SpillReject the refusal is counted so callers can surface a typed
+// overload error. SpillBlock refusals are not counted: the caller polls
+// until a slot frees up, and counting every poll would inflate the stat.
+func (h *nodeHealth) spill(ev event.Event, bound int, policy SpillPolicy) bool {
 	if bound < 0 {
 		return false
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.queue) >= bound {
-		h.dropped++
-		return false
+	if bound > 0 && len(h.queue) >= bound {
+		if policy != SpillDropOldest {
+			if policy == SpillReject {
+				h.rejected++
+			}
+			return false
+		}
+		evict := len(h.queue) - bound + 1
+		h.queue = h.queue[evict:]
+		h.dropped += uint64(evict)
 	}
 	h.queue = append(h.queue, ev)
 	h.spilled++
@@ -252,6 +326,7 @@ func (h *nodeHealth) snapshot() NodeHealth {
 		Spilled:      h.spilled,
 		Replayed:     h.replayed,
 		Dropped:      h.dropped,
+		Rejected:     h.rejected,
 		LastErr:      h.lastErr,
 	}
 }

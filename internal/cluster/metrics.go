@@ -36,10 +36,16 @@ func (c *Cluster) Instrument(reg *obs.Registry) {
 				return float64(s.Replayed)
 			})
 		reg.CounterFunc(obs.Label("aim_cluster_events_dropped_total", "target", node),
-			"Events refused because the spill queue was full.",
+			"Events lost to drop-oldest spill-queue evictions.",
 			func() float64 {
 				s := h.snapshot()
 				return float64(s.Dropped)
+			})
+		reg.CounterFunc(obs.Label("aim_cluster_events_rejected_total", "target", node),
+			"Events refused with a typed overload error because the spill queue was full.",
+			func() float64 {
+				s := h.snapshot()
+				return float64(s.Rejected)
 			})
 		shard := i
 		reg.GaugeFunc(obs.Label("aim_cluster_followers", "target", node),

@@ -24,6 +24,12 @@ type nodeMetrics struct {
 	ingestBatch   *obs.Histogram // events per ProcessEventBatch call
 	coalescedPuts *obs.Counter   // delta Puts saved by caller coalescing
 
+	rejectQueue    *obs.Counter // ingest rejections: ESP queue past soft limit
+	rejectDelta    *obs.Counter // ingest rejections: delta past hard watermark
+	rejectScan     *obs.Counter // query rejections: pending pool full
+	rejectDeadline *obs.Counter // query rejections: deadline passed in queue
+	shedRounds     *obs.Counter // scan rounds run in soft-watermark shed mode
+
 	ckptTotal    *obs.Counter
 	ckptFailures *obs.Counter
 	ckptRecords  *obs.Counter
@@ -64,6 +70,16 @@ func newNodeMetrics(reg *obs.Registry, label string) nodeMetrics {
 			"Events per batched ingest call (ProcessEventBatch)."),
 		coalescedPuts: reg.Counter(mname(label, "aim_core_coalesced_puts_total"),
 			"Record copies saved by caller-coalesced batch apply (events applied minus delta stores)."),
+		rejectQueue: reg.Counter(mname(label, obs.Label("aim_core_overload_rejections_total", "reason", "esp-queue")),
+			"Ingest admissions rejected because the target ESP queue passed the soft limit."),
+		rejectDelta: reg.Counter(mname(label, obs.Label("aim_core_overload_rejections_total", "reason", "delta-hard")),
+			"Ingest admissions rejected because the target partition's delta passed the hard watermark."),
+		rejectScan: reg.Counter(mname(label, obs.Label("aim_query_scan_rejections_total", "reason", "admission")),
+			"Query submissions rejected because the pending scan pool was full."),
+		rejectDeadline: reg.Counter(mname(label, obs.Label("aim_query_scan_rejections_total", "reason", "deadline")),
+			"Queries evicted from a scan round because their deadline had passed."),
+		shedRounds: reg.Counter(mname(label, "aim_core_shed_rounds_total"),
+			"Scan rounds run in soft-watermark shed mode (tight merge cadence, halved batch)."),
 		ckptTotal: reg.Counter(mname(label, "aim_ckpt_total"),
 			"Checkpoints completed (base + incremental)."),
 		ckptFailures: reg.Counter(mname(label, "aim_ckpt_failures_total"),
@@ -114,4 +130,20 @@ func (n *StorageNode) instrumentPartitions(reg *obs.Registry, label string, trac
 			}
 			return float64(total)
 		})
+	reg.GaugeFunc(mname(label, "aim_core_delta_watermark_state"),
+		"Worst per-partition delta watermark state: 0 below soft, 1 past soft, 2 past hard.",
+		func() float64 { return float64(n.watermarkState()) })
+}
+
+// instrumentWorkers registers per-worker ESP queue depth and capacity
+// gauges. Runs after the workers exist (NewNode wires partitions first).
+func (n *StorageNode) instrumentWorkers(reg *obs.Registry, label string) {
+	for i, w := range n.workers {
+		ch := w.ch
+		reg.GaugeFunc(mname(label, obs.Label("aim_core_esp_queue_depth", "worker", strconv.Itoa(i))),
+			"Requests waiting in this ESP worker's queue.",
+			func() float64 { return float64(len(ch)) })
+		reg.Gauge(mname(label, obs.Label("aim_core_esp_queue_capacity", "worker", strconv.Itoa(i))),
+			"Capacity of this ESP worker's queue.").Set(int64(cap(ch)))
+	}
 }

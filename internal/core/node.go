@@ -50,6 +50,10 @@ type Config struct {
 	IdleMergePause time.Duration
 	// ESPQueueLen is the per-worker event queue capacity.
 	ESPQueueLen int
+	// Overload configures admission control, delta watermarks and scan
+	// shedding. The zero value disables all of it (legacy blocking
+	// behavior); see OverloadConfig.
+	Overload OverloadConfig
 	// Archive, when set, write-ahead-logs every ingested event and enables
 	// incremental checkpoints and crash recovery (see durability.go).
 	Archive *archive.Archive
@@ -89,6 +93,7 @@ func (c *Config) setDefaults() error {
 	if c.ESPQueueLen <= 0 {
 		c.ESPQueueLen = 4096
 	}
+	c.Overload.setDefaults(c.ESPQueueLen, 4*c.MaxBatch)
 	return nil
 }
 
@@ -199,6 +204,7 @@ func NewNode(cfg Config) (*StorageNode, error) {
 	for i, p := range n.parts {
 		n.workers[i%len(n.workers)].attach(p)
 	}
+	n.instrumentWorkers(n.reg, cfg.MetricsLabel)
 	for _, w := range n.workers {
 		n.wg.Add(1)
 		go func(w *espWorker) {
@@ -246,11 +252,17 @@ func (n *StorageNode) workerForEntity(entityID uint64) *espWorker {
 
 // --- ESP-facing API ---------------------------------------------------------
 
-// ProcessEventAsync enqueues an event for processing; it blocks only when
-// the responsible ESP queue is full (backpressure).
+// ProcessEventAsync enqueues an event for processing. Without overload
+// protection it blocks only when the responsible ESP queue is full
+// (backpressure); with Config.Overload.Enabled it instead rejects with a
+// typed *OverloadedError once the queue passes the soft limit or the
+// partition's delta passes the hard watermark.
 func (n *StorageNode) ProcessEventAsync(ev event.Event) error {
 	if n.stopped.Load() {
 		return ErrStopped
+	}
+	if err := n.admitEvent(ev.Caller); err != nil {
+		return err
 	}
 	return n.submitEvent(ev, nil)
 }
@@ -348,6 +360,12 @@ func (n *StorageNode) ProcessEventBatch(evs []event.Event) error {
 	if n.stopped.Load() {
 		return ErrStopped
 	}
+	// Admission runs before the WAL append so a rejected batch is
+	// all-or-nothing: nothing logged, nothing enqueued, caller owns the
+	// whole batch again.
+	if err := n.admitBatch(evs); err != nil {
+		return err
+	}
 	n.met.ingestBatch.Observe(uint64(len(evs)))
 	if n.cfg.Archive == nil {
 		n.enqueueBatch(evs)
@@ -442,13 +460,20 @@ func (n *StorageNode) ConditionalPut(rec schema.Record, expected uint64) error {
 
 // SubmitQueryAsync queues q for the next shared-scan batch and returns a
 // channel that will deliver the node-level merged partial (§4.2's
-// asynchronous RTA protocol).
+// asynchronous RTA protocol). With Config.Overload.Enabled the pending
+// pool is bounded: past MaxPendingQueries the submission is rejected with
+// a typed *OverloadedError instead of queued, so analytics sheds load
+// before it can pile onto a saturated node.
 func (n *StorageNode) SubmitQueryAsync(q *query.Query) (<-chan QueryResponse, error) {
 	if n.stopped.Load() {
 		return nil, ErrStopped
 	}
 	if err := q.Validate(n.cfg.Schema); err != nil {
 		return nil, err
+	}
+	if ol := &n.cfg.Overload; ol.Enabled && len(n.submitCh) >= ol.MaxPendingQueries {
+		n.met.rejectScan.Inc()
+		return nil, &OverloadedError{RetryAfter: ol.RetryAfter, Reason: "scan-admission"}
 	}
 	s := &submission{q: q, resp: make(chan QueryResponse, 1)}
 	select {
@@ -487,16 +512,31 @@ func (n *StorageNode) coordinatorLoop() {
 }
 
 // collectBatch waits for at least one query or the idle pause, then drains
-// up to MaxBatch-1 more without blocking. ok=false means shutdown; an empty
+// up to the batch limit without blocking. ok=false means shutdown; an empty
 // batch with ok=true is a merge-only round.
+//
+// Past the delta soft watermark the coordinator sheds scan concurrency:
+// the idle pause shrinks so merge-only rounds come sooner, and the batch
+// cap halves so each round spends less time scanning and more of the
+// round budget merging — delta growth slows before the hard watermark
+// starts rejecting ingest.
 func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
+	pause, limit := n.cfg.IdleMergePause, n.cfg.MaxBatch
+	if n.watermarkState() >= watermarkSoft {
+		pause /= 8
+		if pause <= 0 {
+			pause = time.Microsecond
+		}
+		limit = (limit + 1) / 2
+		n.met.shedRounds.Inc()
+	}
 	if !timer.Stop() {
 		select {
 		case <-timer.C:
 		default:
 		}
 	}
-	timer.Reset(n.cfg.IdleMergePause)
+	timer.Reset(pause)
 	var batch []*submission
 	select {
 	case s := <-n.submitCh:
@@ -506,7 +546,7 @@ func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
 	case <-n.stopCh:
 		return nil, false
 	}
-	for len(batch) < n.cfg.MaxBatch {
+	for len(batch) < limit {
 		select {
 		case s := <-n.submitCh:
 			batch = append(batch, s)
@@ -521,6 +561,7 @@ func (n *StorageNode) collectBatch(timer *time.Timer) ([]*submission, bool) {
 // scan thread, gathers their per-partition partials, merges them and answers
 // the submitters.
 func (n *StorageNode) runRound(batch []*submission) {
+	batch = n.evictExpired(batch)
 	t0 := time.Now()
 	queries := make([]*query.Query, len(batch))
 	for i, s := range batch {
@@ -592,6 +633,34 @@ func (n *StorageNode) failBatch(batch []*submission, err error) {
 	for _, s := range batch {
 		s.resp <- QueryResponse{Err: err}
 	}
+}
+
+// evictExpired answers every submission whose Deadline already passed with
+// a typed ErrDeadline and returns the still-live remainder. Evicted
+// queries never enter the fused plan, so a round's scan budget is spent
+// only on queries whose submitters are still waiting.
+func (n *StorageNode) evictExpired(batch []*submission) []*submission {
+	deadlined := false
+	for _, s := range batch {
+		if s.q.Deadline > 0 {
+			deadlined = true
+			break
+		}
+	}
+	if !deadlined {
+		return batch
+	}
+	now := time.Now().UnixNano()
+	live := batch[:0]
+	for _, s := range batch {
+		if s.q.Deadline > 0 && s.q.Deadline <= now {
+			n.met.rejectDeadline.Inc()
+			s.resp <- QueryResponse{Err: fmt.Errorf("%w: query %d", ErrDeadline, s.q.ID)}
+			continue
+		}
+		live = append(live, s)
+	}
+	return live
 }
 
 // scanLoop is one RTA thread (Figure 6): scan step over the partition's

@@ -81,6 +81,11 @@ type Partition struct {
 	// rtaReady so a channel-blocked ESP worker wakes up to acknowledge.
 	kick func()
 
+	// pending mirrors cur.Len() for cross-thread readers (admission
+	// control, watermark gauges). The delta itself is ESP-thread confined;
+	// this atomic is the only part of its size other threads may observe.
+	pending atomic.Int64
+
 	version uint64        // conditional-write version counter
 	scratch schema.Record // ESP-thread-confined record buffer
 	gdirty  []uint64      // dirty-group bitmask scratch for batched apply (ESP-thread confined)
@@ -135,6 +140,11 @@ func (p *Partition) Main() *columnmap.ColumnMap { return p.main }
 // the ESP thread may call it.
 func (p *Partition) DeltaLen() int { return p.cur.Len() }
 
+// PendingDelta reports the active delta's size as of the last Put. Unlike
+// DeltaLen it is safe from any goroutine; it may lag the true size by the
+// writes in flight on the ESP thread.
+func (p *Partition) PendingDelta() int64 { return p.pending.Load() }
+
 // --- ESP-thread operations -------------------------------------------------
 
 // Get copies the freshest version of the entity's record into dst and
@@ -175,6 +185,7 @@ func (p *Partition) Put(rec schema.Record) {
 	p.version++
 	rec[p.sch.VersionSlot] = p.version
 	p.cur.Put(rec.EntityID(), rec)
+	p.pending.Store(int64(p.cur.Len()))
 	if p.dirty != nil {
 		p.dirty[rec.EntityID()] = struct{}{}
 	}
@@ -267,6 +278,7 @@ func (p *Partition) putOwned(rec schema.Record) {
 	rec[p.sch.VersionSlot] = p.version
 	entity := rec.EntityID()
 	p.scratch = p.cur.PutOwned(entity, rec)
+	p.pending.Store(int64(p.cur.Len()))
 	if p.dirty != nil {
 		p.dirty[entity] = struct{}{}
 	}
@@ -378,6 +390,7 @@ func (p *Partition) SwitchDeltas() *delta.Delta {
 	p.obs.switchWait.ObserveSince(t0)
 	p.old.Reset() // retire the previously merged delta; it becomes the spare
 	p.cur, p.old = p.old, p.cur
+	p.pending.Store(0)
 	p.rtaReady.Store(false)
 	// Wait for the ESP thread to leave the spin loop before the next
 	// switch can possibly begin.

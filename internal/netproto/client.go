@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +37,13 @@ type Client struct {
 	writeMu sync.Mutex // serializes frame writes on the live conn
 
 	co *coalescer // event batching buffer; nil when EventBatch <= 1
+
+	// rejectUntil (unix nanos) is the end of the local ingest-rejection
+	// window opened by a server msgOverload push: until then, fire-and-
+	// forget ingest fails synchronously with a typed overload error so the
+	// caller's spill/retry machinery engages instead of shipping frames the
+	// server would drop. 0 = no window.
+	rejectUntil atomic.Int64
 
 	redialMu sync.Mutex // single-flights reconnect attempts
 
@@ -156,6 +165,10 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			c.connLost(conn, gen, err)
 			return
 		}
+		if f.typ == msgOverload {
+			c.noteOverloadPush(f.body)
+			continue
+		}
 		if f.typ != msgResp {
 			continue
 		}
@@ -169,6 +182,42 @@ func (c *Client) readLoop(conn net.Conn, gen uint64) {
 			pc.ch <- callResult{f: f}
 		}
 	}
+}
+
+// noteOverloadPush opens (or extends) the local ingest-rejection window
+// from a server msgOverload push. The window is the server's retry-after
+// hint plus up to 50% jitter, so a fleet of clients backing off together
+// does not re-converge on the server in one synchronized wave.
+func (c *Client) noteOverloadPush(body []byte) {
+	if len(body) < 8 {
+		return
+	}
+	retry := time.Duration(binary.LittleEndian.Uint64(body))
+	if retry <= 0 {
+		retry = time.Millisecond
+	}
+	window := retry + rand.N(retry/2+1)
+	until := time.Now().Add(window).UnixNano()
+	for {
+		cur := c.rejectUntil.Load()
+		if cur >= until || c.rejectUntil.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// ingestRejection returns the typed error for an open rejection window, or
+// nil when ingest may proceed.
+func (c *Client) ingestRejection() error {
+	until := c.rejectUntil.Load()
+	if until == 0 {
+		return nil
+	}
+	remain := until - time.Now().UnixNano()
+	if remain <= 0 {
+		return nil
+	}
+	return &core.OverloadedError{RetryAfter: time.Duration(remain), Reason: "remote"}
 }
 
 // connLost tears down one connection generation: the conn is closed, and
@@ -387,6 +436,9 @@ func (c *Client) call(typ uint8, body []byte, idempotent bool) ([]byte, error) {
 // so replay is left to the cluster layer's spill queue, which owns
 // at-least-once semantics for the ESP stream.
 func (c *Client) ProcessEventAsync(ev event.Event) error {
+	if err := c.ingestRejection(); err != nil {
+		return err
+	}
 	if c.co != nil {
 		return c.bufferEvent(ev)
 	}
@@ -411,6 +463,9 @@ func (c *Client) ProcessEventAsync(ev event.Event) error {
 func (c *Client) ProcessEventBatch(evs []event.Event) error {
 	if len(evs) == 0 {
 		return nil
+	}
+	if err := c.ingestRejection(); err != nil {
+		return err
 	}
 	if c.co != nil {
 		// Individually coalesced events were submitted first; keep order.

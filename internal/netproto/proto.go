@@ -48,6 +48,13 @@ const (
 	msgReplBatch     // server→subscriber push: u64 firstLSN, u64 frontier, i64 origin unix-nanos, u32 count, count x 64 B events
 	msgReplProbe     // lag/heartbeat probe; resp: u64 frontier (the primary's next LSN)
 	msgReplPromote   // seal a follower's replay at its watermark; resp: u64 sealed LSN
+	// msgOverload is a server→client push: fire-and-forget ingest on this
+	// connection was rejected by admission control. Body: u64 retry-after
+	// nanos, u64 events rejected so far on this connection. The client
+	// honors it by failing ingest locally (typed, synchronous) for a
+	// jittered retry-after window, so its caller's spill/retry machinery
+	// engages instead of more doomed frames being shipped.
+	msgOverload
 )
 
 // maxFrame bounds a frame to keep a malformed peer from allocating
@@ -67,6 +74,8 @@ const (
 	codeGeneric         uint8 = 0
 	codeVersionConflict uint8 = 1
 	codeStopped         uint8 = 2
+	codeOverloaded      uint8 = 3 // body carries u64 retry-after nanos before the message
+	codeDeadline        uint8 = 4
 )
 
 // RemoteError is an application-level error reported by the server. Its
@@ -77,6 +86,8 @@ type RemoteError struct {
 	Code uint8
 	// Msg is the server-side error text.
 	Msg string
+	// RetryAfter is the server's backoff hint (codeOverloaded only).
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string { return "netproto: remote: " + e.Msg }
@@ -88,8 +99,24 @@ func (e *RemoteError) Is(target error) bool {
 		return target == core.ErrVersionConflict
 	case codeStopped:
 		return target == core.ErrStopped
+	case codeOverloaded:
+		return target == core.ErrOverloaded
+	case codeDeadline:
+		return target == core.ErrDeadline
 	}
 	return false
+}
+
+// As lets errors.As extract a *core.OverloadedError from a remote overload
+// rejection, so core.RetryAfterHint works identically for local and remote
+// storage handles.
+func (e *RemoteError) As(target any) bool {
+	oe, ok := target.(**core.OverloadedError)
+	if !ok || e.Code != codeOverloaded {
+		return false
+	}
+	*oe = &core.OverloadedError{RetryAfter: e.RetryAfter, Reason: "remote"}
+	return true
 }
 
 // errCode classifies a server-side error for the wire.
@@ -99,6 +126,10 @@ func errCode(err error) uint8 {
 		return codeVersionConflict
 	case errors.Is(err, core.ErrStopped):
 		return codeStopped
+	case errors.Is(err, core.ErrOverloaded):
+		return codeOverloaded
+	case errors.Is(err, core.ErrDeadline):
+		return codeDeadline
 	}
 	return codeGeneric
 }
@@ -227,11 +258,23 @@ func okBody(payload []byte) []byte {
 }
 
 // errBody encodes an error response: status byte, error code, message.
+// codeOverloaded carries the retry-after hint (u64 nanos) before the
+// message so the typed rejection survives the wire intact.
 func errBody(err error) []byte {
 	msg := err.Error()
+	code := errCode(err)
+	if code == codeOverloaded {
+		retry, _ := core.RetryAfterHint(err)
+		out := make([]byte, 10+len(msg))
+		out[0] = statusErr
+		out[1] = code
+		binary.LittleEndian.PutUint64(out[2:], uint64(retry))
+		copy(out[10:], msg)
+		return out
+	}
 	out := make([]byte, 2+len(msg))
 	out[0] = statusErr
-	out[1] = errCode(err)
+	out[1] = code
 	copy(out[2:], msg)
 	return out
 }
@@ -244,6 +287,13 @@ func splitResp(body []byte) ([]byte, error) {
 	if body[0] == statusErr {
 		if len(body) < 2 {
 			return nil, &RemoteError{Code: codeGeneric, Msg: "truncated error frame"}
+		}
+		if body[1] == codeOverloaded && len(body) >= 10 {
+			return nil, &RemoteError{
+				Code:       codeOverloaded,
+				RetryAfter: time.Duration(binary.LittleEndian.Uint64(body[2:])),
+				Msg:        string(body[10:]),
+			}
 		}
 		return nil, &RemoteError{Code: body[1], Msg: string(body[2:])}
 	}

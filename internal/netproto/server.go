@@ -179,6 +179,32 @@ func (s *Server) handleConn(conn net.Conn) {
 	if linger <= 0 {
 		linger = DefaultEventLinger
 	}
+	// Overload pushback state. Fire-and-forget events rejected by admission
+	// control have no reply frame, so the server (a) pushes an msgOverload
+	// frame — throttled to one per retry-after window — telling the client
+	// to fail ingest locally for a while, and (b) remembers the rejection so
+	// the connection's next msgFlush answers with the typed overload error
+	// instead of pretending every event landed.
+	var rejected uint64
+	var lastOverload error
+	var lastPush time.Time
+	notifyOverload := func(err error, n int) {
+		if n <= 0 || !errors.Is(err, core.ErrOverloaded) {
+			return
+		}
+		rejected += uint64(n)
+		lastOverload = err
+		retry, _ := core.RetryAfterHint(err)
+		if now := time.Now(); now.Sub(lastPush) >= retry {
+			lastPush = now
+			var body [16]byte
+			binary.LittleEndian.PutUint64(body[0:], uint64(retry))
+			binary.LittleEndian.PutUint64(body[8:], rejected)
+			writeMu.Lock()
+			_ = writeFrame(conn, frame{typ: msgOverload, body: body[:]})
+			writeMu.Unlock()
+		}
+	}
 	var evbuf []event.Event
 	flushEvents := func() {
 		if len(evbuf) == 0 {
@@ -188,7 +214,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		evbuf = nil
 		// Fire-and-forget: errors surface via msgFlush, as on the
 		// per-event path.
-		_, _ = core.ProcessBatch(s.node, evs)
+		applied, err := core.ProcessBatch(s.node, evs)
+		notifyOverload(err, len(evs)-applied)
 	}
 	defer flushEvents()
 
@@ -240,6 +267,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				}
 				if err := s.node.ProcessEventAsync(ev); err != nil {
 					// Fire-and-forget: the error surfaces via Flush.
+					notifyOverload(err, 1)
 					continue
 				}
 			} else {
@@ -259,10 +287,20 @@ func (s *Server) handleConn(conn net.Conn) {
 				continue
 			}
 			s.cfg.Metrics.eventsReceived(len(evs))
-			_, _ = core.ProcessBatch(s.node, evs)
+			applied, err := core.ProcessBatch(s.node, evs)
+			notifyOverload(err, len(evs)-applied)
 		case msgFlush:
 			if err := s.node.FlushEvents(); err != nil {
 				reply(f.reqID, errBody(err))
+				continue
+			}
+			if rejected > 0 {
+				// The queues are drained, but some events on this connection
+				// never entered them. A clean flush would claim every prior
+				// event was applied; report the loss typed instead.
+				n := rejected
+				rejected = 0
+				reply(f.reqID, errBody(fmt.Errorf("%d events rejected by admission control since last flush: %w", n, lastOverload)))
 				continue
 			}
 			reply(f.reqID, okBody(nil))

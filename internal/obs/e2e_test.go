@@ -141,10 +141,24 @@ func TestMetricsEndToEnd(t *testing.T) {
 		"aim_query_rounds_total",
 		"aim_query_scan_round_seconds_count",
 		"aim_core_event_apply_seconds_count",
+		// Per-worker ESP queue capacity: the overload runbook reads depth
+		// against capacity, so both gauges must be exported per worker.
+		`aim_core_esp_queue_capacity{worker="0"}`,
 	}
 	for _, name := range mustPositive {
 		if series[name] <= 0 {
 			t.Errorf("series %s missing or zero (got %v)", name, series[name])
+		}
+	}
+	// Queue depth is usually zero at scrape time (the worker drains fast);
+	// it must still be present in the exposition, and the watermark state
+	// gauge must be exported even with overload protection off.
+	for _, name := range []string{
+		`aim_core_esp_queue_depth{worker="0"}`,
+		"aim_core_delta_watermark_state",
+	} {
+		if _, ok := series[name]; !ok {
+			t.Errorf("series %s missing from exposition", name)
 		}
 	}
 	// Histogram invariants on the freshness series: the +Inf bucket equals

@@ -132,6 +132,7 @@ func EncodeQuery(q *Query) []byte {
 		w.u32(uint32(d.Den))
 	}
 	w.u32(uint32(q.Limit))
+	w.i64(q.Deadline)
 	return w.b
 }
 
@@ -170,6 +171,7 @@ func DecodeQuery(b []byte) (*Query, error) {
 		q.Derived = append(q.Derived, Ratio{Num: int(r.u32()), Den: int(r.u32())})
 	}
 	q.Limit = int(r.u32())
+	q.Deadline = r.i64()
 	if r.err != nil {
 		return nil, r.err
 	}

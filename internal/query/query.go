@@ -165,6 +165,11 @@ type Query struct {
 	// Limit caps the number of result rows (0 = unlimited). Rows are
 	// key-ordered before the limit is applied.
 	Limit int
+	// Deadline is an absolute wall-clock bound (UnixNano, 0 = none). A
+	// storage node evicts the query from its next scan round once the
+	// deadline passes, answering with a typed deadline error — the RTA
+	// side of graceful degradation under overload.
+	Deadline int64
 }
 
 // Validate checks the query against a schema.

@@ -56,6 +56,13 @@ type Config struct {
 	// DisableRetry skips the single re-submission a failed partial
 	// normally gets before the policy applies.
 	DisableRetry bool
+	// QueryTimeout, when positive, stamps each executed query with an
+	// absolute deadline (unless the query already carries one). Storage
+	// nodes evict past-deadline queries from their shared-scan batches
+	// with a typed deadline error, so under overload analytics sheds
+	// before ingest (graceful degradation; pair with PolicyDegraded to
+	// keep partial coverage).
+	QueryTimeout time.Duration
 	// Metrics, when set, instruments Execute (see NewMetrics). Nil
 	// disables instrumentation at zero cost.
 	Metrics *Metrics
@@ -140,6 +147,13 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 		defer m.latency.ObserveSince(t0)
 		m.queries.Inc()
 	}
+	if c.cfg.QueryTimeout > 0 && q.Deadline == 0 {
+		// Shallow copy: the caller's query must not come back mutated (it
+		// may be reused, and the stamp must be per-execution).
+		qq := *q
+		qq.Deadline = time.Now().Add(c.cfg.QueryTimeout).UnixNano()
+		q = &qq
+	}
 	total := c.backends.NumShards()
 	chans := make([]<-chan core.QueryResponse, total)
 	errs := make([]error, total)
@@ -176,6 +190,16 @@ func (c *Coordinator) Execute(q *query.Query) (*query.Result, error) {
 	if !c.cfg.DisableRetry {
 		for i, err := range errs {
 			if err == nil {
+				continue
+			}
+			if errors.Is(err, core.ErrDeadline) || errors.Is(err, core.ErrOverloaded) {
+				// The node shed this partial on purpose (deadline eviction
+				// or scan admission). Retrying adds load to an overloaded
+				// node for a query that is already late — let the policy
+				// decide what the missing partial means instead.
+				if m != nil {
+					m.shedPartials.Inc()
+				}
 				continue
 			}
 			if m != nil {
@@ -284,6 +308,17 @@ func RunClosedLoop(coord *Coordinator, sources []QuerySource, duration time.Dura
 				mu.Lock()
 				samples = append(samples, sample{lat: lat, err: err != nil})
 				mu.Unlock()
+				if err != nil {
+					// A shed query (scan admission or deadline eviction)
+					// fails near-instantly; re-submitting immediately would
+					// spin the closed loop against a node that asked for
+					// less scan pressure. Honor the retry hint instead.
+					if retry, ok := core.RetryAfterHint(err); ok {
+						time.Sleep(retry)
+					} else if errors.Is(err, core.ErrOverloaded) || errors.Is(err, core.ErrDeadline) {
+						time.Sleep(time.Millisecond)
+					}
+				}
 			}
 		}(src)
 	}

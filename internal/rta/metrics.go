@@ -14,6 +14,7 @@ type Metrics struct {
 	retries         *obs.Counter
 	nodeErrs        *obs.Counter
 	replicaPartials *obs.Counter
+	shedPartials    *obs.Counter
 }
 
 // NewMetrics registers the coordinator instruments on reg.
@@ -33,5 +34,7 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Per-node scatter/gather failures after retry."),
 		replicaPartials: reg.Counter("aim_rta_replica_partials_total",
 			"Per-shard partials answered by follower replicas instead of primaries."),
+		shedPartials: reg.Counter("aim_rta_shed_partials_total",
+			"Per-shard partials refused by storage-node load shedding (scan admission or deadline eviction)."),
 	}
 }

@@ -128,6 +128,29 @@ func Builtins() []*Spec {
 			Phases:         []Phase{{Name: "steady", Duration: msec(1200)}},
 		},
 		{
+			Name:        "overload",
+			Description: "overload drill: ingest driven far past capacity with admission control on; proves typed shedding, zero silent loss, bounded delta, recovery",
+			Entities:    10_000,
+			Rules:       100,
+			Partitions:  2,
+			ESPThreads:  1,
+			EventRate:   8_000,
+			Clients:     4,
+			Warmup:      msec(300),
+			Trials:      2,
+			Phases: []Phase{
+				{Name: "steady", Duration: msec(300)},
+				{Name: "overload", Duration: msec(500), RateFactor: 12},
+				{Name: "recover", Duration: msec(400), RateFactor: 0.3},
+			},
+			OverloadProtect:   true,
+			ESPQueueLen:       512,
+			DeltaSoftRecords:  2_000,
+			DeltaHardRecords:  8_000,
+			MaxPendingQueries: 4,
+			QueryDeadline:     msec(8),
+		},
+		{
 			Name:        "replica",
 			Description: "WAL-shipped follower attached to the primary; lag/staleness recorded under mixed load",
 			Entities:    10_000,

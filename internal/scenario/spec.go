@@ -106,6 +106,19 @@ type Spec struct {
 	// (single) primary; their lag/staleness series land in the result.
 	Replicas int `json:"replicas,omitempty"`
 
+	// Overload protection. OverloadProtect enables storage-node admission
+	// control (typed reject-with-retry-after instead of blocking); the
+	// remaining knobs tune it, zero selecting the core defaults. A nonzero
+	// QueryDeadline stamps every RTA query with that budget and switches
+	// the coordinator to degraded gather, so shed partials surface as
+	// incomplete results rather than hard failures.
+	OverloadProtect   bool     `json:"overload_protect,omitempty"`
+	ESPQueueLen       int      `json:"esp_queue_len,omitempty"`
+	DeltaSoftRecords  int      `json:"delta_soft_records,omitempty"`
+	DeltaHardRecords  int      `json:"delta_hard_records,omitempty"`
+	MaxPendingQueries int      `json:"max_pending_queries,omitempty"`
+	QueryDeadline     Duration `json:"query_deadline,omitempty"`
+
 	// Measurement protocol.
 	Warmup Duration `json:"warmup"`
 	Trials int      `json:"trials"`
@@ -166,6 +179,13 @@ func (s *Spec) Validate() error {
 	}
 	if s.Replicas > 0 && s.FullSchema {
 		return fmt.Errorf("scenario %s: replicas currently require the compact schema", s.Name)
+	}
+	if s.ESPQueueLen < 0 || s.DeltaSoftRecords < 0 || s.DeltaHardRecords < 0 ||
+		s.MaxPendingQueries < 0 || s.QueryDeadline < 0 {
+		return fmt.Errorf("scenario %s: negative overload knob", s.Name)
+	}
+	if s.DeltaSoftRecords > 0 && s.DeltaHardRecords > 0 && s.DeltaHardRecords < s.DeltaSoftRecords {
+		return fmt.Errorf("scenario %s: delta_hard_records below delta_soft_records", s.Name)
 	}
 	return nil
 }
