@@ -18,14 +18,16 @@ race:
 bench:
 	$(GO) test -bench BenchmarkSharedScanBatch -benchmem -run '^$$' ./internal/query/
 
-## bench-check: regression gate — run the smoke scenario and compare against the checked-in CI baseline (wide noise band; catches collapses, not drift)
+## bench-check: regression gate — run the smoke and tiered scenarios and compare against the checked-in CI baselines (wide noise band; catches collapses, not drift)
 bench-check:
 	$(GO) run ./cmd/aimbench -scenario smoke -compare -fingerprint ci -noise-floor 1.5
+	$(GO) run ./cmd/aimbench -scenario tiered -compare -fingerprint ci -noise-floor 1.5
 
 ## bench-baseline: record + promote scenario baselines for THIS host (run after intentional perf changes)
 bench-baseline:
 	$(GO) run ./cmd/aimbench -scenario smoke -record -promote
 	$(GO) run ./cmd/aimbench -scenario steady -record -promote
+	$(GO) run ./cmd/aimbench -scenario tiered -record -promote
 
 ## obs-guard: check the metrics layer keeps scan-round overhead within 3%
 obs-guard:
@@ -51,11 +53,12 @@ crash:
 replica-crash:
 	AIM_REPL_KILLS=50 $(GO) test -run TestReplicaFailoverKillCampaign -v -timeout 30m ./internal/crashharness/
 
-## fuzz-smoke: 10s of fuzzing per durability decoder (archive frames, checkpoint files, event codec)
+## fuzz-smoke: 10s of fuzzing per durability decoder (archive frames, checkpoint files, event codec) and per compressed-chunk kernel family
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzOpenSegment -fuzztime 10s ./internal/archive/
 	$(GO) test -run '^$$' -fuzz FuzzReadFile -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/event/
+	$(GO) test -run '^$$' -fuzz FuzzChunkKernels -fuzztime 10s ./internal/vec/
 
 ## ci: full gate — vet, build, race-detect the whole tree, metrics overhead guard, crash + fuzz smoke
 ci:

@@ -58,6 +58,7 @@ var experiments = []experiment{
 	{"recover", "durability: recovery time vs archive tail length & checkpoint cadence", bench.RecoveryTime},
 	{"replica", "replication: WAL-shipped follower, kill-the-primary failover blackout", bench.ReplicaFailover},
 	{"mixed", "instrumented mixed load: freshness & latency histograms", bench.MixedWorkload},
+	{"tiered", "tiered main: entities/GB and cold-scan penalty, flat vs compressed", bench.TieredSweep},
 }
 
 // Exit codes: 0 ok, 1 runtime error, 2 usage error, 3 regression breach.

@@ -136,6 +136,9 @@ func main() {
 		ckptGC    = flag.Bool("checkpoint-gc", true, "delete superseded checkpoints and truncate the archive below each base")
 		recovery  = flag.String("recover", "auto", "recovery mode with -data-dir: auto, strict, or salvage")
 
+		bucketFreeze = flag.Bool("bucket-freeze", false, "enable the tiered main: full buckets unwritten for -cold-after merge epochs freeze into immutable compressed chunks; a delta write thaws its bucket")
+		coldAfter    = flag.Int("cold-after", core.DefaultColdAfterEpochs, "with -bucket-freeze: merge epochs a full bucket must go unwritten before it freezes (0 = eager, freeze after a single idle epoch)")
+
 		overload        = flag.Bool("overload", false, "enable overload protection: typed reject-with-retry-after ingest admission, delta watermarks, bounded scan admission")
 		queueLen        = flag.Int("esp-queue", 0, "per-ESP-worker request queue capacity (0 = default 4096)")
 		queueSoft       = flag.Int("queue-soft", 0, "with -overload: reject fire-and-forget ingest past this ESP queue depth (0 = 7/8 of -esp-queue)")
@@ -191,6 +194,12 @@ func main() {
 		UseRuleIndex: *ruleIndex,
 		Metrics:      reg,
 		Tracer:       tracer,
+	}
+	if *coldAfter < 0 {
+		log.Fatalf("aimserver: -cold-after must be >= 0")
+	}
+	if *bucketFreeze {
+		cfg.Tier = core.TierConfig{Enabled: true, ColdAfterEpochs: *coldAfter}
 	}
 	if *overload {
 		cfg.Overload = core.OverloadConfig{

@@ -83,6 +83,50 @@ func KernelMicro(p Params) (*Table, error) {
 	t.AddRow("CmpUint", "6 ops avg", fmt.Sprintf("%.3f ns/elem", uintNs), fmt.Sprintf("%.2fx CmpInt", uintNs/intNs))
 	t.AddRow("CmpFloat", "6 ops avg", fmt.Sprintf("%.3f ns/elem", floatNs), fmt.Sprintf("%.2fx CmpInt", floatNs/intNs))
 
+	// --- Compressed-chunk kernels: predicate evaluation directly on the
+	// cold tier's encodings, priced against the raw CmpInt reference above.
+	// The FOR and dict rows are the hot cases (narrow ranges and enums);
+	// RLE compares by run, so its per-element cost collapses on long runs.
+	forCol := make([]uint64, kernelCols)
+	dictCol := make([]uint64, kernelCols)
+	rleCol := make([]uint64, kernelCols)
+	for i := range forCol {
+		forCol[i] = uint64(rng.Int63n(1000))
+		dictCol[i] = uint64(rng.Intn(16)) * 977
+		rleCol[i] = uint64(i / 512)
+	}
+	chunks := []struct {
+		name string
+		ch   vec.Chunk
+	}{
+		{"for", vec.Compress(forCol, kernelCols, vec.HintInt)},
+		{"dict", vec.Compress(dictCol, kernelCols, vec.HintInt)},
+		{"rle", vec.Compress(rleCol, kernelCols, vec.HintInt)},
+	}
+	for _, c := range chunks {
+		if got := c.ch.Enc.String(); got != c.name {
+			return nil, fmt.Errorf("bench: %s column compressed as %s", c.name, got)
+		}
+		ch := c.ch
+		ns := cmpKernelNs(func(op vec.CmpOp) { vec.CmpChunkInt(&ch, kernelCols, op, 500, mask) })
+		t.AddRow("CmpChunkInt", c.name+" enc", fmt.Sprintf("%.3f ns/elem", ns),
+			fmt.Sprintf("%.2fx CmpInt", ns/intNs))
+	}
+	aggMask := maskAtDensity(kernelCols, 0.25, p.Seed)
+	for _, c := range chunks {
+		ch := c.ch
+		var sink int64
+		d := timeBest(3, func() {
+			for r := 0; r < kernelReps; r++ {
+				sink += vec.SumIntChunk(&ch, aggMask)
+			}
+		})
+		_ = sink
+		t.AddRow("SumIntChunk", c.name+" enc, density 25%",
+			fmt.Sprintf("%.3f ns/elem", float64(d.Nanoseconds())/float64(kernelCols*kernelReps)),
+			"masked sum without materializing")
+	}
+
 	// --- Masked aggregation: density-adaptive sparse walk vs dense select.
 	for _, density := range []float64{0.02, 0.25, 0.60, 0.95} {
 		m := maskAtDensity(kernelCols, density, p.Seed+int64(density*100))

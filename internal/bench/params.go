@@ -51,6 +51,9 @@ type Params struct {
 	// Overload configures storage-node admission control (zero = off,
 	// legacy blocking behavior).
 	Overload core.OverloadConfig
+	// Tier configures the ColumnMap compressed cold tier (zero = off, every
+	// bucket stays a flat hot slab).
+	Tier core.TierConfig
 	// QueryTimeout stamps RTA queries with a deadline so storage nodes can
 	// evict them from scan rounds under overload (0 = no deadlines).
 	QueryTimeout time.Duration

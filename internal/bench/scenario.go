@@ -103,6 +103,11 @@ func paramsFromSpec(sp *scenario.Spec) Params {
 			p.ESPQueueLen = sp.ESPQueueLen
 		}
 	}
+	if sp.TierFreeze {
+		// MaxFreezePerStep stays 0 → the core default freeze budget per merge
+		// step; scenarios tune aggressiveness through TierColdAfter alone.
+		p.Tier = core.TierConfig{Enabled: true, ColdAfterEpochs: sp.TierColdAfter}
+	}
 	if d := sp.QueryDeadline.D(); d > 0 {
 		p.QueryTimeout = d
 		p.DegradedRTA = true
@@ -427,6 +432,19 @@ func extractTrialMetrics(sp *scenario.Spec, delta []obs.MetricSnapshot, window t
 			out["repl_staleness_p95_ms"] = histMS(h, 0.95)
 		}
 	}
+	if sp.TierFreeze {
+		// The freeze/thaw counters are windowed (counter delta); the byte and
+		// ratio series are gauges, so they read as the end-of-window state —
+		// exactly the steady-state tier split the scenario is gating.
+		out["bucket_freezes"] = obs.SumCounters(delta, "aim_core_bucket_freezes_total")
+		out["bucket_thaws"] = obs.SumCounters(delta, "aim_core_bucket_thaws_total")
+		out["main_bytes_hot"] = obs.SumSeries(delta, "aim_core_main_bytes", `tier="hot"`)
+		out["main_bytes_cold"] = obs.SumSeries(delta, "aim_core_main_bytes", `tier="cold"`)
+		out["cold_chunks"] = obs.SumSeries(delta, "aim_core_cold_chunks", "")
+		if out["cold_chunks"] > 0 {
+			out["cold_compression_ratio"] = obs.SumSeries(delta, "aim_core_cold_compression_ratio", "")
+		}
+	}
 	if sp.OverloadProtect {
 		offered := obs.SumCounters(delta, "aim_scenario_events_offered_total")
 		shed := obs.SumCounters(delta, "aim_scenario_ingest_rejections_total")
@@ -460,6 +478,14 @@ func metricMeta(name string) (unit, dir string) {
 		return "count", scenario.LowerIsBetter
 	case "ingest_availability":
 		return "frac", scenario.HigherIsBetter
+	case "bucket_freezes", "bucket_thaws", "cold_chunks":
+		// Churn volume: informative shape signals, neither direction is a
+		// regression on its own (the latency/throughput series gate those).
+		return "count", scenario.HigherIsBetter
+	case "cold_compression_ratio":
+		return "x", scenario.HigherIsBetter
+	case "main_bytes_hot", "main_bytes_cold":
+		return "B", scenario.LowerIsBetter
 	case "apply_p95_us":
 		return "us", scenario.LowerIsBetter
 	default: // *_ms latency/staleness quantiles

@@ -12,22 +12,43 @@
 // to the expected table size makes it a pure column store — the tunability
 // the paper highlights.
 //
+// The main is tiered (see tier.go): full buckets untouched for a configured
+// number of merge epochs freeze into immutable per-column compressed chunks
+// (internal/vec Chunk) that scans evaluate in place; a write to a frozen
+// record thaws its bucket back to the hot tier first.
+//
 // Concurrency: one writer (the partition's RTA thread during merge steps)
 // and any number of readers are supported. The entity index and the bucket
-// directory are guarded by an RWMutex; bucket payload slots are written only
-// for records that concurrently reading ESP threads are guaranteed to find
-// in the delta instead (the paper's Algorithm 3 invariant), so payload
-// access is lock-free.
+// directory — including each bucket's hot-slab/frozen-chunk representation —
+// are guarded by an RWMutex; bucket payload slots are written only for
+// records that concurrently reading ESP threads are guaranteed to find in
+// the delta instead (the paper's Algorithm 3 invariant), so payload access
+// is lock-free. Freeze and thaw swap a bucket's representation under the
+// full lock: a reader sees either the retained hot slab or the immutable
+// chunks, and both hold correct values for every record not shadowed by the
+// delta. Per-bucket epochs are touched only by the writer thread and are
+// deliberately never read by reader paths.
 package columnmap
 
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/vec"
 )
 
 // DefaultBucketSize is the paper's default: the largest power of two such
 // that a bucket of ~3 KB records fits in a 10 MB L3 cache.
 const DefaultBucketSize = 3072
+
+// bucketState is one directory entry: exactly one of data (hot) or frozen
+// (cold) is non-nil. epoch is the merge epoch of the bucket's last write;
+// it is read and written only by the single writer thread.
+type bucketState struct {
+	data   []uint64
+	frozen *FrozenBucket
+	epoch  uint64
+}
 
 // ColumnMap is a PAX-layout table of fixed-size records.
 type ColumnMap struct {
@@ -35,9 +56,21 @@ type ColumnMap struct {
 	bucketSize int // records per bucket
 
 	mu      sync.RWMutex
-	buckets [][]uint64        // each bucket: slots*bucketSize words, column-major
+	buckets []bucketState
 	index   map[uint64]uint32 // entity id -> record id
 	n       int               // number of records
+
+	// epoch is the merge-epoch clock (AdvanceEpoch); writer thread only.
+	epoch uint64
+	// hints are the per-column compression hints (SetColHints); immutable
+	// after setup.
+	hints []vec.Hint
+
+	// Tier accounting, guarded by mu.
+	freezes   uint64
+	thaws     uint64
+	coldBytes int64
+	encChunks [vec.NumEnc]int64
 }
 
 // New returns an empty ColumnMap for records of the given slot count.
@@ -93,12 +126,15 @@ func (cm *ColumnMap) Insert(rec []uint64) (uint32, error) {
 	rid := uint32(cm.n)
 	b, off := cm.n/cm.bucketSize, cm.n%cm.bucketSize
 	if b == len(cm.buckets) {
-		cm.buckets = append(cm.buckets, make([]uint64, cm.slots*cm.bucketSize))
+		cm.buckets = append(cm.buckets, bucketState{
+			data: make([]uint64, cm.slots*cm.bucketSize),
+		})
 	}
-	bucket := cm.buckets[b]
+	bucket := cm.buckets[b].data
 	for c := 0; c < cm.slots; c++ {
 		bucket[c*cm.bucketSize+off] = rec[c]
 	}
+	cm.buckets[b].epoch = cm.epoch
 	cm.index[entityID] = rid
 	cm.n++
 	return rid, nil
@@ -118,15 +154,21 @@ func (cm *ColumnMap) Upsert(rec []uint64) error {
 	return err
 }
 
-// scatter writes rec into the slots of an existing record id.
+// scatter writes rec into the slots of an existing record id, thawing the
+// bucket back to the hot tier first if it is frozen.
 func (cm *ColumnMap) scatter(rid uint32, rec []uint64) {
 	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
 	cm.mu.RLock()
-	bucket := cm.buckets[b]
+	data, frozen := cm.buckets[b].data, cm.buckets[b].frozen
 	cm.mu.RUnlock()
-	for c := 0; c < cm.slots; c++ {
-		bucket[c*cm.bucketSize+off] = rec[c]
+	if frozen != nil {
+		data = cm.thawBucket(b, frozen)
 	}
+	for c := 0; c < cm.slots; c++ {
+		data[c*cm.bucketSize+off] = rec[c]
+	}
+	// Writer thread only; reader paths never touch epoch.
+	cm.buckets[b].epoch = cm.epoch
 }
 
 // Gather copies the record with the given record id into dst, which must
@@ -141,10 +183,16 @@ func (cm *ColumnMap) Gather(rid uint32, dst []uint64) error {
 		return fmt.Errorf("columnmap: record id %d out of range (%d records)", rid, cm.n)
 	}
 	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
-	bucket := cm.buckets[b]
+	data, frozen := cm.buckets[b].data, cm.buckets[b].frozen
 	cm.mu.RUnlock()
+	if frozen != nil {
+		for c := 0; c < cm.slots; c++ {
+			dst[c] = frozen.Value(c, off)
+		}
+		return nil
+	}
 	for c := 0; c < cm.slots; c++ {
-		dst[c] = bucket[c*cm.bucketSize+off]
+		dst[c] = data[c*cm.bucketSize+off]
 	}
 	return nil
 }
@@ -159,18 +207,24 @@ func (cm *ColumnMap) GatherEntity(entityID uint64, dst []uint64) (bool, error) {
 }
 
 // Value returns a single slot of a record without materializing the rest —
-// the computable-address point lookup the paper describes.
+// the computable-address point lookup the paper describes. Frozen buckets
+// answer from the chunk's random-access path.
 func (cm *ColumnMap) Value(rid uint32, col int) uint64 {
 	b, off := int(rid)/cm.bucketSize, int(rid)%cm.bucketSize
 	cm.mu.RLock()
-	bucket := cm.buckets[b]
+	data, frozen := cm.buckets[b].data, cm.buckets[b].frozen
 	cm.mu.RUnlock()
-	return bucket[col*cm.bucketSize+off]
+	if frozen != nil {
+		return frozen.Value(col, off)
+	}
+	return data[col*cm.bucketSize+off]
 }
 
-// Bucket is a read-only view of one bucket used by scans.
+// Bucket is a read-only view of one bucket used by scans: either a hot slab
+// (Col) or a frozen compressed bucket (Frozen).
 type Bucket struct {
 	data       []uint64
+	frozen     *FrozenBucket
 	bucketSize int
 	// N is the number of valid records in the bucket.
 	N int
@@ -179,27 +233,37 @@ type Bucket struct {
 }
 
 // Col returns the column-c value slice of the bucket (N valid entries).
+// Only valid for hot buckets; scans must route frozen buckets (Frozen() !=
+// nil) through the chunk kernels or decompress instead.
 func (b Bucket) Col(c int) []uint64 {
 	off := c * b.bucketSize
 	return b.data[off : off+b.N]
 }
 
+// Frozen returns the bucket's compressed representation, or nil if hot.
+func (b Bucket) Frozen() *FrozenBucket { return b.frozen }
+
 // Snapshot returns views of all buckets as of the call. The scan step
 // iterates the snapshot; records inserted afterwards are not visible, which
 // is exactly the consistency the delta/main design requires (inserts only
 // happen during merge steps, which never overlap scan steps on a partition).
+// A bucket frozen or thawed after the call keeps serving the snapshotted
+// representation: hot slabs are retained by the view and frozen chunks are
+// immutable, and any record rewritten meanwhile is delta-shadowed for
+// readers of the snapshot's vintage.
 func (cm *ColumnMap) Snapshot() []Bucket {
 	cm.mu.RLock()
 	defer cm.mu.RUnlock()
 	out := make([]Bucket, 0, len(cm.buckets))
 	remaining := cm.n
-	for i, data := range cm.buckets {
+	for i := range cm.buckets {
 		n := cm.bucketSize
 		if remaining < n {
 			n = remaining
 		}
 		out = append(out, Bucket{
-			data:       data,
+			data:       cm.buckets[i].data,
+			frozen:     cm.buckets[i].frozen,
 			bucketSize: cm.bucketSize,
 			N:          n,
 			Base:       uint32(i * cm.bucketSize),
@@ -229,9 +293,16 @@ func (cm *ColumnMap) IndexSnapshot() []IndexEntry {
 	return out
 }
 
-// MemoryBytes reports the approximate payload memory in use.
+// MemoryBytes reports the approximate payload memory in use: full slabs for
+// hot buckets plus compressed chunk payloads for frozen ones.
 func (cm *ColumnMap) MemoryBytes() int64 {
 	cm.mu.RLock()
 	defer cm.mu.RUnlock()
-	return int64(len(cm.buckets)) * int64(cm.slots*cm.bucketSize) * 8
+	hot := 0
+	for i := range cm.buckets {
+		if cm.buckets[i].frozen == nil {
+			hot++
+		}
+	}
+	return int64(hot)*int64(cm.slots*cm.bucketSize)*8 + cm.coldBytes
 }

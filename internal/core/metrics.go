@@ -133,6 +133,24 @@ func (n *StorageNode) instrumentPartitions(reg *obs.Registry, label string, trac
 	reg.GaugeFunc(mname(label, "aim_core_delta_watermark_state"),
 		"Worst per-partition delta watermark state: 0 below soft, 1 past soft, 2 past hard.",
 		func() float64 { return float64(n.watermarkState()) })
+	reg.GaugeFunc(mname(label, obs.Label("aim_core_main_bytes", "tier", "hot")),
+		"Payload bytes held by hot (flat slab) ColumnMap buckets.",
+		func() float64 { return float64(n.TierStats().HotBytes) })
+	reg.GaugeFunc(mname(label, obs.Label("aim_core_main_bytes", "tier", "cold")),
+		"Payload bytes held by cold (compressed chunk) ColumnMap buckets.",
+		func() float64 { return float64(n.TierStats().ColdBytes) })
+	reg.GaugeFunc(mname(label, "aim_core_cold_chunks"),
+		"Compressed column chunks currently frozen across the node's mains.",
+		func() float64 { return float64(n.TierStats().ColdChunks) })
+	reg.GaugeFunc(mname(label, "aim_core_cold_compression_ratio"),
+		"Raw-to-compressed size ratio of the cold tier (1 when nothing is cold).",
+		func() float64 { return n.TierStats().CompressionRatio() })
+	reg.CounterFunc(mname(label, "aim_core_bucket_freezes_total"),
+		"Full buckets frozen into the compressed cold tier.",
+		func() float64 { return float64(n.TierStats().Freezes) })
+	reg.CounterFunc(mname(label, "aim_core_bucket_thaws_total"),
+		"Frozen buckets thawed back hot by delta writes.",
+		func() float64 { return float64(n.TierStats().Thaws) })
 }
 
 // instrumentWorkers registers per-worker ESP queue depth and capacity

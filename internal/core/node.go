@@ -54,6 +54,9 @@ type Config struct {
 	// shedding. The zero value disables all of it (legacy blocking
 	// behavior); see OverloadConfig.
 	Overload OverloadConfig
+	// Tier configures the compressed cold tier of the ColumnMap mains. The
+	// zero value keeps every bucket hot (flat behavior); see TierConfig.
+	Tier TierConfig
 	// Archive, when set, write-ahead-logs every ingested event and enables
 	// incremental checkpoints and crash recovery (see durability.go).
 	Archive *archive.Archive
@@ -94,6 +97,7 @@ func (c *Config) setDefaults() error {
 		c.ESPQueueLen = 4096
 	}
 	c.Overload.setDefaults(c.ESPQueueLen, 4*c.MaxBatch)
+	c.Tier.setDefaults()
 	return nil
 }
 
@@ -182,6 +186,9 @@ func NewNode(cfg Config) (*StorageNode, error) {
 		p := NewPartition(cfg.Schema, cfg.BucketSize, cfg.Factory)
 		if cfg.Archive != nil {
 			p.EnableDirtyTracking()
+		}
+		if cfg.Tier.Enabled {
+			p.EnableTiering(cfg.Tier)
 		}
 		n.parts = append(n.parts, p)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/columnmap"
+	"repro/internal/crashpoint"
 	"repro/internal/delta"
 	"repro/internal/event"
 	"repro/internal/obs"
@@ -93,6 +94,10 @@ type Partition struct {
 	// dirty tracks entities Put since the last incremental checkpoint
 	// (ESP-thread confined). nil when dirty tracking is disabled.
 	dirty map[uint64]struct{}
+
+	// tier is the cold-tier policy (see EnableTiering). Read by the RTA
+	// thread at the end of every merge step; immutable once serving.
+	tier TierConfig
 
 	// obs holds the partition's observability hooks. All metric pointers
 	// are nil-safe, so an uninstrumented partition pays one predictable
@@ -432,6 +437,14 @@ func (p *Partition) MergeStep() int {
 		}
 		n++
 	})
+	// Tier aging (this thread is the main's single writer): every merge
+	// step ticks the epoch clock, then demotes buckets whose last write —
+	// restamped by the Upsert loop above — is ColdAfterEpochs ticks old.
+	p.main.AdvanceEpoch()
+	if p.tier.Enabled {
+		crashpoint.Hit(crashpoint.CoreBucketFreeze)
+		p.main.FreezeCold(uint64(p.tier.ColdAfterEpochs), p.tier.MaxFreezePerStep)
+	}
 	if p.obs.tracer != nil {
 		p.obs.tracer.Record(obs.Span{
 			Kind:  obs.SpanMergeStep,

@@ -1,0 +1,76 @@
+package core
+
+import "repro/internal/columnmap"
+
+// TierConfig configures the compressed cold tier of each partition's
+// ColumnMap main. Full buckets no record of which has been written for
+// ColdAfterEpochs merge epochs freeze into immutable per-column compressed
+// chunks; the shared scan evaluates predicates and aggregates over the
+// chunks in place, and a delta write to a frozen record thaws its bucket
+// back hot before the merge applies it. Freezing rides the merge step, so
+// it runs on the partition's single writer thread and never stalls ingest.
+type TierConfig struct {
+	// Enabled turns the cold tier on. Off (the zero value), every bucket
+	// stays a flat hot slab.
+	Enabled bool
+	// ColdAfterEpochs is how many merge epochs a full bucket must go
+	// unwritten before it freezes. 0 (aggressive) freezes any full bucket
+	// untouched by the current epoch's merge; <0 selects the default.
+	ColdAfterEpochs int
+	// MaxFreezePerStep caps how many buckets one merge step may compress,
+	// bounding the merge-side latency spike. 0 selects the default; <0
+	// removes the cap.
+	MaxFreezePerStep int
+}
+
+// DefaultColdAfterEpochs is the aging threshold used when
+// TierConfig.ColdAfterEpochs is negative: with merge steps landing every
+// few milliseconds under load, 64 epochs keeps actively-updated buckets
+// from thrash-freezing while still demoting idle regions quickly.
+const DefaultColdAfterEpochs = 64
+
+// DefaultMaxFreezePerStep bounds per-merge-step compression work.
+const DefaultMaxFreezePerStep = 4
+
+func (c *TierConfig) setDefaults() {
+	if c.ColdAfterEpochs < 0 {
+		c.ColdAfterEpochs = DefaultColdAfterEpochs
+	}
+	if c.MaxFreezePerStep == 0 {
+		c.MaxFreezePerStep = DefaultMaxFreezePerStep
+	} else if c.MaxFreezePerStep < 0 {
+		c.MaxFreezePerStep = 0 // columnmap convention: 0 = unlimited
+	}
+}
+
+// EnableTiering switches the partition's main to tiered aging: merge steps
+// advance the epoch clock and freeze aged buckets. Must be called before
+// the partition serves traffic (it installs the schema's compression
+// hints).
+func (p *Partition) EnableTiering(cfg TierConfig) {
+	cfg.setDefaults()
+	p.tier = cfg
+	p.main.SetColHints(p.sch.ColHints())
+}
+
+// TierStats sums the hot/cold tier statistics across the node's mains.
+// Safe from any goroutine.
+func (n *StorageNode) TierStats() columnmap.TierStats {
+	var sum columnmap.TierStats
+	for _, p := range n.parts {
+		ts := p.main.Tier()
+		sum.HotBuckets += ts.HotBuckets
+		sum.ColdBuckets += ts.ColdBuckets
+		sum.HotBytes += ts.HotBytes
+		sum.ColdBytes += ts.ColdBytes
+		sum.ColdRawBytes += ts.ColdRawBytes
+		sum.ColdChunks += ts.ColdChunks
+		sum.ColdRecords += ts.ColdRecords
+		sum.Freezes += ts.Freezes
+		sum.Thaws += ts.Thaws
+		for e := range ts.EncChunks {
+			sum.EncChunks[e] += ts.EncChunks[e]
+		}
+	}
+	return sum
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/schema"
+)
+
+// TestPartitionTieredSnapshotParity drives the merge-step aging hook
+// directly and checks the checkpoint read path (SnapshotRecords) and point
+// reads over frozen buckets against a flat oracle, including a thaw cycle.
+func TestPartitionTieredSnapshotParity(t *testing.T) {
+	sch := testSchema(t)
+	zip := sch.MustAttrIndex("zip")
+	p := NewPartition(sch, 4, nil)
+	p.EnableTiering(TierConfig{Enabled: true, ColdAfterEpochs: 0, MaxFreezePerStep: -1})
+
+	oracle := make(map[uint64]int64)
+	for e := uint64(1); e <= 32; e++ {
+		rec := sch.NewRecord(e)
+		rec.SetInt(zip, int64(8000+e))
+		p.Put(rec)
+		oracle[e] = int64(8000 + e)
+	}
+	p.MergeStep()
+	p.MergeStep() // second step sees every bucket an epoch old: all freeze
+	ts := p.Main().Tier()
+	if ts.ColdBuckets != 8 || ts.Freezes != 8 {
+		t.Fatalf("expected all 8 full buckets frozen, got %+v", ts)
+	}
+
+	checkAll := func(label string) {
+		t.Helper()
+		seen := make(map[uint64]int64)
+		if err := p.SnapshotRecords(false, func(rec schema.Record) error {
+			seen[rec.EntityID()] = rec.Int(zip)
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: SnapshotRecords: %v", label, err)
+		}
+		if len(seen) != len(oracle) {
+			t.Fatalf("%s: snapshot has %d records, want %d", label, len(seen), len(oracle))
+		}
+		buf := make(schema.Record, sch.Slots)
+		for e, want := range oracle {
+			if seen[e] != want {
+				t.Fatalf("%s: snapshot entity %d zip %d, want %d", label, e, seen[e], want)
+			}
+			if _, ok := p.Get(e, buf); !ok || buf.Int(zip) != want {
+				t.Fatalf("%s: Get entity %d -> ok=%v zip=%d, want %d", label, e, ok, buf.Int(zip), want)
+			}
+		}
+	}
+	checkAll("all-cold")
+
+	// A delta write to a frozen record must thaw its bucket and land.
+	rec := sch.NewRecord(5)
+	rec.SetInt(zip, 9999)
+	p.Put(rec)
+	oracle[5] = 9999
+	p.MergeStep()
+	if ts := p.Main().Tier(); ts.Thaws == 0 {
+		t.Fatalf("write to frozen record did not thaw: %+v", ts)
+	}
+	checkAll("after-thaw")
+}
+
+// TestNodeTieredPipeline runs the full event→merge→freeze→scan pipeline on
+// a tiered node: analytic query results must stay exact while buckets
+// freeze, and a second ingest wave must thaw and stay correct while
+// concurrent queries hammer the scan threads (the -race churn check).
+func TestNodeTieredPipeline(t *testing.T) {
+	n := newTestNode(t, Config{
+		Partitions: 3,
+		BucketSize: 8,
+		Tier:       TierConfig{Enabled: true, ColdAfterEpochs: 0, MaxFreezePerStep: -1},
+	})
+	sch := n.Schema()
+	calls := sch.MustAttrIndex("calls_today_count")
+	q := &query.Query{ID: 1, Aggs: []query.AggExpr{{Op: query.OpSum, Attr: calls}}, GroupBy: -1}
+
+	const events, callers = 600, 96
+	for i := 0; i < events; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%callers)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSum(t, n, q, events)
+
+	// Idle merge-only rounds keep ticking epochs; with ColdAfterEpochs 0
+	// every full bucket goes cold as soon as ingest pauses.
+	deadline := time.Now().Add(5 * time.Second)
+	for n.TierStats().ColdBuckets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no buckets froze: %+v", n.TierStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ts := n.TierStats(); ts.CompressionRatio() <= 1 {
+		t.Fatalf("cold tier did not compress: %+v", ts)
+	}
+	waitForSum(t, n, q, events) // scan over compressed chunks stays exact
+
+	// Second wave thaws buckets while queries run concurrently.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p, err := n.SubmitQuery(q)
+			if err != nil {
+				t.Errorf("query during churn: %v", err)
+				return
+			}
+			res := p.Finalize(q)
+			if len(res.Rows) > 0 {
+				if got := res.Rows[0].Values[0]; got < events || got > 2*events {
+					t.Errorf("churn scan saw %v, want within [%d,%d]", got, events, 2*events)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < events; i++ {
+		if err := n.ProcessEventAsync(mkEvent(uint64(i%callers)+1, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.FlushEvents(); err != nil {
+		t.Fatal(err)
+	}
+	waitForSum(t, n, q, 2*events)
+	close(stop)
+	wg.Wait()
+
+	ts := n.TierStats()
+	if ts.Freezes == 0 || ts.Thaws == 0 {
+		t.Fatalf("expected freeze and thaw churn, got %+v", ts)
+	}
+}

@@ -318,17 +318,31 @@ func TestCrashRecoveryRandomKillPoints(t *testing.T) {
 		iterDir := filepath.Join(t.TempDir(), fmt.Sprintf("it%03d", iter))
 		dataDir := filepath.Join(iterDir, "data")
 
+		// Half the iterations run the tiered main with eager freezing and a
+		// tiny bucket (32 entities fill several 8-record buckets per
+		// partition), so deaths land mid-freeze/thaw churn and the
+		// core.bucket-freeze point is actually reachable.
+		tiered := iter%2 == 0
+
 		// Pick how this process dies: 1 in 4 iterations use a raw SIGKILL
 		// at a random instant; the rest arm one random crashpoint with a
-		// random countdown.
+		// random countdown. Flat iterations never arm the freeze point —
+		// it can't fire without -bucket-freeze, and the 4s fallback kill
+		// would just slow the campaign down.
 		spec := ""
 		if iter%4 != 3 {
 			p := points[rng.Intn(len(points))]
+			for !tiered && p == crashpoint.CoreBucketFreeze {
+				p = points[rng.Intn(len(points))]
+			}
 			spec = fmt.Sprintf("%s:%d", p, 1+rng.Intn(60))
 		}
 
-		srv, err := startServer(t, bin, dataDir, spec,
-			"-checkpoint-every", "25ms", "-base-every", "3", "-checkpoint-gc=false")
+		extra := []string{"-checkpoint-every", "25ms", "-base-every", "3", "-checkpoint-gc=false"}
+		if tiered {
+			extra = append(extra, "-bucket", "8", "-bucket-freeze", "-cold-after", "0")
+		}
+		srv, err := startServer(t, bin, dataDir, spec, extra...)
 		if err != nil {
 			t.Fatalf("iter %d (spec %q): %v", iter, spec, err)
 		}
@@ -370,8 +384,15 @@ func TestCrashRecoveryRandomKillPoints(t *testing.T) {
 		copyDir(t, filepath.Join(dataDir, "wal"), refWal)
 		ref := referenceState(t, refWal)
 
-		// Restart on the same data directory and verify.
-		srv2, err := startServer(t, bin, dataDir, "", "-checkpoint-every", "0")
+		// Restart on the same data directory and verify. Tiered iterations
+		// restart tiered too: recovery rehydrates every bucket hot, then the
+		// idle merge loop re-freezes them, so the reads below cross the
+		// compressed path.
+		restart := []string{"-checkpoint-every", "0"}
+		if tiered {
+			restart = append(restart, "-bucket", "8", "-bucket-freeze", "-cold-after", "0")
+		}
+		srv2, err := startServer(t, bin, dataDir, "", restart...)
 		if err != nil {
 			t.Fatalf("iter %d (spec %q, exit %d, %d events sent): recovery failed: %v",
 				iter, spec, exitCode, sent, err)

@@ -82,14 +82,25 @@ func TestReplicaFailoverKillCampaign(t *testing.T) {
 		dataDir := filepath.Join(iterDir, "data")
 		tailWal := filepath.Join(iterDir, "tailwal")
 
+		// Half the iterations run a tiered primary (tiny bucket, eager
+		// freezing) so deaths land mid-freeze/thaw with the WAL stream live;
+		// flat iterations never arm the freeze point — it can't fire there.
+		tiered := iter%2 == 0
+
 		spec := ""
 		if iter%4 != 3 {
 			p := points[rng.Intn(len(points))]
+			for !tiered && p == crashpoint.CoreBucketFreeze {
+				p = points[rng.Intn(len(points))]
+			}
 			spec = fmt.Sprintf("%s:%d", p, 1+rng.Intn(60))
 		}
-		srv, err := startServer(t, bin, dataDir, spec,
-			"-checkpoint-every", "25ms", "-base-every", "3", "-checkpoint-gc=false",
-			"-repl-heartbeat", "5ms")
+		extra := []string{"-checkpoint-every", "25ms", "-base-every", "3", "-checkpoint-gc=false",
+			"-repl-heartbeat", "5ms"}
+		if tiered {
+			extra = append(extra, "-bucket", "8", "-bucket-freeze", "-cold-after", "0")
+		}
+		srv, err := startServer(t, bin, dataDir, spec, extra...)
 		if err != nil {
 			t.Fatalf("iter %d (spec %q): %v", iter, spec, err)
 		}

@@ -45,6 +45,7 @@ const (
 	CheckpointCloseBeforeSeal   = "checkpoint.close.before-seal" // records flushed, trailer not written
 	CheckpointCloseBeforeRename = "checkpoint.close.before-rename"
 	CheckpointCloseAfterRename  = "checkpoint.close.after-rename" // published, retention GC not yet run
+	CoreBucketFreeze            = "core.bucket-freeze"            // merge step about to freeze cold buckets
 )
 
 // Points returns every compiled-in kill point name.
@@ -60,6 +61,7 @@ func Points() []string {
 		CheckpointCloseBeforeSeal,
 		CheckpointCloseBeforeRename,
 		CheckpointCloseAfterRename,
+		CoreBucketFreeze,
 	}
 }
 

@@ -1,5 +1,7 @@
 package obs
 
+import "strings"
+
 // Snapshot arithmetic: the scenario harness measures a bounded window of a
 // live system by snapshotting the registry at the window edges and diffing.
 // Counters and histograms subtract (the window's activity); gauges keep the
@@ -80,6 +82,28 @@ func SumCounters(snaps []MetricSnapshot, base string) float64 {
 		if b, _ := splitName(m.Name); b == base && m.Hist == nil {
 			sum += m.Value
 		}
+	}
+	return sum
+}
+
+// SumSeries sums every non-histogram series with the given base name whose
+// label set contains labelPair (a literal `key="value"` fragment; empty
+// matches everything) — e.g. the cold-tier bytes across nodes from
+// aim_core_main_bytes{node="i",tier="cold"}.
+func SumSeries(snaps []MetricSnapshot, base, labelPair string) float64 {
+	var sum float64
+	for _, m := range snaps {
+		if m.Hist != nil {
+			continue
+		}
+		b, labels := splitName(m.Name)
+		if b != base {
+			continue
+		}
+		if labelPair != "" && !strings.Contains(labels, labelPair) {
+			continue
+		}
+		sum += m.Value
 	}
 	return sum
 }

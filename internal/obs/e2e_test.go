@@ -52,11 +52,15 @@ func TestMetricsEndToEnd(t *testing.T) {
 		Dims:       dims.Store,
 		Partitions: 1,
 		ESPThreads: 1,
-		BucketSize: 256,
+		BucketSize: 32,
 		Factory:    dims.Factory(sch),
 		MaxBatch:   4,
 		Metrics:    reg,
 		Tracer:     tracer,
+		// Aggressive tiering so the scrape below sees a populated cold tier:
+		// with 200 entities in 32-record buckets, full buckets freeze as soon
+		// as merges go idle.
+		Tier: core.TierConfig{Enabled: true, ColdAfterEpochs: 0, MaxFreezePerStep: -1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +98,15 @@ func TestMetricsEndToEnd(t *testing.T) {
 		gen.Next(&ev)
 		if _, err := node.ProcessEvent(ev); err != nil {
 			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Let idle merge rounds age buckets into the cold tier so the tier
+	// gauges scrape non-zero.
+	for node.TierStats().ColdBuckets == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no buckets froze within deadline: %+v", node.TierStats())
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -144,6 +157,13 @@ func TestMetricsEndToEnd(t *testing.T) {
 		// Per-worker ESP queue capacity: the overload runbook reads depth
 		// against capacity, so both gauges must be exported per worker.
 		`aim_core_esp_queue_capacity{worker="0"}`,
+		// Tier observability: the capacity-planning runbook reads the
+		// hot/cold byte split, chunk census and compression ratio.
+		`aim_core_main_bytes{tier="hot"}`,
+		`aim_core_main_bytes{tier="cold"}`,
+		"aim_core_cold_chunks",
+		"aim_core_cold_compression_ratio",
+		"aim_core_bucket_freezes_total",
 	}
 	for _, name := range mustPositive {
 		if series[name] <= 0 {
@@ -156,6 +176,9 @@ func TestMetricsEndToEnd(t *testing.T) {
 	for _, name := range []string{
 		`aim_core_esp_queue_depth{worker="0"}`,
 		"aim_core_delta_watermark_state",
+		// Thaws may legitimately be zero at scrape time (nothing rewrote a
+		// frozen record), but the counter must be exported.
+		"aim_core_bucket_thaws_total",
 	} {
 		if _, ok := series[name]; !ok {
 			t.Errorf("series %s missing from exposition", name)

@@ -32,6 +32,15 @@ type Executor struct {
 	// a uint64 one while a scan pass runs.
 	gcache []groupCache
 
+	// Cold-tier scan support: per-column pooled scratch for frozen buckets
+	// whose shape has no direct chunk kernel (and for per-record paths like
+	// group-by and arg aggregates). Keyed by the FrozenBucket pointer, so a
+	// column is decompressed at most once per bucket per pass and the
+	// backing arrays are reused across buckets.
+	thawRef   *columnmap.FrozenBucket
+	thawBufs  [][]uint64
+	thawValid []bool
+
 	dimCache map[DimJoin]map[uint64]string
 }
 
@@ -131,11 +140,29 @@ func (ex *Executor) aggregate(b columnmap.Bucket, q *Query, p *Partial, mask []u
 }
 
 // evalPredicate fills mask with the predicate result over the bucket.
+// Frozen buckets are evaluated directly on the compressed chunks; shapes
+// without a direct kernel decompress into the pooled scratch and run the
+// raw kernels.
 func (ex *Executor) evalPredicate(b columnmap.Bucket, n int, pr Predicate, mask []uint64) error {
 	if pr.Attr < 0 || pr.Attr >= ex.sch.NumAttrs() {
 		return fmt.Errorf("query: predicate attribute %d out of range", pr.Attr)
 	}
-	col := b.Col(pr.Attr)
+	if fb := b.Frozen(); fb != nil {
+		ch := fb.Chunk(pr.Attr)
+		var ok bool
+		switch ex.sch.Attrs[pr.Attr].Type {
+		case schema.TypeInt64:
+			ok = vec.CmpChunkInt(ch, n, pr.Op, int64(pr.Bits), mask)
+		case schema.TypeUint64, schema.TypeDictString:
+			ok = vec.CmpChunkUint(ch, n, pr.Op, pr.Bits, mask)
+		case schema.TypeFloat64:
+			ok = vec.CmpChunkFloat(ch, n, pr.Op, math.Float64frombits(pr.Bits), mask)
+		}
+		if ok {
+			return nil
+		}
+	}
+	col := ex.col(b, pr.Attr)
 	switch ex.sch.Attrs[pr.Attr].Type {
 	case schema.TypeInt64:
 		vec.CmpInt(col, n, pr.Op, int64(pr.Bits), mask)
@@ -145,6 +172,30 @@ func (ex *Executor) evalPredicate(b columnmap.Bucket, n int, pr Predicate, mask 
 		vec.CmpFloat(col, n, pr.Op, math.Float64frombits(pr.Bits), mask)
 	}
 	return nil
+}
+
+// col returns column c of the bucket for per-record access: the hot slab
+// directly, or a pooled decompressed copy for frozen buckets.
+func (ex *Executor) col(b columnmap.Bucket, c int) []uint64 {
+	fb := b.Frozen()
+	if fb == nil {
+		return b.Col(c)
+	}
+	if ex.thawBufs == nil {
+		ex.thawBufs = make([][]uint64, ex.sch.Slots)
+		ex.thawValid = make([]bool, ex.sch.Slots)
+	}
+	if ex.thawRef != fb {
+		ex.thawRef = fb
+		for i := range ex.thawValid {
+			ex.thawValid[i] = false
+		}
+	}
+	if !ex.thawValid[c] {
+		ex.thawBufs[c] = fb.DecompressCol(c, ex.thawBufs[c])
+		ex.thawValid[c] = true
+	}
+	return ex.thawBufs[c][:b.N]
 }
 
 // aggregateGlobal is the vectorized single-group path.
@@ -177,16 +228,39 @@ func (ex *Executor) aggregateGlobal(b columnmap.Bucket, q *Query, p *Partial, ma
 }
 
 func (ex *Executor) maskedSum(b columnmap.Bucket, attr int, mask []uint64) float64 {
+	isFloat := ex.sch.Attrs[attr].Type == schema.TypeFloat64
+	if fb := b.Frozen(); fb != nil {
+		ch := fb.Chunk(attr)
+		if !isFloat {
+			return float64(vec.SumIntChunk(ch, mask))
+		}
+		if v, ok := vec.SumFloatChunk(ch, mask); ok {
+			return v
+		}
+		return vec.SumFloat(ex.col(b, attr), mask)
+	}
 	col := b.Col(attr)
-	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+	if isFloat {
 		return vec.SumFloat(col, mask)
 	}
 	return float64(vec.SumInt(col, mask))
 }
 
 func (ex *Executor) maskedMin(b columnmap.Bucket, attr int, mask []uint64) (float64, bool) {
+	isFloat := ex.sch.Attrs[attr].Type == schema.TypeFloat64
+	if fb := b.Frozen(); fb != nil {
+		ch := fb.Chunk(attr)
+		if !isFloat {
+			v, any := vec.MinIntChunk(ch, mask)
+			return float64(v), any
+		}
+		if v, any, ok := vec.MinFloatChunk(ch, mask); ok {
+			return v, any
+		}
+		return vec.MinFloat(ex.col(b, attr), mask)
+	}
 	col := b.Col(attr)
-	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+	if isFloat {
 		return vec.MinFloat(col, mask)
 	}
 	v, ok := vec.MinInt(col, mask)
@@ -194,8 +268,20 @@ func (ex *Executor) maskedMin(b columnmap.Bucket, attr int, mask []uint64) (floa
 }
 
 func (ex *Executor) maskedMax(b columnmap.Bucket, attr int, mask []uint64) (float64, bool) {
+	isFloat := ex.sch.Attrs[attr].Type == schema.TypeFloat64
+	if fb := b.Frozen(); fb != nil {
+		ch := fb.Chunk(attr)
+		if !isFloat {
+			v, any := vec.MaxIntChunk(ch, mask)
+			return float64(v), any
+		}
+		if v, any, ok := vec.MaxFloatChunk(ch, mask); ok {
+			return v, any
+		}
+		return vec.MaxFloat(ex.col(b, attr), mask)
+	}
 	col := b.Col(attr)
-	if ex.sch.Attrs[attr].Type == schema.TypeFloat64 {
+	if isFloat {
 		return vec.MaxFloat(col, mask)
 	}
 	v, ok := vec.MaxInt(col, mask)
@@ -207,14 +293,14 @@ func (ex *Executor) maskedMax(b columnmap.Bucket, attr int, mask []uint64) (floa
 // through vec.ForEach so the hot batch path stays closure- and
 // allocation-free.
 func (ex *Executor) argScan(b columnmap.Bucket, a AggExpr, cell *Cell, mask []uint64) {
-	ids := b.Col(schema.SlotEntityID)
-	col := b.Col(a.Attr)
+	ids := ex.col(b, schema.SlotEntityID)
+	col := ex.col(b, a.Attr)
 	t := ex.sch.Attrs[a.Attr].Type
 	var col2 []uint64
 	var t2 schema.Type
 	ratio := a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio
 	if ratio {
-		col2 = b.Col(a.Attr2)
+		col2 = ex.col(b, a.Attr2)
 		t2 = ex.sch.Attrs[a.Attr2].Type
 	}
 	for wi, w := range mask {
@@ -278,8 +364,8 @@ func resolveGroup(p *Partial, gv uint64, dimMap map[uint64]string, dict *schema.
 // (hash-expensive) GroupKey resolution runs once per distinct group value
 // per scan pass; every further record is one uint64 map probe.
 func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, mask []uint64, gc *groupCache) error {
-	gcol := b.Col(q.GroupBy)
-	ids := b.Col(schema.SlotEntityID)
+	gcol := ex.col(b, q.GroupBy)
+	ids := ex.col(b, schema.SlotEntityID)
 	var dimMap map[uint64]string
 	if q.GroupDim != nil {
 		var err error
@@ -320,19 +406,19 @@ func (ex *Executor) aggregateGrouped(b columnmap.Bucket, q *Query, p *Partial, m
 			switch a.Op {
 			case OpCount:
 			case OpSum, OpAvg:
-				cell.Sum += slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
+				cell.Sum += slotVal(ex.col(b, a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
 			case OpMin:
-				if v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v < cell.Min {
+				if v := slotVal(ex.col(b, a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v < cell.Min {
 					cell.Min = v
 				}
 			case OpMax:
-				if v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v > cell.Max {
+				if v := slotVal(ex.col(b, a.Attr)[i], ex.sch.Attrs[a.Attr].Type); v > cell.Max {
 					cell.Max = v
 				}
 			default:
-				v := slotVal(b.Col(a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
+				v := slotVal(ex.col(b, a.Attr)[i], ex.sch.Attrs[a.Attr].Type)
 				if a.Op == OpArgMinRatio || a.Op == OpArgMaxRatio {
-					den := slotVal(b.Col(a.Attr2)[i], ex.sch.Attrs[a.Attr2].Type)
+					den := slotVal(ex.col(b, a.Attr2)[i], ex.sch.Attrs[a.Attr2].Type)
 					if den == 0 {
 						continue
 					}

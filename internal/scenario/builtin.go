@@ -151,6 +151,36 @@ func Builtins() []*Spec {
 			QueryDeadline:     msec(8),
 		},
 		{
+			Name:        "tiered",
+			Description: "tiered main gate: hot-key ingest over a mostly-cold compressed matrix, then a trickle phase where clients scan frozen chunks; gates freeze/thaw churn and the cold-scan penalty",
+			Entities:    8_000,
+			Rules:       50,
+			// Fixed partition count so the per-partition population (and thus
+			// the bucket fill / freeze pattern) is host-independent.
+			Partitions:     2,
+			BucketSize:     256,
+			EventRate:      6_000,
+			Clients:        2,
+			HotKeyFraction: 0.8,
+			HotKeySetSize:  400,
+			TierFreeze:     true,
+			TierColdAfter:  2,
+			Warmup:         msec(300),
+			// 3 trials (the other CI gate scenarios use 2): the latency
+			// quantiles here straddle hot and compressed scans, so their
+			// spread is real; the extra trial feeds it into the MAD band.
+			Trials:         3,
+			Phases: []Phase{
+				// churn: the hot set keeps a couple of buckets warm while the
+				// uniform remainder trickles freeze/thaw transitions.
+				{Name: "churn", Duration: msec(500)},
+				// coldscan: near-zero ingest lets the matrix freeze out while
+				// the clients keep scanning — the compressed-scan penalty
+				// lands in this half of the window's latency quantiles.
+				{Name: "coldscan", Duration: msec(500), RateFactor: 0.05},
+			},
+		},
+		{
 			Name:        "replica",
 			Description: "WAL-shipped follower attached to the primary; lag/staleness recorded under mixed load",
 			Entities:    10_000,

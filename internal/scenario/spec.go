@@ -119,6 +119,15 @@ type Spec struct {
 	MaxPendingQueries int      `json:"max_pending_queries,omitempty"`
 	QueryDeadline     Duration `json:"query_deadline,omitempty"`
 
+	// Tiered main. TierFreeze enables the ColumnMap compressed cold tier:
+	// full buckets untouched for TierColdAfter merge epochs freeze into
+	// immutable compressed chunks that scans evaluate in place, and a delta
+	// write thaws its bucket back hot. TierColdAfter 0 is the aggressive
+	// policy (freeze anything a single epoch old) — maximal freeze/thaw
+	// churn under live load, which is the property the scenario gates.
+	TierFreeze    bool `json:"tier_freeze,omitempty"`
+	TierColdAfter int  `json:"tier_cold_after,omitempty"`
+
 	// Measurement protocol.
 	Warmup Duration `json:"warmup"`
 	Trials int      `json:"trials"`
@@ -186,6 +195,12 @@ func (s *Spec) Validate() error {
 	}
 	if s.DeltaSoftRecords > 0 && s.DeltaHardRecords > 0 && s.DeltaHardRecords < s.DeltaSoftRecords {
 		return fmt.Errorf("scenario %s: delta_hard_records below delta_soft_records", s.Name)
+	}
+	if s.TierColdAfter < 0 {
+		return fmt.Errorf("scenario %s: tier_cold_after must be >= 0", s.Name)
+	}
+	if s.TierColdAfter > 0 && !s.TierFreeze {
+		return fmt.Errorf("scenario %s: tier_cold_after needs tier_freeze", s.Name)
 	}
 	return nil
 }

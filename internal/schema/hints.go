@@ -1,0 +1,23 @@
+package schema
+
+import "repro/internal/vec"
+
+// ColHints maps the record layout to per-slot compression hints for the
+// cold tier (columnmap.SetColHints). Visible attributes carry their value
+// type so the chunk encoder can pick order-correct frame-of-reference
+// bases; hidden slots (window primitives, the version slot) stay on the
+// unsigned default, which always round-trips bit-exactly.
+func (s *Schema) ColHints() []vec.Hint {
+	hints := make([]vec.Hint, s.Slots)
+	for _, a := range s.Attrs {
+		switch a.Type {
+		case TypeInt64:
+			hints[a.Slot] = vec.HintInt
+		case TypeFloat64:
+			hints[a.Slot] = vec.HintFloat
+		default:
+			hints[a.Slot] = vec.HintUint
+		}
+	}
+	return hints
+}

@@ -1,0 +1,247 @@
+package vec
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Masked aggregation over compressed chunks. Every kernel is bit-exact with
+// its raw counterpart in agg.go:
+//
+//   - integer sums use mod-2^64 identities (k repeated adds of v == k*v, and
+//     FOR's Base+code recovers the original bits), so Const and RLE runs
+//     multiply instead of walking;
+//   - float sums add selected values sequentially in ascending record order —
+//     exactly the raw kernel's evaluation order — because float addition is
+//     not associative and "equivalent" reassociations would drift;
+//   - min/max decode per set bit and apply the identical strict compare, so
+//     NaN never wins and ties resolve the same way.
+//
+// All five encodings are supported; nothing here needs the decompression
+// fallback.
+
+// SumIntChunk sums int64-typed chunk values under the mask.
+func SumIntChunk(ch *Chunk, mask []uint64) int64 {
+	switch ch.Enc {
+	case EncRaw:
+		return SumInt(ch.Words, mask)
+	case EncConst:
+		return int64(ch.Base) * Count(mask)
+	case EncFOR:
+		per := 64 / uint(ch.Width)
+		vm := uint64(1)<<ch.Width - 1
+		var sum int64
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				k := uint(base + bits.TrailingZeros64(w))
+				sum += int64(ch.Base + ch.Packed[k/per]>>(k%per*uint(ch.Width))&vm)
+				w &= w - 1
+			}
+		}
+		return sum
+	case EncDict:
+		per := 64 / uint(ch.Width)
+		vm := uint64(1)<<ch.Width - 1
+		var sum int64
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				k := uint(base + bits.TrailingZeros64(w))
+				sum += int64(ch.Dict[ch.Packed[k/per]>>(k%per*uint(ch.Width))&vm])
+				w &= w - 1
+			}
+		}
+		return sum
+	default: // EncRLE
+		var sum int64
+		start := 0
+		for ri, v := range ch.Vals {
+			end := int(ch.Ends[ri])
+			sum += int64(v) * maskCountRange(mask, start, end)
+			start = end
+		}
+		return sum
+	}
+}
+
+// SumFloatChunk sums float64-typed chunk values under the mask, preserving
+// the raw kernel's sequential add order. Returns ok=false for FOR chunks
+// (never produced for float columns; a hint-mismatched chunk falls back).
+func SumFloatChunk(ch *Chunk, mask []uint64) (float64, bool) {
+	switch ch.Enc {
+	case EncRaw:
+		return SumFloat(ch.Words, mask), true
+	case EncConst:
+		v := math.Float64frombits(ch.Base)
+		var sum float64
+		for i := Count(mask); i > 0; i-- {
+			sum += v
+		}
+		return sum, true
+	case EncFOR:
+		return 0, false
+	case EncDict:
+		per := 64 / uint(ch.Width)
+		vm := uint64(1)<<ch.Width - 1
+		var sum float64
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				k := uint(base + bits.TrailingZeros64(w))
+				sum += math.Float64frombits(ch.Dict[ch.Packed[k/per]>>(k%per*uint(ch.Width))&vm])
+				w &= w - 1
+			}
+		}
+		return sum, true
+	default: // EncRLE
+		var sum float64
+		start := 0
+		for ri, rv := range ch.Vals {
+			end := int(ch.Ends[ri])
+			v := math.Float64frombits(rv)
+			for i := maskCountRange(mask, start, end); i > 0; i-- {
+				sum += v
+			}
+			start = end
+		}
+		return sum, true
+	}
+}
+
+// MinIntChunk returns the minimum int64 chunk value under the mask and
+// whether any bit was set.
+func MinIntChunk(ch *Chunk, mask []uint64) (int64, bool) {
+	if ch.Enc == EncRaw {
+		return MinInt(ch.Words, mask)
+	}
+	mn := int64(math.MaxInt64)
+	any := false
+	chunkWalkInt(ch, mask, func(v int64) {
+		if v < mn {
+			mn = v
+		}
+		any = true
+	})
+	return mn, any
+}
+
+// MaxIntChunk returns the maximum int64 chunk value under the mask and
+// whether any bit was set.
+func MaxIntChunk(ch *Chunk, mask []uint64) (int64, bool) {
+	if ch.Enc == EncRaw {
+		return MaxInt(ch.Words, mask)
+	}
+	mx := int64(math.MinInt64)
+	any := false
+	chunkWalkInt(ch, mask, func(v int64) {
+		if v > mx {
+			mx = v
+		}
+		any = true
+	})
+	return mx, any
+}
+
+// MinFloatChunk returns the minimum float64 chunk value under the mask and
+// whether any bit was set; ok=false for FOR chunks.
+func MinFloatChunk(ch *Chunk, mask []uint64) (float64, bool, bool) {
+	if ch.Enc == EncFOR {
+		return 0, false, false
+	}
+	if ch.Enc == EncRaw {
+		v, any := MinFloat(ch.Words, mask)
+		return v, any, true
+	}
+	mn := math.Inf(1)
+	any := false
+	chunkWalkInt(ch, mask, func(bv int64) {
+		if v := math.Float64frombits(uint64(bv)); v < mn {
+			mn = v
+		}
+		any = true
+	})
+	return mn, any, true
+}
+
+// MaxFloatChunk returns the maximum float64 chunk value under the mask and
+// whether any bit was set; ok=false for FOR chunks.
+func MaxFloatChunk(ch *Chunk, mask []uint64) (float64, bool, bool) {
+	if ch.Enc == EncFOR {
+		return 0, false, false
+	}
+	if ch.Enc == EncRaw {
+		v, any := MaxFloat(ch.Words, mask)
+		return v, any, true
+	}
+	mx := math.Inf(-1)
+	any := false
+	chunkWalkInt(ch, mask, func(bv int64) {
+		if v := math.Float64frombits(uint64(bv)); v > mx {
+			mx = v
+		}
+		any = true
+	})
+	return mx, any, true
+}
+
+// chunkWalkInt invokes fn with the decoded value of every set mask bit in
+// ascending record order (Const and RLE visit once per distinct stretch,
+// which is order-equivalent for order-insensitive folds like min/max).
+func chunkWalkInt(ch *Chunk, mask []uint64, fn func(v int64)) {
+	switch ch.Enc {
+	case EncConst:
+		if anyMask(mask) {
+			fn(int64(ch.Base))
+		}
+	case EncFOR:
+		per := 64 / uint(ch.Width)
+		vm := uint64(1)<<ch.Width - 1
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				k := uint(base + bits.TrailingZeros64(w))
+				fn(int64(ch.Base + ch.Packed[k/per]>>(k%per*uint(ch.Width))&vm))
+				w &= w - 1
+			}
+		}
+	case EncDict:
+		per := 64 / uint(ch.Width)
+		vm := uint64(1)<<ch.Width - 1
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				k := uint(base + bits.TrailingZeros64(w))
+				fn(int64(ch.Dict[ch.Packed[k/per]>>(k%per*uint(ch.Width))&vm]))
+				w &= w - 1
+			}
+		}
+	case EncRLE:
+		start := 0
+		for ri, v := range ch.Vals {
+			end := int(ch.Ends[ri])
+			if maskAnyRange(mask, start, end) {
+				fn(int64(v))
+			}
+			start = end
+		}
+	case EncRaw:
+		for wi, w := range mask {
+			base := wi * 64
+			for w != 0 {
+				fn(int64(ch.Words[base+bits.TrailingZeros64(w)]))
+				w &= w - 1
+			}
+		}
+	}
+}
+
+// anyMask reports whether any mask bit is set.
+func anyMask(mask []uint64) bool {
+	for _, w := range mask {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+package vec
+
+import "math"
+
+// Compressed-chunk predicate kernels: evaluate `col[i] op v` into a bitmask
+// directly over the chunk encoding, without materializing the column. Each
+// returns false when the shape is unsupported for direct evaluation (a FOR
+// chunk whose hint disagrees with the query's type domain — the order-based
+// range shortcuts would be wrong), in which case the caller decompresses
+// into a pooled scratch column and runs the raw kernel.
+//
+// FOR is the interesting case: with base b and code c, `b+c op v` becomes an
+// unsigned code-domain compare `c op v-b` once v is inside [Base,
+// Base+MaxCode]; outside that range the answer is constant and the kernel
+// short-circuits to a fill or zero without touching the payload. One set of
+// specialized unsigned loops therefore serves both int64 and uint64 columns.
+// Dict chunks run the typed compare once per dictionary entry into a small
+// code-match bitmap, then map the packed codes through it; RLE runs the
+// typed compare once per run and fills mask ranges.
+
+// CmpChunkInt evaluates `int64(value) op v` over the first n records of the
+// chunk. Returns false if the shape needs materialization.
+func CmpChunkInt(ch *Chunk, n int, op CmpOp, v int64, mask []uint64) bool {
+	switch ch.Enc {
+	case EncRaw:
+		CmpInt(ch.Words, n, op, v, mask)
+	case EncConst:
+		constMask(cmpIntOne(int64(ch.Base), op, v), n, mask)
+	case EncFOR:
+		if ch.Hint != HintInt {
+			return false
+		}
+		lo := int64(ch.Base)
+		hi := lo + int64(ch.MaxCode)
+		if done := forShortcut(n, op, v < lo, v > hi, v == lo, v == hi, mask); done {
+			return true
+		}
+		cmpPackedCodes(ch.Packed, n, ch.Width, op, uint64(v)-ch.Base, mask)
+	case EncDict:
+		cmpDict(ch, n, func(dv uint64) bool { return cmpIntOne(int64(dv), op, v) }, mask)
+	case EncRLE:
+		cmpRLE(ch, n, func(dv uint64) bool { return cmpIntOne(int64(dv), op, v) }, mask)
+	}
+	return true
+}
+
+// CmpChunkUint is CmpChunkInt for unsigned column interpretation.
+func CmpChunkUint(ch *Chunk, n int, op CmpOp, v uint64, mask []uint64) bool {
+	switch ch.Enc {
+	case EncRaw:
+		CmpUint(ch.Words, n, op, v, mask)
+	case EncConst:
+		constMask(cmpUintOne(ch.Base, op, v), n, mask)
+	case EncFOR:
+		if ch.Hint != HintUint {
+			return false
+		}
+		lo := ch.Base
+		hi := lo + ch.MaxCode
+		if done := forShortcut(n, op, v < lo, v > hi, v == lo, v == hi, mask); done {
+			return true
+		}
+		cmpPackedCodes(ch.Packed, n, ch.Width, op, v-lo, mask)
+	case EncDict:
+		cmpDict(ch, n, func(dv uint64) bool { return cmpUintOne(dv, op, v) }, mask)
+	case EncRLE:
+		cmpRLE(ch, n, func(dv uint64) bool { return cmpUintOne(dv, op, v) }, mask)
+	}
+	return true
+}
+
+// CmpChunkFloat evaluates the IEEE-754 compare over float64 bit patterns.
+// FOR chunks report unsupported: the encoder never produces them for
+// HintFloat columns, and on a hint mismatch the order shortcuts don't apply.
+func CmpChunkFloat(ch *Chunk, n int, op CmpOp, v float64, mask []uint64) bool {
+	switch ch.Enc {
+	case EncRaw:
+		CmpFloat(ch.Words, n, op, v, mask)
+	case EncConst:
+		constMask(cmpFloatOne(math.Float64frombits(ch.Base), op, v), n, mask)
+	case EncFOR:
+		return false
+	case EncDict:
+		cmpDict(ch, n, func(dv uint64) bool { return cmpFloatOne(math.Float64frombits(dv), op, v) }, mask)
+	case EncRLE:
+		cmpRLE(ch, n, func(dv uint64) bool { return cmpFloatOne(math.Float64frombits(dv), op, v) }, mask)
+	}
+	return true
+}
+
+// constMask fills or zeroes the first n mask bits (tail bits cleared).
+func constMask(match bool, n int, mask []uint64) {
+	if match {
+		FillMask(mask, n)
+	} else {
+		ZeroMask(mask)
+	}
+}
+
+// forShortcut resolves the compare when v lies outside or on the edge of the
+// chunk's [lo, hi] value range, so the packed-code loop only ever runs with
+// an in-range unsigned operand. Returns true when the mask was written.
+func forShortcut(n int, op CmpOp, below, above, atLo, atHi bool, mask []uint64) bool {
+	switch op {
+	case Lt:
+		if below || atLo { // no value < v
+			ZeroMask(mask)
+			return true
+		}
+		if above { // every value < v
+			FillMask(mask, n)
+			return true
+		}
+	case Le:
+		if below {
+			ZeroMask(mask)
+			return true
+		}
+		if above || atHi {
+			FillMask(mask, n)
+			return true
+		}
+	case Gt:
+		if above || atHi {
+			ZeroMask(mask)
+			return true
+		}
+		if below {
+			FillMask(mask, n)
+			return true
+		}
+	case Ge:
+		if above {
+			ZeroMask(mask)
+			return true
+		}
+		if below || atLo {
+			FillMask(mask, n)
+			return true
+		}
+	case Eq:
+		if below || above {
+			ZeroMask(mask)
+			return true
+		}
+	case Ne:
+		if below || above {
+			FillMask(mask, n)
+			return true
+		}
+	}
+	return false
+}
+
+// decodeBlock unpacks the next count codes (<= 64) starting at packed word
+// wp into buf, returning the advanced word index. Sequential word-shift
+// decode: no per-element division, one AND + one shift per code. Whole
+// words are consumed except possibly in a final short block.
+func decodeBlock(packed []uint64, wp, per int, w uint, vm uint64, buf *[64]uint64, count int) int {
+	idx := 0
+	for idx < count {
+		word := packed[wp]
+		wp++
+		for s := 0; s < per && idx < count; s++ {
+			buf[idx] = word & vm
+			word >>= w
+			idx++
+		}
+	}
+	return wp
+}
+
+// cmpPackedCodes runs the unsigned compare `code op cv` over bit-packed
+// codes — the FOR analogue of CmpUint. Each 64-record block is shift-decoded
+// into a stack buffer and pushed through the raw branchless compare loop, so
+// the whole block stays in registers/L1 and the operator switch costs one
+// branch per block, not per element.
+func cmpPackedCodes(packed []uint64, n int, width uint8, op CmpOp, cv uint64, mask []uint64) {
+	w := uint(width)
+	per := int(64 / w)
+	vm := uint64(1)<<w - 1
+	var buf [64]uint64
+	var mw [1]uint64
+	wi, wp := 0, 0
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		wp = decodeBlock(packed, wp, per, w, vm, &buf, 64)
+		CmpUint(buf[:], 64, op, cv, mw[:])
+		mask[wi] = mw[0]
+		wi++
+	}
+	if i < n {
+		rem := n - i
+		decodeBlock(packed, wp, per, w, vm, &buf, rem)
+		CmpUint(buf[:rem], rem, op, cv, mw[:])
+		mask[wi] = mw[0]
+		wi++
+	}
+	for ; wi < len(mask); wi++ {
+		mask[wi] = 0
+	}
+}
+
+// cmpDict evaluates the typed compare once per dictionary entry into a
+// code-match bitmap (MaxDictSize/64 words), then maps the packed code stream
+// through it — per record the loop is one decode plus one bitmap probe,
+// independent of operator and type.
+func cmpDict(ch *Chunk, n int, match func(v uint64) bool, mask []uint64) {
+	var mb [MaxDictSize / 64]uint64
+	for ci, dv := range ch.Dict {
+		if match(dv) {
+			mb[ci>>6] |= 1 << uint(ci&63)
+		}
+	}
+	w := uint(ch.Width)
+	per := int(64 / w)
+	vm := uint64(1)<<w - 1
+	var buf [64]uint64
+	wi, wp := 0, 0
+	i := 0
+	for ; i+64 <= n; i += 64 {
+		wp = decodeBlock(ch.Packed, wp, per, w, vm, &buf, 64)
+		var m uint64
+		for j := 0; j < 64; j++ {
+			c := buf[j]
+			m |= (mb[c>>6] >> (c & 63) & 1) << uint(j)
+		}
+		mask[wi] = m
+		wi++
+	}
+	if i < n {
+		rem := n - i
+		decodeBlock(ch.Packed, wp, per, w, vm, &buf, rem)
+		var m uint64
+		for j := 0; j < rem; j++ {
+			c := buf[j]
+			m |= (mb[c>>6] >> (c & 63) & 1) << uint(j)
+		}
+		mask[wi] = m
+		wi++
+	}
+	for ; wi < len(mask); wi++ {
+		mask[wi] = 0
+	}
+}
+
+// cmpRLE evaluates the typed compare once per run and fills the matching
+// runs' bit ranges — O(runs), not O(records).
+func cmpRLE(ch *Chunk, n int, match func(v uint64) bool, mask []uint64) {
+	ZeroMask(mask)
+	start := 0
+	for ri, dv := range ch.Vals {
+		if start >= n {
+			break
+		}
+		end := int(ch.Ends[ri])
+		if end > n {
+			end = n
+		}
+		if match(dv) {
+			maskSetRange(mask, start, end)
+		}
+		start = end
+	}
+}
